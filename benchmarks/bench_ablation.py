@@ -1,0 +1,99 @@
+"""Ablation benches beyond the paper's figures.
+
+DESIGN.md calls out three design choices whose contribution is worth
+quantifying separately:
+
+* the offline subsets (AdEle-RR) versus no subsets (Elevator-First);
+* the online skipping policy (AdEle vs AdEle-RR) -- also shown in Fig. 4(d);
+* CDA's instantaneous-global-information assumption: the paper notes real
+  CDA "will likely perform much worse with stale information"; the staleness
+  sweep quantifies that sensitivity in our substrate.
+"""
+
+from __future__ import annotations
+
+from conftest import SMALL_MESH_CYCLES, record_rows
+
+from repro.analysis.runner import (
+    ExperimentConfig,
+    adele_design_for,
+    build_packet_source,
+    run_experiment,
+)
+from repro.energy.model import EnergyModel
+from repro.routing.cda import CDAPolicy
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.topology.elevators import standard_placement
+
+ABLATION_RATE = 0.005
+SEEDS = (1, 2)
+
+
+def _mean_latency(config: ExperimentConfig) -> float:
+    latencies = []
+    for seed in SEEDS:
+        latencies.append(run_experiment(config.with_(seed=seed)).average_latency)
+    return sum(latencies) / len(latencies)
+
+
+def _run_policy_ablation():
+    config = ExperimentConfig(
+        placement="PS1", traffic="uniform", injection_rate=ABLATION_RATE,
+        **SMALL_MESH_CYCLES,
+    )
+    return {
+        "elevator_first (no subsets, no adaptation)": _mean_latency(
+            config.with_(policy="elevator_first")
+        ),
+        "adele_rr (subsets only)": _mean_latency(config.with_(policy="adele_rr")),
+        "adele (subsets + skipping + override)": _mean_latency(
+            config.with_(policy="adele")
+        ),
+    }
+
+
+def test_ablation_adele_ingredients(benchmark):
+    latencies = benchmark.pedantic(_run_policy_ablation, rounds=1, iterations=1)
+    rows = ["variant                                       mean latency (cycles)"]
+    for name, latency in latencies.items():
+        rows.append(f"{name:45s} {latency:10.1f}")
+    record_rows("ablation_adele_ingredients", rows)
+
+    baseline = latencies["elevator_first (no subsets, no adaptation)"]
+    subsets_only = latencies["adele_rr (subsets only)"]
+    full = latencies["adele (subsets + skipping + override)"]
+    # The offline subsets already beat nearest-elevator selection under load,
+    # and the online policy does not undo that gain.
+    assert subsets_only < baseline
+    assert full < baseline
+
+
+def _run_cda_staleness():
+    placement = standard_placement("PS1")
+    config = ExperimentConfig(
+        placement="PS1", traffic="uniform", injection_rate=ABLATION_RATE, seed=1,
+        **SMALL_MESH_CYCLES,
+    )
+    latencies = {}
+    for period in (1, 16, 64):
+        policy = CDAPolicy(placement, update_period=period)
+        network = Network(placement, policy)
+        source = build_packet_source(config, placement)
+        result = Simulator(
+            network, source, config.warmup_cycles, config.measurement_cycles,
+            config.drain_cycles, EnergyModel(),
+        ).run()
+        latencies[period] = result.average_latency
+    return latencies
+
+
+def test_ablation_cda_information_staleness(benchmark):
+    latencies = benchmark.pedantic(_run_cda_staleness, rounds=1, iterations=1)
+    rows = ["cda occupancy update period (cycles)   mean latency (cycles)"]
+    for period, latency in latencies.items():
+        rows.append(f"{period:37d} {latency:10.1f}")
+    record_rows("ablation_cda_staleness", rows)
+
+    # Staler information can only hurt (or leave unchanged) CDA's latency.
+    assert latencies[64] >= latencies[1] * 0.9

@@ -1,0 +1,54 @@
+"""Fig. 5 -- traffic load over elevator routers, normalized to plain routers.
+
+The paper plots, for PS1 under uniform traffic, the load of each elevator
+column's routers normalized to the average load of routers without an
+elevator, for Elevator-First, CDA and AdEle.  The shape: Elevator-First
+badly overloads one elevator; CDA and AdEle flatten the distribution, with
+AdEle's most-loaded elevator clearly below Elevator-First's.
+"""
+
+from __future__ import annotations
+
+from conftest import POLICIES, SMALL_MESH_CYCLES, record_rows
+
+from repro.analysis.load import elevator_load_distribution
+from repro.analysis.runner import ExperimentConfig, build_network, run_experiment
+from repro.topology.elevators import standard_placement
+
+#: Moderate load where Elevator-First's imbalance is clearly visible.
+FIG5_RATE = 0.004
+
+
+def _run_fig5():
+    placement = standard_placement("PS1")
+    distributions = {}
+    for policy in POLICIES:
+        config = ExperimentConfig(
+            placement="PS1", policy=policy, traffic="uniform",
+            injection_rate=FIG5_RATE, seed=2, **SMALL_MESH_CYCLES,
+        )
+        network = build_network(config, placement=placement)
+        result = run_experiment(config, network=network)
+        distributions[policy] = elevator_load_distribution(network, result)
+    return distributions
+
+
+def test_fig5_elevator_load_distribution(benchmark):
+    distributions = benchmark.pedantic(_run_fig5, rounds=1, iterations=1)
+
+    rows = ["policy           elevator loads (normalized to elevator-less routers)"]
+    for policy, dist in distributions.items():
+        loads = "  ".join(f"e{i}:{load:5.2f}" for i, load in sorted(dist.loads.items()))
+        rows.append(f"{policy:15s}  {loads}   max={dist.max_load:5.2f}")
+    record_rows("fig5_load_distribution", rows)
+
+    baseline = distributions["elevator_first"]
+    adele = distributions["adele"]
+    cda = distributions["cda"]
+    # Every elevator router is busier than the average plain router.
+    assert baseline.max_load > 1.0
+    # Fig. 5 shape: adaptive policies reduce the load of the hottest elevator.
+    assert adele.max_load < baseline.max_load
+    assert cda.max_load < baseline.max_load
+    # AdEle spreads traffic: its min/max imbalance is below Elevator-First's.
+    assert adele.imbalance <= baseline.imbalance

@@ -1,0 +1,90 @@
+"""Fig. 7 -- latency and energy under real-application traffic.
+
+The paper replays gem5-extracted SPLASH-2/PARSEC traces (canneal, fft,
+fluidanimate, lu, radix, water) on PS1-PS3 and reports latency per
+application and energy averaged over applications, normalized to
+Elevator-First.  Our substitution uses synthetic application models with the
+same load grouping (see DESIGN.md).  Shape checks:
+
+* adaptive policies do not lose to Elevator-First on average;
+* improvements concentrate in the high-load applications (canneal, fft,
+  radix, water); the low-load ones (fluidanimate, lu) stay near zero-load
+  latency for every policy;
+* average energy overhead of AdEle versus Elevator-First stays bounded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import POLICIES, record_rows
+
+from repro.analysis.comparison import normalize_to_baseline
+from repro.analysis.runner import ExperimentConfig, run_experiment
+from repro.traffic.applications import APPLICATION_NAMES, application_spec
+
+#: Injection rate corresponding to load factor 1.0; each application scales
+#: this by its load factor, mimicking the per-benchmark traffic intensity.
+BASE_RATE = 0.005
+#: Shorter windows than the synthetic sweeps: 6 apps x 3 policies per placement.
+APP_CYCLES = {"warmup_cycles": 200, "measurement_cycles": 800, "drain_cycles": 500}
+HIGH_LOAD_APPS = ("canneal", "fft", "radix", "water")
+LOW_LOAD_APPS = ("fluidanimate", "lu")
+
+
+def _run_placement(placement: str):
+    latencies = {}
+    energies = {}
+    for app in APPLICATION_NAMES:
+        rate = BASE_RATE * application_spec(app).load_factor
+        for policy in POLICIES:
+            config = ExperimentConfig(
+                placement=placement, policy=policy, traffic=app,
+                injection_rate=rate, seed=4, **APP_CYCLES,
+            )
+            result = run_experiment(config)
+            latencies[(app, policy)] = result.average_latency
+            energies[(app, policy)] = result.energy_per_flit
+    return latencies, energies
+
+
+@pytest.mark.parametrize("placement", ["PS1", "PS2", "PS3"])
+def test_fig7_real_application_traffic(benchmark, placement):
+    latencies, energies = benchmark.pedantic(
+        _run_placement, args=(placement,), rounds=1, iterations=1
+    )
+
+    rows = [f"[{placement}]  normalized latency (to ElevFirst)"]
+    normalized_latency = {}
+    for app in APPLICATION_NAMES:
+        per_policy = {policy: latencies[(app, policy)] for policy in POLICIES}
+        normalized = normalize_to_baseline(per_policy, "elevator_first")
+        normalized_latency[app] = normalized
+        values = "  ".join(f"{policy}:{normalized[policy]:5.2f}" for policy in POLICIES)
+        rows.append(f"{app:13s} {values}")
+    avg_energy = {
+        policy: sum(energies[(app, policy)] for app in APPLICATION_NAMES)
+        / len(APPLICATION_NAMES)
+        for policy in POLICIES
+    }
+    normalized_energy = normalize_to_baseline(avg_energy, "elevator_first")
+    rows.append(
+        "avg energy    "
+        + "  ".join(f"{policy}:{normalized_energy[policy]:5.2f}" for policy in POLICIES)
+    )
+    record_rows(f"fig7_realapp_{placement}", rows)
+
+    # Averaged over applications, the adaptive policies are at least as good
+    # as Elevator-First on latency (head-room for single-seed noise).
+    for policy in ("cda", "adele"):
+        mean_norm = sum(normalized_latency[app][policy] for app in APPLICATION_NAMES) / len(
+            APPLICATION_NAMES
+        )
+        assert mean_norm <= 1.15
+    # Low-load applications see little difference between policies (their
+    # latency sits near zero-load for everyone).
+    for app in LOW_LOAD_APPS:
+        for policy in ("cda", "adele"):
+            assert 0.6 <= normalized_latency[app][policy] <= 1.4
+    # AdEle's average energy overhead stays bounded.
+    assert normalized_energy["adele"] <= 1.4

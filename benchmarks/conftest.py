@@ -1,0 +1,49 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the AdEle paper.  Runs
+are kept short enough for the whole suite to finish in minutes on a laptop;
+the *shape* of the results (who wins, by roughly what factor) is what the
+reproduction targets, not absolute cycle counts.
+
+Each bench writes its reproduction rows both to stdout and to
+``benchmarks/results/<name>.txt`` so they survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Simulation windows per mesh scale, chosen so the full benchmark suite
+#: completes in minutes while still spanning several thousand packets.
+SMALL_MESH_CYCLES = {"warmup_cycles": 300, "measurement_cycles": 1000, "drain_cycles": 600}
+LARGE_MESH_CYCLES = {"warmup_cycles": 200, "measurement_cycles": 600, "drain_cycles": 400}
+
+#: Injection-rate grids (packets/node/cycle) mirroring the x-axes of Fig. 4.
+RATES_PS = [0.001, 0.003, 0.005]
+RATES_PM = [0.001, 0.003, 0.004]
+
+#: The three policies every figure compares, in the paper's order.
+POLICIES = ["elevator_first", "cda", "adele"]
+
+
+def record_rows(name: str, rows: Iterable[str]) -> None:
+    """Print reproduction rows and persist them under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    lines = list(rows)
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===")
+    print(text)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    """Directory where benchmark reproduction rows are stored."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,62 @@
+"""Application-traffic case study (paper Section IV-C, Fig. 7).
+
+Replays the six synthetic SPLASH-2/PARSEC application models on a chosen
+placement and compares Elevator-First, CDA and AdEle, printing per-
+application normalized latency and the average energy overhead -- the same
+rows as the paper's Fig. 7.  High-load applications (canneal, fft, radix,
+water) are where adaptive elevator selection pays off; low-load ones
+(fluidanimate, lu) stay near zero-load latency for every policy.
+
+Run with:  python examples/application_study.py [placement]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ExperimentConfig, run_experiment
+from repro.analysis.comparison import normalize_to_baseline
+from repro.traffic.applications import APPLICATION_NAMES, application_spec
+
+BASE_RATE = 0.005
+POLICIES = ("elevator_first", "cda", "adele")
+
+
+def main() -> None:
+    placement = sys.argv[1] if len(sys.argv) > 1 else "PS2"
+    print(f"Application study on {placement} (normalized to Elevator-First)\n")
+
+    latencies = {}
+    energies = {}
+    for app in APPLICATION_NAMES:
+        rate = BASE_RATE * application_spec(app).load_factor
+        for policy in POLICIES:
+            config = ExperimentConfig(
+                placement=placement, policy=policy, traffic=app,
+                injection_rate=rate, warmup_cycles=200, measurement_cycles=1200,
+                drain_cycles=700, seed=4,
+            )
+            result = run_experiment(config)
+            latencies[(app, policy)] = result.average_latency
+            energies[(app, policy)] = result.energy_per_flit
+
+    header = "application    " + "  ".join(f"{p:>15s}" for p in POLICIES)
+    print(header)
+    for app in APPLICATION_NAMES:
+        per_policy = {p: latencies[(app, p)] for p in POLICIES}
+        normalized = normalize_to_baseline(per_policy, "elevator_first")
+        row = "  ".join(f"{normalized[p]:15.3f}" for p in POLICIES)
+        load = "high" if application_spec(app).load_factor > 0.5 else "low "
+        print(f"{app:12s} {row}   ({load} load)")
+
+    average_energy = {
+        p: sum(energies[(app, p)] for app in APPLICATION_NAMES) / len(APPLICATION_NAMES)
+        for p in POLICIES
+    }
+    normalized_energy = normalize_to_baseline(average_energy, "elevator_first")
+    print("\naverage energy per flit (normalized): "
+          + "  ".join(f"{p}={normalized_energy[p]:.3f}" for p in POLICIES))
+
+
+if __name__ == "__main__":
+    main()

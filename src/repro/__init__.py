@@ -1,0 +1,114 @@
+"""repro: a reproduction of AdEle (DAC 2021).
+
+AdEle is an adaptive congestion- and energy-aware elevator-selection scheme
+for partially connected 3D networks-on-chip.  This package reimplements the
+complete system described in the paper:
+
+* the PC-3DNoC substrate -- 3D mesh topology, elevator placements, a
+  cycle-based flit-level wormhole simulator, traffic generators, energy and
+  area models (:mod:`repro.topology`, :mod:`repro.sim`, :mod:`repro.traffic`,
+  :mod:`repro.energy`, :mod:`repro.area`);
+* the baselines -- Elevator-First and CDA elevator selection
+  (:mod:`repro.routing`);
+* AdEle itself -- the offline AMOSA elevator-subset optimization
+  (:mod:`repro.core`) and the online adaptive selection policy
+  (:mod:`repro.routing.adele`);
+* the experiment harness used to regenerate the paper's tables and figures
+  (:mod:`repro.analysis`, plus the ``benchmarks/`` directory of the source
+  repository).
+
+Quickstart::
+
+    from repro import (
+        ExperimentConfig, run_experiment, optimize_elevator_subsets,
+        standard_placement,
+    )
+
+    placement = standard_placement("PS1")
+    design = optimize_elevator_subsets(placement)
+    result = run_experiment(ExperimentConfig(placement="PS1", policy="adele"))
+    print(result.average_latency)
+"""
+
+from repro.topology import (
+    Coordinate,
+    ElevatorPlacement,
+    Mesh3D,
+    optimize_placement,
+    standard_placement,
+)
+from repro.traffic import (
+    APPLICATION_NAMES,
+    ApplicationTraffic,
+    ShuffleTraffic,
+    TrafficTrace,
+    UniformTraffic,
+    make_application_traffic,
+    make_pattern,
+)
+from repro.sim import Network, SimulationResult, Simulator
+from repro.energy import EnergyModel
+from repro.area import AreaModel
+from repro.routing import (
+    AdElePolicy,
+    AdEleRoundRobinPolicy,
+    CDAPolicy,
+    ElevatorFirstPolicy,
+    MinimalPathPolicy,
+    make_policy,
+)
+from repro.core import (
+    AdEleDesign,
+    AmosaConfig,
+    AmosaOptimizer,
+    OfflineConfig,
+    optimize_elevator_subsets,
+)
+from repro.analysis import (
+    ExperimentConfig,
+    adele_design_for,
+    elevator_load_distribution,
+    latency_sweep,
+    run_experiment,
+    saturation_rate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Coordinate",
+    "Mesh3D",
+    "ElevatorPlacement",
+    "standard_placement",
+    "optimize_placement",
+    "UniformTraffic",
+    "ShuffleTraffic",
+    "ApplicationTraffic",
+    "TrafficTrace",
+    "APPLICATION_NAMES",
+    "make_pattern",
+    "make_application_traffic",
+    "Network",
+    "Simulator",
+    "SimulationResult",
+    "EnergyModel",
+    "AreaModel",
+    "ElevatorFirstPolicy",
+    "CDAPolicy",
+    "MinimalPathPolicy",
+    "AdElePolicy",
+    "AdEleRoundRobinPolicy",
+    "make_policy",
+    "AdEleDesign",
+    "OfflineConfig",
+    "AmosaConfig",
+    "AmosaOptimizer",
+    "optimize_elevator_subsets",
+    "ExperimentConfig",
+    "run_experiment",
+    "latency_sweep",
+    "saturation_rate",
+    "elevator_load_distribution",
+    "adele_design_for",
+    "__version__",
+]

@@ -1,0 +1,64 @@
+"""Per-elevator load distribution analysis (Fig. 5).
+
+The paper's Fig. 5 plots, for each policy, the traffic load of the routers
+sitting on elevator columns normalized to the average load of routers
+without an elevator.  A balanced policy shows similar bars for every
+elevator; Elevator-First shows one highly loaded elevator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.sim.engine import SimulationResult
+from repro.sim.network import Network
+
+
+@dataclass
+class ElevatorLoadDistribution:
+    """Normalized per-elevator load of one simulation.
+
+    Attributes:
+        policy: Policy name that produced the run.
+        loads: ``{elevator_index: normalized_load}`` -- mean forwarded-flit
+            load of the elevator column's routers divided by the mean load
+            of elevator-less routers.
+        baseline: Always 1.0 (the elevator-less routers' own normalization),
+            kept for symmetry with the figure's white bar.
+    """
+
+    policy: str
+    loads: Dict[int, float]
+    baseline: float = 1.0
+
+    @property
+    def max_load(self) -> float:
+        """The most loaded elevator's normalized load."""
+        return max(self.loads.values()) if self.loads else 0.0
+
+    @property
+    def min_load(self) -> float:
+        """The least loaded elevator's normalized load."""
+        return min(self.loads.values()) if self.loads else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """Max/min load ratio (1.0 = perfectly balanced)."""
+        minimum = self.min_load
+        if minimum <= 0:
+            return float("inf")
+        return self.max_load / minimum
+
+    def ordered_loads(self) -> List[float]:
+        """Normalized loads in elevator-index order."""
+        return [self.loads[index] for index in sorted(self.loads)]
+
+
+def elevator_load_distribution(
+    network: Network, result: SimulationResult
+) -> ElevatorLoadDistribution:
+    """Compute the Fig. 5 load distribution from a finished simulation."""
+    elevator_nodes = network.elevator_nodes_by_index()
+    loads = result.stats.normalized_elevator_load(elevator_nodes)
+    return ElevatorLoadDistribution(policy=result.policy_name, loads=loads)

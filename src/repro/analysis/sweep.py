@@ -1,0 +1,131 @@
+"""Latency-vs-injection-rate sweeps and saturation detection (Fig. 4).
+
+A *latency curve* records the average packet latency of one policy at a
+series of injection rates.  The paper defines the saturation point as "the
+injection rate at which latency is 10x zero-load latency"; the same
+definition is implemented here (with the factor configurable) and used by
+the Fig. 6 bench to place its low/high injection-rate operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.runner import (
+    ExperimentConfig,
+    build_network,
+    build_policy,
+    resolve_placement,
+    run_experiment,
+)
+from repro.energy.model import EnergyModel
+from repro.sim.engine import SimulationResult
+
+
+@dataclass
+class LatencyCurve:
+    """Average latency as a function of injection rate for one policy.
+
+    Attributes:
+        policy: Policy name.
+        points: ``(injection_rate, average_latency)`` pairs in sweep order.
+        results: Full simulation results keyed by injection rate.
+    """
+
+    policy: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+    results: Dict[float, SimulationResult] = field(default_factory=dict)
+
+    def add(self, injection_rate: float, result: SimulationResult) -> None:
+        """Append one sweep point."""
+        self.points.append((injection_rate, result.average_latency))
+        self.results[injection_rate] = result
+
+    def latencies(self) -> List[float]:
+        """Latency values in sweep order."""
+        return [latency for _, latency in self.points]
+
+    def rates(self) -> List[float]:
+        """Injection rates in sweep order."""
+        return [rate for rate, _ in self.points]
+
+    def latency_at(self, injection_rate: float) -> float:
+        """Latency measured at a specific injection rate."""
+        for rate, latency in self.points:
+            if rate == injection_rate:
+                return latency
+        raise KeyError(f"injection rate {injection_rate} not in sweep")
+
+
+def zero_load_latency(curve: LatencyCurve) -> float:
+    """Zero-load latency estimate: the latency at the lowest swept rate."""
+    if not curve.points:
+        raise ValueError("empty latency curve")
+    lowest_rate_point = min(curve.points, key=lambda point: point[0])
+    return lowest_rate_point[1]
+
+
+def saturation_rate(
+    curve: LatencyCurve,
+    factor: float = 10.0,
+    zero_load: Optional[float] = None,
+) -> float:
+    """Saturation injection rate (paper definition).
+
+    The first swept rate whose latency reaches ``factor`` times the zero-load
+    latency; if no swept point saturates, the highest swept rate is returned
+    (the configuration did not saturate within the sweep).
+    """
+    if factor <= 1.0:
+        raise ValueError("factor must exceed 1")
+    if not curve.points:
+        raise ValueError("empty latency curve")
+    reference = zero_load if zero_load is not None else zero_load_latency(curve)
+    threshold = factor * reference
+    for rate, latency in sorted(curve.points):
+        if latency >= threshold:
+            return rate
+    return max(rate for rate, _ in curve.points)
+
+
+def latency_sweep(
+    base_config: ExperimentConfig,
+    policies: Sequence[str],
+    injection_rates: Sequence[float],
+    energy_model: Optional[EnergyModel] = None,
+) -> Dict[str, LatencyCurve]:
+    """Sweep injection rates for several policies on one configuration.
+
+    The same placement object is reused across the sweep; each policy gets a
+    fresh network (so online state never leaks between policies), and each
+    injection rate reuses that network after a reset (so a sweep is one
+    network construction per policy, not per point).
+
+    Args:
+        base_config: Configuration whose ``injection_rate`` and ``policy``
+            fields are overridden by the sweep.
+        policies: Policy names to sweep.
+        injection_rates: Flit injection rates per node per cycle.
+        energy_model: Optional energy model recorded into each result.
+
+    Returns:
+        ``{policy: LatencyCurve}`` in the given policy order.
+    """
+    if not injection_rates:
+        raise ValueError("injection_rates must not be empty")
+    placement = resolve_placement(base_config)
+    model = energy_model if energy_model is not None else EnergyModel()
+    curves: Dict[str, LatencyCurve] = {}
+    for policy_name in policies:
+        policy_config = base_config.with_(policy=policy_name)
+        policy = build_policy(policy_config, placement)
+        network = build_network(policy_config, placement=placement, policy=policy)
+        curve = LatencyCurve(policy=policy_name)
+        for rate in injection_rates:
+            config = policy_config.with_(injection_rate=rate)
+            network.reset()
+            result = run_experiment(config, energy_model=model, network=network)
+            curve.add(rate, result)
+        curves[policy_name] = curve
+    return curves

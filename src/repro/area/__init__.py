@@ -1,0 +1,5 @@
+"""Analytic router area model (Table III substitution)."""
+
+from repro.area.model import AreaModel, AreaReport, RouterAreaBreakdown
+
+__all__ = ["AreaModel", "AreaReport", "RouterAreaBreakdown"]

@@ -1,0 +1,56 @@
+"""AdEle's offline elevator-subset optimization (the paper's core contribution).
+
+The offline stage (paper Section III-B) searches for a set of per-router
+elevator subsets ``A = {A_1, ..., A_N}`` that simultaneously minimizes
+
+* the elevator-utilization variance (Eq. 1-3), a proxy for congestion and
+  therefore latency, and
+* the average inter-layer source-elevator-destination distance (Eq. 4-5), a
+  proxy for energy,
+
+using AMOSA, an archive-based multi-objective simulated-annealing algorithm
+(Bandyopadhyay et al., IEEE TEC 2008).  The Pareto archive is then narrowed
+to a handful of representative solutions (the paper's S0-S5) from which a
+designer picks a latency- or energy-leaning configuration; the chosen
+subsets parameterize the online policy
+(:class:`repro.routing.adele.AdElePolicy`).
+"""
+
+from repro.core.objectives import (
+    ObjectiveEvaluator,
+    average_distance,
+    elevator_utilization,
+    utilization_variance,
+)
+from repro.core.pareto import ParetoArchive, dominates, pareto_front
+from repro.core.subset_search import ElevatorSubsetProblem, SubsetSolution
+from repro.core.amosa import AmosaConfig, AmosaOptimizer, ArchiveEntry
+from repro.core.selection import (
+    knee_point,
+    select_energy_leaning,
+    select_latency_leaning,
+    spread_selection,
+)
+from repro.core.pipeline import AdEleDesign, OfflineConfig, optimize_elevator_subsets
+
+__all__ = [
+    "ObjectiveEvaluator",
+    "elevator_utilization",
+    "utilization_variance",
+    "average_distance",
+    "ParetoArchive",
+    "dominates",
+    "pareto_front",
+    "ElevatorSubsetProblem",
+    "SubsetSolution",
+    "AmosaConfig",
+    "AmosaOptimizer",
+    "ArchiveEntry",
+    "spread_selection",
+    "knee_point",
+    "select_latency_leaning",
+    "select_energy_leaning",
+    "AdEleDesign",
+    "OfflineConfig",
+    "optimize_elevator_subsets",
+]

@@ -1,0 +1,234 @@
+"""The two offline optimization objectives (paper Eq. 1-5).
+
+Objective 1 -- *elevator-utilization variance*: assuming each router ``i``
+spreads its inter-layer traffic uniformly over its subset ``A_i`` (the
+round-robin assumption of Section III-B-1), the expected utilization of
+elevator ``e`` is
+
+    U_e = sum_i (1 / |A_i|) * sum_j f_ij * P_ije          (Eq. 1)
+
+with ``P_ije = 1`` iff the (inter-layer) pair ``(i, j)`` routes through
+``e`` -- i.e. iff ``e`` belongs to ``A_i``.  The objective is the variance
+of ``U_e`` over all elevators (Eq. 2-3); a low variance means balanced
+elevators and therefore fewer hotspots.
+
+Objective 2 -- *average inter-layer distance*: the hop count of the
+source-elevator-destination path, averaged over inter-layer pairs and over
+the elevators of each source's subset (Eq. 4-5); a low average distance
+means shorter paths and therefore lower energy.
+
+:class:`ObjectiveEvaluator` precomputes the per-router inter-layer traffic
+mass and per-(router, elevator) distance sums so that evaluating one
+candidate subset assignment is ``O(N * |A_i|)`` instead of ``O(N^2 * E)``,
+which is what makes the AMOSA search practical in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.topology.elevators import ElevatorPlacement
+from repro.traffic.patterns import TrafficMatrix
+
+SubsetAssignment = Mapping[int, Sequence[int]]
+
+
+def elevator_utilization(
+    subsets: SubsetAssignment,
+    placement: ElevatorPlacement,
+    traffic: TrafficMatrix,
+) -> Dict[int, float]:
+    """Expected utilization ``U_e`` of every elevator (Eq. 1).
+
+    Args:
+        subsets: Mapping of router id to the elevator indices of ``A_i``.
+        placement: Elevator placement (supplies the mesh and elevator list).
+        traffic: Pairwise traffic frequencies ``f_ij``.
+
+    Returns:
+        ``{elevator_index: U_e}`` for every elevator of the placement.
+    """
+    mesh = placement.mesh
+    utilization = {elevator.index: 0.0 for elevator in placement.elevators}
+    interlayer_mass = _interlayer_traffic_mass(placement, traffic)
+    for node, subset in subsets.items():
+        if not subset:
+            continue
+        share = interlayer_mass.get(node, 0.0) / len(subset)
+        if share == 0.0:
+            continue
+        for index in subset:
+            utilization[index] += share
+    return utilization
+
+
+def utilization_variance(
+    subsets: SubsetAssignment,
+    placement: ElevatorPlacement,
+    traffic: TrafficMatrix,
+) -> float:
+    """Variance of the elevator utilizations (Eq. 3)."""
+    utilization = elevator_utilization(subsets, placement, traffic)
+    values = list(utilization.values())
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    return sum((value - mean) ** 2 for value in values) / len(values)
+
+
+def average_distance(
+    subsets: SubsetAssignment,
+    placement: ElevatorPlacement,
+    traffic: Optional[TrafficMatrix] = None,
+) -> float:
+    """Average inter-layer source-elevator-destination distance (Eq. 5).
+
+    When ``traffic`` is supplied the per-pair distances are weighted by
+    ``f_ij`` (an extension the paper mentions for known traffic); otherwise
+    all inter-layer pairs count equally, exactly as Eq. 5.
+    """
+    mesh = placement.mesh
+    total = 0.0
+    weight_sum = 0.0
+    for src, subset in subsets.items():
+        if not subset:
+            continue
+        for dst in mesh.nodes():
+            if dst == src or mesh.same_layer(src, dst):
+                continue
+            weight = 1.0
+            if traffic is not None:
+                weight = traffic.get((src, dst), 0.0)
+                if weight == 0.0:
+                    continue
+            per_elevator = sum(
+                placement.distance_via(src, dst, placement.elevator_by_index(index))
+                for index in subset
+            ) / len(subset)
+            total += weight * per_elevator
+            weight_sum += weight
+    if weight_sum == 0.0:
+        return 0.0
+    return total / weight_sum
+
+
+def _interlayer_traffic_mass(
+    placement: ElevatorPlacement, traffic: TrafficMatrix
+) -> Dict[int, float]:
+    """Total inter-layer outgoing traffic frequency per source router."""
+    mesh = placement.mesh
+    mass: Dict[int, float] = {}
+    for (src, dst), weight in traffic.items():
+        if weight == 0.0 or mesh.same_layer(src, dst):
+            continue
+        mass[src] = mass.get(src, 0.0) + weight
+    return mass
+
+
+class ObjectiveEvaluator:
+    """Fast evaluator of (utilization variance, average distance).
+
+    Precomputes, for the given placement and traffic matrix:
+
+    * ``interlayer_mass[i]`` -- total inter-layer traffic originating at
+      router ``i`` (the inner sum of Eq. 1);
+    * ``distance_sum[i][e]`` -- the sum over inter-layer destinations ``j``
+      of ``D^e_ij`` (the inner sums of Eq. 5), optionally traffic-weighted;
+    * the Eq. 5 normalization constant.
+
+    Evaluating a candidate assignment then only iterates over routers and
+    their subsets.
+
+    Args:
+        placement: Elevator placement.
+        traffic: Traffic matrix ``f_ij``.
+        weight_distance_by_traffic: Weight Eq. 5 by ``f_ij`` instead of
+            counting all inter-layer pairs equally.
+    """
+
+    def __init__(
+        self,
+        placement: ElevatorPlacement,
+        traffic: TrafficMatrix,
+        weight_distance_by_traffic: bool = False,
+    ) -> None:
+        self.placement = placement
+        self.mesh = placement.mesh
+        self.traffic = traffic
+        self.weight_distance_by_traffic = weight_distance_by_traffic
+        self.num_elevators = placement.num_elevators
+
+        self.interlayer_mass: Dict[int, float] = _interlayer_traffic_mass(
+            placement, traffic
+        )
+        self.distance_sum: Dict[int, List[float]] = {}
+        self._distance_weight: Dict[int, float] = {}
+        self._precompute_distances()
+
+    def _precompute_distances(self) -> None:
+        mesh = self.mesh
+        placement = self.placement
+        for src in mesh.nodes():
+            sums = [0.0] * self.num_elevators
+            weight_total = 0.0
+            for dst in mesh.nodes():
+                if dst == src or mesh.same_layer(src, dst):
+                    continue
+                weight = 1.0
+                if self.weight_distance_by_traffic:
+                    weight = self.traffic.get((src, dst), 0.0)
+                    if weight == 0.0:
+                        continue
+                weight_total += weight
+                for elevator in placement.elevators:
+                    sums[elevator.index] += weight * placement.distance_via(
+                        src, dst, elevator
+                    )
+            self.distance_sum[src] = sums
+            self._distance_weight[src] = weight_total
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def utilizations(self, subsets: SubsetAssignment) -> List[float]:
+        """Expected utilization per elevator index (Eq. 1)."""
+        utilization = [0.0] * self.num_elevators
+        for node, subset in subsets.items():
+            if not subset:
+                continue
+            mass = self.interlayer_mass.get(node, 0.0)
+            if mass == 0.0:
+                continue
+            share = mass / len(subset)
+            for index in subset:
+                utilization[index] += share
+        return utilization
+
+    def utilization_variance(self, subsets: SubsetAssignment) -> float:
+        """Objective 1: variance of elevator utilizations (Eq. 3)."""
+        utilization = self.utilizations(subsets)
+        if not utilization:
+            return 0.0
+        mean = sum(utilization) / len(utilization)
+        return sum((u - mean) ** 2 for u in utilization) / len(utilization)
+
+    def average_distance(self, subsets: SubsetAssignment) -> float:
+        """Objective 2: average inter-layer distance (Eq. 5)."""
+        total = 0.0
+        weight_sum = 0.0
+        for node, subset in subsets.items():
+            if not subset:
+                continue
+            node_weight = self._distance_weight.get(node, 0.0)
+            if node_weight == 0.0:
+                continue
+            sums = self.distance_sum[node]
+            total += sum(sums[index] for index in subset) / len(subset)
+            weight_sum += node_weight
+        if weight_sum == 0.0:
+            return 0.0
+        return total / weight_sum
+
+    def evaluate(self, subsets: SubsetAssignment) -> Tuple[float, float]:
+        """Both objectives as a ``(variance, average_distance)`` tuple."""
+        return (self.utilization_variance(subsets), self.average_distance(subsets))

@@ -1,0 +1,163 @@
+"""Pareto-dominance utilities and a bounded Pareto archive.
+
+All objectives are minimized.  A point ``a`` *dominates* ``b`` when it is no
+worse in every objective and strictly better in at least one.  The archive
+keeps only mutually non-dominated points and, when it grows past its hard
+limit, thins itself with farthest-point sampling in normalized objective
+space -- a deterministic stand-in for AMOSA's clustering step that preserves
+the spread of the front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+Objectives = Tuple[float, ...]
+SolutionT = TypeVar("SolutionT")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b`` (minimization)."""
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have the same length")
+    not_worse = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return not_worse and strictly_better
+
+
+def pareto_front(points: Iterable[Sequence[float]]) -> List[Tuple[float, ...]]:
+    """The non-dominated subset of a collection of objective vectors."""
+    unique = [tuple(point) for point in points]
+    front: List[Tuple[float, ...]] = []
+    for candidate in unique:
+        if any(dominates(other, candidate) for other in unique if other != candidate):
+            continue
+        if candidate not in front:
+            front.append(candidate)
+    return front
+
+
+@dataclass
+class ArchivePoint(Generic[SolutionT]):
+    """A solution together with its objective vector."""
+
+    solution: SolutionT
+    objectives: Objectives
+
+
+class ParetoArchive(Generic[SolutionT]):
+    """A bounded archive of mutually non-dominated solutions.
+
+    Args:
+        hard_limit: Maximum number of points retained after thinning (AMOSA's
+            HL).
+        soft_limit: Size at which thinning is triggered (AMOSA's SL); must be
+            at least ``hard_limit``.
+    """
+
+    def __init__(self, hard_limit: int = 20, soft_limit: Optional[int] = None) -> None:
+        if hard_limit < 1:
+            raise ValueError("hard_limit must be >= 1")
+        if soft_limit is None:
+            soft_limit = hard_limit * 2
+        if soft_limit < hard_limit:
+            raise ValueError("soft_limit must be >= hard_limit")
+        self.hard_limit = hard_limit
+        self.soft_limit = soft_limit
+        self._points: List[ArchivePoint[SolutionT]] = []
+
+    # ------------------------------------------------------------------ #
+    # Content
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def points(self) -> List[ArchivePoint[SolutionT]]:
+        """Snapshot of the archive content."""
+        return list(self._points)
+
+    def objective_vectors(self) -> List[Objectives]:
+        """Objective vectors of all archived points."""
+        return [point.objectives for point in self._points]
+
+    def solutions(self) -> List[SolutionT]:
+        """Solutions of all archived points."""
+        return [point.solution for point in self._points]
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def dominated_by_archive(self, objectives: Sequence[float]) -> int:
+        """Number of archive points that dominate the given vector."""
+        return sum(1 for point in self._points if dominates(point.objectives, objectives))
+
+    def dominates_in_archive(self, objectives: Sequence[float]) -> int:
+        """Number of archive points dominated by the given vector."""
+        return sum(1 for point in self._points if dominates(objectives, point.objectives))
+
+    def add(self, solution: SolutionT, objectives: Sequence[float]) -> bool:
+        """Insert a solution if it is not dominated by the archive.
+
+        Points dominated by the new solution are removed.  Returns ``True``
+        when the solution entered the archive.
+        """
+        vector = tuple(float(v) for v in objectives)
+        if self.dominated_by_archive(vector) > 0:
+            return False
+        self._points = [
+            point for point in self._points if not dominates(vector, point.objectives)
+        ]
+        if any(point.objectives == vector for point in self._points):
+            return False
+        self._points.append(ArchivePoint(solution=solution, objectives=vector))
+        if len(self._points) > self.soft_limit:
+            self._thin()
+        return True
+
+    def _thin(self) -> None:
+        """Reduce the archive to ``hard_limit`` points, preserving spread."""
+        if len(self._points) <= self.hard_limit:
+            return
+        vectors = [point.objectives for point in self._points]
+        dimensions = len(vectors[0])
+        mins = [min(v[d] for v in vectors) for d in range(dimensions)]
+        maxs = [max(v[d] for v in vectors) for d in range(dimensions)]
+        spans = [max(maxs[d] - mins[d], 1e-12) for d in range(dimensions)]
+
+        def normalize(vector: Objectives) -> Tuple[float, ...]:
+            return tuple((vector[d] - mins[d]) / spans[d] for d in range(dimensions))
+
+        normalized = [normalize(v) for v in vectors]
+
+        # Always keep the per-objective extremes, then farthest-point sample.
+        keep: List[int] = []
+        for d in range(dimensions):
+            best = min(range(len(vectors)), key=lambda i: vectors[i][d])
+            if best not in keep:
+                keep.append(best)
+        while len(keep) < min(self.hard_limit, len(self._points)):
+            best_index = None
+            best_distance = -1.0
+            for i in range(len(self._points)):
+                if i in keep:
+                    continue
+                distance = min(
+                    sum((normalized[i][d] - normalized[k][d]) ** 2 for d in range(dimensions))
+                    for k in keep
+                )
+                if distance > best_distance:
+                    best_distance = distance
+                    best_index = i
+            if best_index is None:
+                break
+            keep.append(best_index)
+        self._points = [self._points[i] for i in sorted(keep)]
+
+    def invariant_holds(self) -> bool:
+        """True when no archive point dominates another (test helper)."""
+        for i, a in enumerate(self._points):
+            for j, b in enumerate(self._points):
+                if i != j and dominates(a.objectives, b.objectives):
+                    return False
+        return True

@@ -1,0 +1,210 @@
+"""End-to-end AdEle offline pipeline.
+
+``optimize_elevator_subsets`` glues the pieces together the way the paper's
+Fig. 1 describes the offline stage:
+
+    elevator configuration + assumed traffic pattern
+        -> AMOSA search over per-router elevator subsets
+        -> Pareto archive of (utilization variance, average distance) points
+        -> representative solutions (S0 ... S_k)
+        -> chosen solution -> AdEle online policy configuration
+
+The result object (:class:`AdEleDesign`) keeps the whole archive so examples
+and benches can plot the front (Fig. 3), simulate several selected solutions
+(Table II), or build an :class:`~repro.routing.adele.AdElePolicy` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.amosa import AmosaConfig, AmosaOptimizer, AmosaResult, ArchiveEntry
+from repro.core.selection import (
+    knee_point,
+    select_energy_leaning,
+    select_latency_leaning,
+    spread_selection,
+)
+from repro.core.subset_search import ElevatorSubsetProblem, SubsetSolution
+from repro.routing.adele import AdElePolicy, AdEleRoundRobinPolicy
+from repro.topology.elevators import ElevatorPlacement
+from repro.traffic.patterns import TrafficMatrix, UniformTraffic
+
+
+@dataclass(frozen=True)
+class OfflineConfig:
+    """Configuration of the offline optimization stage.
+
+    Attributes:
+        amosa: AMOSA hyper-parameters.
+        max_subset_size: Cap on each router's subset size (hardware budget of
+            the per-elevator cost registers); ``None`` = unlimited.
+        weight_distance_by_traffic: Weight the distance objective by the
+            traffic matrix instead of counting inter-layer pairs equally.
+        num_representatives: How many spread solutions to expose (S0-S5 in
+            the paper corresponds to 6).
+    """
+
+    amosa: AmosaConfig = field(default_factory=AmosaConfig)
+    max_subset_size: Optional[int] = None
+    weight_distance_by_traffic: bool = False
+    num_representatives: int = 6
+
+    def __post_init__(self) -> None:
+        if self.num_representatives < 1:
+            raise ValueError("num_representatives must be >= 1")
+
+
+@dataclass
+class AdEleDesign:
+    """Result of the offline stage.
+
+    Attributes:
+        placement: The elevator placement the design targets.
+        problem: The subset-assignment problem instance (gives access to the
+            objective evaluator).
+        result: Raw AMOSA result (archive + explored samples).
+        representatives: Spread selection along the front (S0, S1, ...).
+        selected: The solution chosen for deployment (defaults to the knee
+            of the front -- the paper's designer picks a point that trades a
+            small distance/energy increase for a large variance/latency
+            reduction, which is exactly what the knee captures).
+        baseline_objectives: Objectives of the Elevator-First assignment,
+            shown as the reference point in Fig. 3.
+    """
+
+    placement: ElevatorPlacement
+    problem: ElevatorSubsetProblem
+    result: AmosaResult[SubsetSolution]
+    representatives: List[ArchiveEntry[SubsetSolution]]
+    selected: ArchiveEntry[SubsetSolution]
+    baseline_objectives: Tuple[float, float]
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    def pareto_points(self) -> List[Tuple[float, ...]]:
+        """Objective vectors of the final archive (Fig. 3 front)."""
+        return self.result.pareto_objectives()
+
+    def explored_points(self) -> List[Tuple[float, ...]]:
+        """Sampled objective vectors of all explored solutions (Fig. 3 dots)."""
+        return list(self.result.explored)
+
+    def representative_objectives(self) -> List[Tuple[float, ...]]:
+        """Objectives of the representative (S0...S_k) solutions."""
+        return [entry.objectives for entry in self.representatives]
+
+    def subsets_for(self, entry: ArchiveEntry[SubsetSolution]) -> Dict[int, Tuple[int, ...]]:
+        """Per-router elevator subsets of an archive entry."""
+        return entry.solution.subsets()
+
+    def selected_subsets(self) -> Dict[int, Tuple[int, ...]]:
+        """Per-router elevator subsets of the selected solution."""
+        return self.subsets_for(self.selected)
+
+    # ------------------------------------------------------------------ #
+    # Alternative selections
+    # ------------------------------------------------------------------ #
+    def latency_leaning(self) -> ArchiveEntry[SubsetSolution]:
+        """Archive entry minimizing utilization variance."""
+        return select_latency_leaning(self.result.archive)
+
+    def energy_leaning(self) -> ArchiveEntry[SubsetSolution]:
+        """Archive entry minimizing average distance."""
+        return select_energy_leaning(self.result.archive)
+
+    def knee(self) -> ArchiveEntry[SubsetSolution]:
+        """Knee point of the front (balanced trade-off)."""
+        return knee_point(self.result.archive)
+
+    def select(self, entry: ArchiveEntry[SubsetSolution]) -> None:
+        """Override the deployed solution (designer's trade-off choice)."""
+        self.selected = entry
+
+    # ------------------------------------------------------------------ #
+    # Policy construction
+    # ------------------------------------------------------------------ #
+    def to_policy(
+        self,
+        entry: Optional[ArchiveEntry[SubsetSolution]] = None,
+        low_traffic_threshold: Optional[float] = None,
+        seed: int = 0,
+    ) -> AdElePolicy:
+        """Build the AdEle online policy for an archive entry.
+
+        Args:
+            entry: Archive entry to deploy; defaults to :attr:`selected`.
+            low_traffic_threshold: Override of the minimal-path-override
+                threshold (the paper tunes it per configuration).
+            seed: RNG seed of the online policy.
+        """
+        chosen = entry if entry is not None else self.selected
+        kwargs = {"subsets": chosen.solution.subsets(), "seed": seed}
+        if low_traffic_threshold is not None:
+            kwargs["low_traffic_threshold"] = low_traffic_threshold
+        return AdElePolicy(self.placement, **kwargs)
+
+    def to_round_robin_policy(
+        self, entry: Optional[ArchiveEntry[SubsetSolution]] = None, seed: int = 0
+    ) -> AdEleRoundRobinPolicy:
+        """Build the AdEle-RR ablation policy for an archive entry."""
+        chosen = entry if entry is not None else self.selected
+        return AdEleRoundRobinPolicy(
+            self.placement, subsets=chosen.solution.subsets(), seed=seed
+        )
+
+
+def optimize_elevator_subsets(
+    placement: ElevatorPlacement,
+    traffic: Optional[TrafficMatrix] = None,
+    config: Optional[OfflineConfig] = None,
+) -> AdEleDesign:
+    """Run AdEle's offline optimization for a placement.
+
+    Args:
+        placement: Elevator placement of the target PC-3DNoC.
+        traffic: Traffic matrix assumed during optimization.  Defaults to the
+            uniform matrix -- the paper's "most pessimistic assumption".
+        config: Offline-stage configuration.
+
+    Returns:
+        An :class:`AdEleDesign` with the Pareto archive, representative
+        solutions and a default (latency-leaning) selection.
+    """
+    if config is None:
+        config = OfflineConfig()
+    if traffic is None:
+        traffic = UniformTraffic(placement.mesh).traffic_matrix()
+
+    problem = ElevatorSubsetProblem(
+        placement,
+        traffic,
+        max_subset_size=config.max_subset_size,
+        weight_distance_by_traffic=config.weight_distance_by_traffic,
+    )
+    optimizer = AmosaOptimizer(problem, config=config.amosa)
+    # Seed the search with the Elevator-First assignment, the maximally
+    # redundant assignment and the nearest-k heuristics in between, so the
+    # archive spans the whole trade-off even when the annealing budget is
+    # small relative to the mesh size.
+    seeds = [problem.nearest_elevator_solution(), problem.full_subset_solution()]
+    for k in range(2, min(problem.max_subset_size, problem.num_elevators) + 1):
+        seeds.append(problem.nearest_k_solution(k))
+    result = optimizer.run(seeds=seeds)
+    if not result.archive:
+        raise RuntimeError("AMOSA produced an empty archive")
+
+    representatives = spread_selection(result.archive, config.num_representatives)
+    selected = knee_point(result.archive)
+    baseline = problem.evaluate(problem.nearest_elevator_solution())
+
+    return AdEleDesign(
+        placement=placement,
+        problem=problem,
+        result=result,
+        representatives=representatives,
+        selected=selected,
+        baseline_objectives=baseline,
+    )

@@ -1,0 +1,193 @@
+"""Solution encoding and neighbourhood moves for the elevator-subset search.
+
+A solution assigns every router ``i`` a non-empty subset ``A_i`` of elevator
+indices.  The search space is huge (``(2^E - 1)^N``), which is why the paper
+uses a stochastic multi-objective search.  The problem object provides what
+the AMOSA optimizer needs: random solutions, perturbations (add / remove /
+swap one elevator at one router, occasionally re-randomizing a router), and
+objective evaluation through :class:`~repro.core.objectives.ObjectiveEvaluator`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.core.objectives import ObjectiveEvaluator
+from repro.topology.elevators import ElevatorPlacement
+from repro.traffic.patterns import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class SubsetSolution:
+    """An immutable assignment of elevator subsets to routers.
+
+    Attributes:
+        assignment: Mapping of router id to a frozen set of elevator indices.
+    """
+
+    assignment: Dict[int, FrozenSet[int]]
+
+    def subsets(self) -> Dict[int, Tuple[int, ...]]:
+        """The assignment with sorted tuples (stable ordering for policies)."""
+        return {node: tuple(sorted(subset)) for node, subset in self.assignment.items()}
+
+    def subset_for(self, node: int) -> Tuple[int, ...]:
+        """Sorted elevator indices of one router's subset."""
+        return tuple(sorted(self.assignment[node]))
+
+    def average_subset_size(self) -> float:
+        """Mean subset size over all routers."""
+        if not self.assignment:
+            return 0.0
+        return sum(len(s) for s in self.assignment.values()) / len(self.assignment)
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((node, subset) for node, subset in self.assignment.items())))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SubsetSolution):
+            return NotImplemented
+        return self.assignment == other.assignment
+
+
+class ElevatorSubsetProblem:
+    """The multi-objective elevator-subset assignment problem.
+
+    Args:
+        placement: Elevator placement.
+        traffic: Traffic matrix assumed by the offline optimization
+            (the paper uses uniform traffic as the pessimistic default).
+        max_subset_size: Optional cap on ``|A_i|``; ``None`` allows up to the
+            full elevator set.  A small cap models the hardware budget of the
+            per-elevator cost registers in the AdEle router.
+        weight_distance_by_traffic: Forwarded to the objective evaluator.
+    """
+
+    def __init__(
+        self,
+        placement: ElevatorPlacement,
+        traffic: TrafficMatrix,
+        max_subset_size: Optional[int] = None,
+        weight_distance_by_traffic: bool = False,
+    ) -> None:
+        if placement.num_elevators < 1:
+            raise ValueError("the placement must contain at least one elevator")
+        if max_subset_size is not None and max_subset_size < 1:
+            raise ValueError("max_subset_size must be >= 1 when given")
+        self.placement = placement
+        self.mesh = placement.mesh
+        self.num_elevators = placement.num_elevators
+        self.max_subset_size = (
+            min(max_subset_size, self.num_elevators)
+            if max_subset_size is not None
+            else self.num_elevators
+        )
+        self.evaluator = ObjectiveEvaluator(
+            placement, traffic, weight_distance_by_traffic=weight_distance_by_traffic
+        )
+
+    # ------------------------------------------------------------------ #
+    # Solution generation
+    # ------------------------------------------------------------------ #
+    def random_solution(self, rng: random.Random) -> SubsetSolution:
+        """A uniformly random feasible assignment."""
+        assignment: Dict[int, FrozenSet[int]] = {}
+        for node in self.mesh.nodes():
+            size = rng.randint(1, self.max_subset_size)
+            subset = frozenset(rng.sample(range(self.num_elevators), size))
+            assignment[node] = subset
+        return SubsetSolution(assignment=assignment)
+
+    def nearest_elevator_solution(self) -> SubsetSolution:
+        """The Elevator-First assignment (singleton nearest elevator).
+
+        Used both as a seed for the search and as the baseline point the
+        paper's Fig. 3 marks as "Elevator-First".
+        """
+        assignment = {
+            node: frozenset({self.placement.nearest_elevator(node).index})
+            for node in self.mesh.nodes()
+        }
+        return SubsetSolution(assignment=assignment)
+
+    def nearest_k_solution(self, k: int) -> SubsetSolution:
+        """Every router gets its ``k`` nearest elevators.
+
+        These heuristic assignments (k = 1 is exactly Elevator-First, k = 2/3
+        trade a small distance increase for a large variance reduction) seed
+        the AMOSA search so the archive contains good low-detour solutions
+        even on large meshes where the annealing budget only perturbs a
+        fraction of the routers.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        k = min(k, self.max_subset_size, self.num_elevators)
+        assignment: Dict[int, FrozenSet[int]] = {}
+        for node in self.mesh.nodes():
+            coord = self.mesh.coordinate(node)
+            ordered = sorted(
+                self.placement.elevators,
+                key=lambda e: (abs(coord.x - e.x) + abs(coord.y - e.y), e.index),
+            )
+            assignment[node] = frozenset(e.index for e in ordered[:k])
+        return SubsetSolution(assignment=assignment)
+
+    def full_subset_solution(self) -> SubsetSolution:
+        """Every router may use every elevator (maximum redundancy seed)."""
+        full = frozenset(range(self.num_elevators))
+        if self.max_subset_size < self.num_elevators:
+            full = frozenset(range(self.max_subset_size))
+        return SubsetSolution(
+            assignment={node: full for node in self.mesh.nodes()}
+        )
+
+    # ------------------------------------------------------------------ #
+    # Neighbourhood
+    # ------------------------------------------------------------------ #
+    def perturb(self, solution: SubsetSolution, rng: random.Random) -> SubsetSolution:
+        """A random neighbour of a solution (one router's subset modified)."""
+        assignment = dict(solution.assignment)
+        node = rng.choice(list(assignment.keys()))
+        subset = set(assignment[node])
+        move = rng.random()
+        if move < 0.1:
+            # Occasionally re-randomize the router completely to escape
+            # local structure.
+            size = rng.randint(1, self.max_subset_size)
+            subset = set(rng.sample(range(self.num_elevators), size))
+        elif move < 0.45 and len(subset) < self.max_subset_size:
+            candidates = [e for e in range(self.num_elevators) if e not in subset]
+            if candidates:
+                subset.add(rng.choice(candidates))
+        elif move < 0.75 and len(subset) > 1:
+            subset.remove(rng.choice(sorted(subset)))
+        else:
+            candidates = [e for e in range(self.num_elevators) if e not in subset]
+            if candidates and subset:
+                subset.remove(rng.choice(sorted(subset)))
+                subset.add(rng.choice(candidates))
+        if not subset:
+            subset = {rng.randrange(self.num_elevators)}
+        assignment[node] = frozenset(subset)
+        return SubsetSolution(assignment=assignment)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, solution: SubsetSolution) -> Tuple[float, float]:
+        """Objective vector ``(utilization variance, average distance)``."""
+        return self.evaluator.evaluate(solution.subsets())
+
+    def is_feasible(self, solution: SubsetSolution) -> bool:
+        """Feasibility check used by tests: every router has a valid subset."""
+        nodes = set(self.mesh.nodes())
+        if set(solution.assignment.keys()) != nodes:
+            return False
+        for subset in solution.assignment.values():
+            if not subset or len(subset) > self.max_subset_size:
+                return False
+            if any(not 0 <= index < self.num_elevators for index in subset):
+                return False
+        return True

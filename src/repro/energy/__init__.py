@@ -1,0 +1,5 @@
+"""Energy model for the PC-3DNoC (Fig. 6 / Table II energy metrics)."""
+
+from repro.energy.model import EnergyModel, EnergyBreakdown
+
+__all__ = ["EnergyModel", "EnergyBreakdown"]

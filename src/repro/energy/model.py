@@ -1,0 +1,139 @@
+"""Per-event NoC energy model.
+
+The paper reports energy per flit (nJ) from Access Noxim's built-in energy
+model.  We substitute an event-count model: every router traversal, every
+horizontal link traversal and every vertical (TSV) link traversal of a flit
+costs a fixed energy.  The default constants are calibrated so that a
+4-layer, 64-node network under moderate load lands in the same
+tens-of-nanojoules-per-flit regime as Table II; what the reproduction relies
+on is only *relative* energy (normalized to Elevator-First in Fig. 6/7d),
+which an event-count model captures: longer (non-minimal) paths cost
+proportionally more energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim.stats import SimulationStats
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy totals split by component (Joules).
+
+    Attributes:
+        router_energy: Energy spent in router datapaths (buffers, crossbar,
+            arbitration) over all flit traversals.
+        horizontal_link_energy: Energy spent driving horizontal inter-router
+            wires.
+        vertical_link_energy: Energy spent driving TSV bundles.
+    """
+
+    router_energy: float
+    horizontal_link_energy: float
+    vertical_link_energy: float
+
+    @property
+    def total(self) -> float:
+        """Total energy in Joules."""
+        return self.router_energy + self.horizontal_link_energy + self.vertical_link_energy
+
+    def as_dict(self) -> Dict[str, float]:
+        """Breakdown as a plain dictionary (for reports)."""
+        return {
+            "router": self.router_energy,
+            "horizontal_link": self.horizontal_link_energy,
+            "vertical_link": self.vertical_link_energy,
+            "total": self.total,
+        }
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Event-count energy model.
+
+    Attributes:
+        flit_width_bits: Flit width in bits (default 64, a common NoC width).
+        router_energy_per_bit: Energy per bit for one router traversal (J).
+        link_energy_per_bit: Energy per bit for one horizontal link hop (J).
+        tsv_energy_per_bit: Energy per bit for one vertical TSV hop (J);
+            TSVs are shorter and lower-capacitance than planar links, hence
+            the smaller default.
+    """
+
+    flit_width_bits: int = 64
+    router_energy_per_bit: float = 0.98e-12
+    link_energy_per_bit: float = 0.60e-12
+    tsv_energy_per_bit: float = 0.12e-12
+
+    def __post_init__(self) -> None:
+        if self.flit_width_bits <= 0:
+            raise ValueError("flit_width_bits must be positive")
+        for name in ("router_energy_per_bit", "link_energy_per_bit", "tsv_energy_per_bit"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Per-event energies
+    # ------------------------------------------------------------------ #
+    @property
+    def router_energy_per_flit(self) -> float:
+        """Energy of one flit traversing one router (J)."""
+        return self.router_energy_per_bit * self.flit_width_bits
+
+    @property
+    def link_energy_per_flit(self) -> float:
+        """Energy of one flit crossing one horizontal link (J)."""
+        return self.link_energy_per_bit * self.flit_width_bits
+
+    @property
+    def tsv_energy_per_flit(self) -> float:
+        """Energy of one flit crossing one vertical TSV link (J)."""
+        return self.tsv_energy_per_bit * self.flit_width_bits
+
+    # ------------------------------------------------------------------ #
+    # Aggregation over a simulation
+    # ------------------------------------------------------------------ #
+    def breakdown(self, stats: SimulationStats) -> EnergyBreakdown:
+        """Energy breakdown for a finished simulation."""
+        router_events = sum(stats.router_traversals.values())
+        return EnergyBreakdown(
+            router_energy=router_events * self.router_energy_per_flit,
+            horizontal_link_energy=(
+                stats.horizontal_link_traversals * self.link_energy_per_flit
+            ),
+            vertical_link_energy=(
+                stats.vertical_link_traversals * self.tsv_energy_per_flit
+            ),
+        )
+
+    def total_energy(self, stats: SimulationStats) -> float:
+        """Total network energy (J) over the measurement window."""
+        return self.breakdown(stats).total
+
+    def energy_per_flit(self, stats: SimulationStats) -> float:
+        """Mean energy per delivered flit (J); 0 when nothing was delivered."""
+        if stats.flits_delivered == 0:
+            return 0.0
+        return self.total_energy(stats) / stats.flits_delivered
+
+    def energy_per_flit_nj(self, stats: SimulationStats) -> float:
+        """Mean energy per delivered flit in nanojoules (Table II units)."""
+        return self.energy_per_flit(stats) * 1e9
+
+    def path_energy(self, horizontal_hops: int, vertical_hops: int) -> float:
+        """Energy of one flit following a path with the given hop counts.
+
+        Counts one router traversal per hop plus the final ejection router,
+        matching how the simulator counts router traversals.
+        """
+        if horizontal_hops < 0 or vertical_hops < 0:
+            raise ValueError("hop counts must be non-negative")
+        routers = horizontal_hops + vertical_hops + 1
+        return (
+            routers * self.router_energy_per_flit
+            + horizontal_hops * self.link_energy_per_flit
+            + vertical_hops * self.tsv_energy_per_flit
+        )

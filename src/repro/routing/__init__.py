@@ -1,0 +1,72 @@
+"""Routing and elevator-selection policies.
+
+The routing substrate follows the paper's Table I: Elevator-First routing
+provides the deadlock-free path discipline (XY within a layer, assigned
+elevator for inter-layer traffic, two virtual networks), and the policies in
+this package differ only in *which elevator* they assign to each packet:
+
+* :class:`~repro.routing.elevator_first.ElevatorFirstPolicy` -- the nearest
+  elevator to the source (baseline 1).
+* :class:`~repro.routing.cda.CDAPolicy` -- congestion-aware dynamic
+  assignment using (oracular) global buffer-occupancy information
+  (baseline 2).
+* :class:`~repro.routing.adele.AdElePolicy` -- the paper's contribution:
+  per-router elevator subsets from the offline optimization plus the online
+  enhanced round-robin with congestion-based skipping and a low-traffic
+  minimal-path override.
+* :class:`~repro.routing.adele.AdEleRoundRobinPolicy` -- the AdEle-RR
+  ablation (plain round-robin over the subsets, Fig. 4(d)/(h)).
+* :class:`~repro.routing.minimal.MinimalPathPolicy` -- always the elevator
+  on the minimal path (energy-optimal, congestion-oblivious), used by
+  ablation benches.
+"""
+
+from repro.routing.base import (
+    ElevatorSelectionPolicy,
+    RouteComputation,
+    compute_output_port,
+)
+from repro.routing.elevator_first import ElevatorFirstPolicy
+from repro.routing.cda import CDAPolicy
+from repro.routing.minimal import MinimalPathPolicy
+from repro.routing.adele import AdElePolicy, AdEleRoundRobinPolicy, AdEleRouterState
+
+__all__ = [
+    "ElevatorSelectionPolicy",
+    "RouteComputation",
+    "compute_output_port",
+    "ElevatorFirstPolicy",
+    "CDAPolicy",
+    "MinimalPathPolicy",
+    "AdElePolicy",
+    "AdEleRoundRobinPolicy",
+    "AdEleRouterState",
+    "make_policy",
+]
+
+
+def make_policy(name, placement, **kwargs):
+    """Create an elevator-selection policy by name.
+
+    Args:
+        name: One of ``elevator_first``, ``cda``, ``adele``, ``adele_rr``,
+            ``minimal``.
+        placement: The :class:`~repro.topology.elevators.ElevatorPlacement`
+            the policy operates on.
+        **kwargs: Policy-specific options (e.g. ``subsets`` for AdEle).
+
+    Raises:
+        KeyError: For unknown policy names.
+    """
+    key = str(name).lower()
+    factories = {
+        "elevator_first": ElevatorFirstPolicy,
+        "elevatorfirst": ElevatorFirstPolicy,
+        "cda": CDAPolicy,
+        "adele": AdElePolicy,
+        "adele_rr": AdEleRoundRobinPolicy,
+        "minimal": MinimalPathPolicy,
+    }
+    if key not in factories:
+        raise KeyError(f"unknown policy {name!r}; available: {sorted(factories)}")
+    return factories[key](placement, **kwargs)

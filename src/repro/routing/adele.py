@@ -1,0 +1,269 @@
+"""AdEle's online adaptive elevator selection (paper Section III-C).
+
+Every router owns a small amount of local state per elevator in its offline
+subset ``A_i``:
+
+* an EWMA latency cost ``C_k`` updated from the source-side serialization
+  slack of each packet sent through elevator ``k`` (Eq. 6-7, ``a = 0.2``);
+* a relative cost ``C_rel`` (Eq. 8) and a derived skip probability
+  ``PS_ik`` (Eq. 9, exploration term ``xi = 0.05``).
+
+Selection is an *enhanced round-robin*: elevators are visited in RR order
+and a congested elevator is skipped with probability ``PS_ik``; the
+exploration term guarantees every elevator keeps a non-zero chance of being
+chosen so its cost estimate can recover.  When every cost is below a
+threshold (low traffic), AdEle instead picks the elevator on the minimal
+path to save energy (the "low traffic override" of Fig. 1).
+
+:class:`AdEleRoundRobinPolicy` is the paper's AdEle-RR ablation: the same
+subsets, plain round-robin, no skipping and no override (Fig. 4(d)/(h)).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.routing.base import ElevatorSelectionPolicy
+from repro.topology.elevators import Elevator, ElevatorPlacement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Network
+
+#: Default EWMA coefficient of Eq. 7 ("we have experimentally found a = 0.2").
+DEFAULT_ALPHA = 0.2
+#: Default exploration probability of Eq. 9 ("xi = 0.05 in our experiments").
+DEFAULT_XI = 0.05
+#: Default low-traffic threshold on the EWMA cost below which AdEle switches
+#: to minimal-path selection.  The paper tunes this per configuration; this
+#: default keeps the override active only when source-side blocking is
+#: essentially absent.
+DEFAULT_LOW_TRAFFIC_THRESHOLD = 0.25
+
+
+@dataclass
+class AdEleRouterState:
+    """Per-router online state.
+
+    Attributes:
+        subset: The elevators the router may select from (``A_i``).
+        costs: EWMA latency cost per elevator index (``C_k`` of Eq. 7).
+        pointer: Round-robin position (index into ``subset``).
+        selections: Count of selections per elevator index (introspection).
+    """
+
+    subset: List[Elevator]
+    costs: Dict[int, float] = field(default_factory=dict)
+    pointer: int = 0
+    selections: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.subset:
+            raise ValueError("an AdEle router subset must contain >= 1 elevator")
+        for elevator in self.subset:
+            self.costs.setdefault(elevator.index, 0.0)
+            self.selections.setdefault(elevator.index, 0)
+
+    def relative_cost(self, elevator_index: int) -> float:
+        """Relative cost ``C_rel`` of Eq. 8 (uniform when all costs are zero)."""
+        total = sum(self.costs[e.index] for e in self.subset)
+        if total <= 0.0:
+            return 1.0 / len(self.subset)
+        return self.costs[elevator_index] / total
+
+    def update_cost(self, elevator_index: int, latency_metric: float, alpha: float) -> None:
+        """EWMA cost update of Eq. 7."""
+        if elevator_index not in self.costs:
+            return
+        old = self.costs[elevator_index]
+        self.costs[elevator_index] = alpha * max(latency_metric, 0.0) + (1.0 - alpha) * old
+
+    def all_costs_below(self, threshold: float) -> bool:
+        """True when every elevator's cost is below the low-traffic threshold."""
+        return all(self.costs[e.index] < threshold for e in self.subset)
+
+
+class AdElePolicy(ElevatorSelectionPolicy):
+    """AdEle online elevator selection (enhanced round-robin + override).
+
+    Args:
+        placement: Elevator placement.
+        subsets: Mapping of node id to the elevator indices of its offline
+            subset ``A_i``.  Nodes without an entry default to the full
+            healthy elevator set (equivalent to no offline restriction).
+        alpha: EWMA coefficient ``a`` of Eq. 7.
+        xi: Exploration probability of Eq. 9.
+        low_traffic_threshold: Cost threshold of the minimal-path override;
+            ``None`` disables the override.
+        seed: RNG seed for the probabilistic skipping.
+    """
+
+    name = "adele"
+
+    def __init__(
+        self,
+        placement: ElevatorPlacement,
+        subsets: Optional[Dict[int, Sequence[int]]] = None,
+        alpha: float = DEFAULT_ALPHA,
+        xi: float = DEFAULT_XI,
+        low_traffic_threshold: Optional[float] = DEFAULT_LOW_TRAFFIC_THRESHOLD,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(placement)
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be within [0, 1]")
+        if not 0.0 <= xi < 1.0:
+            raise ValueError("xi must be within [0, 1)")
+        self.alpha = alpha
+        self.xi = xi
+        self.low_traffic_threshold = low_traffic_threshold
+        self._seed = seed
+        self.rng = random.Random(seed)
+        self._subset_spec = dict(subsets) if subsets else {}
+        self.states: Dict[int, AdEleRouterState] = {}
+        self._build_states()
+
+    # ------------------------------------------------------------------ #
+    # State construction
+    # ------------------------------------------------------------------ #
+    def _build_states(self) -> None:
+        self.states = {}
+        healthy = self.placement.healthy_elevators()
+        for node in self.mesh.nodes():
+            indices = self._subset_spec.get(node)
+            if indices is None:
+                subset = list(healthy)
+            else:
+                subset = [
+                    self.placement.elevator_by_index(index)
+                    for index in indices
+                    if not self.placement.is_faulty(index)
+                ]
+                if not subset:
+                    subset = list(healthy)
+            self.states[node] = AdEleRouterState(subset=subset)
+
+    def reset(self) -> None:
+        """Reset RNG, costs and pointers (fresh simulation)."""
+        self.rng = random.Random(self._seed)
+        self._build_states()
+
+    # ------------------------------------------------------------------ #
+    # Selection
+    # ------------------------------------------------------------------ #
+    def _select(
+        self,
+        source: int,
+        destination: int,
+        network: Optional["Network"],
+        cycle: int,
+    ) -> Elevator:
+        state = self.states[source]
+        subset = state.subset
+
+        if (
+            self.low_traffic_threshold is not None
+            and state.all_costs_below(self.low_traffic_threshold)
+        ):
+            elevator = self.placement.minimal_path_elevator(
+                source, destination, candidates=subset
+            )
+            state.selections[elevator.index] += 1
+            return elevator
+
+        elevator = self._enhanced_round_robin(state)
+        state.selections[elevator.index] += 1
+        return elevator
+
+    def _enhanced_round_robin(self, state: AdEleRouterState) -> Elevator:
+        subset = state.subset
+        size = len(subset)
+        if size == 1:
+            return subset[0]
+        # Visit elevators in RR order, skipping congested ones probabilistically.
+        # PS is bounded by (1 - xi), so a full pass selects something with
+        # probability >= 1 - (1 - xi)^size; the guard below caps the search.
+        max_visits = 4 * size
+        position = state.pointer
+        for _ in range(max_visits):
+            elevator = subset[position % size]
+            position += 1
+            skip_probability = self.skip_probability(state, elevator.index)
+            if self.rng.random() >= skip_probability:
+                state.pointer = position % size
+                return elevator
+        # Every candidate was skipped repeatedly: fall back to the least
+        # congested elevator so forward progress is guaranteed.
+        best = min(subset, key=lambda e: (state.costs[e.index], e.index))
+        state.pointer = (subset.index(best) + 1) % size
+        return best
+
+    def skip_probability(self, state: AdEleRouterState, elevator_index: int) -> float:
+        """Skip probability ``PS_ik`` of Eq. 9."""
+        size = len(state.subset)
+        relative = state.relative_cost(elevator_index)
+        if relative >= 2.0 / size:
+            return 1.0 - self.xi
+        if relative >= 1.0 / size:
+            return size * (relative - 1.0 / size) * (1.0 - self.xi)
+        return 0.0
+
+    # ------------------------------------------------------------------ #
+    # Online feedback
+    # ------------------------------------------------------------------ #
+    def notify_source_latency(
+        self, source: int, elevator_index: int, latency_metric: float, cycle: int = 0
+    ) -> None:
+        state = self.states.get(source)
+        if state is not None:
+            state.update_cost(elevator_index, latency_metric, self.alpha)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def subset_indices(self, node: int) -> List[int]:
+        """Elevator indices of a node's subset (for tests and reports)."""
+        return [elevator.index for elevator in self.states[node].subset]
+
+    def cost(self, node: int, elevator_index: int) -> float:
+        """Current EWMA cost of an elevator at a node."""
+        return self.states[node].costs[elevator_index]
+
+
+class AdEleRoundRobinPolicy(AdElePolicy):
+    """AdEle-RR ablation: plain round-robin over the subsets.
+
+    No congestion-based skipping and no low-traffic override; this isolates
+    the contribution of the offline subsets from the online policy, matching
+    the "AdEle-RR" curve of Fig. 4(d)/(h).
+    """
+
+    name = "adele_rr"
+
+    def __init__(
+        self,
+        placement: ElevatorPlacement,
+        subsets: Optional[Dict[int, Sequence[int]]] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            placement,
+            subsets=subsets,
+            alpha=DEFAULT_ALPHA,
+            xi=DEFAULT_XI,
+            low_traffic_threshold=None,
+            seed=seed,
+        )
+
+    def _enhanced_round_robin(self, state: AdEleRouterState) -> Elevator:
+        subset = state.subset
+        elevator = subset[state.pointer % len(subset)]
+        state.pointer = (state.pointer + 1) % len(subset)
+        return elevator
+
+    def notify_source_latency(
+        self, source: int, elevator_index: int, latency_metric: float, cycle: int = 0
+    ) -> None:
+        # Plain RR ignores latency feedback entirely.
+        return None

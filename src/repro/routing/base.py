@@ -1,0 +1,222 @@
+"""Routing primitives shared by all elevator-selection policies.
+
+Two concerns are separated, mirroring the paper's architecture:
+
+* *Route computation* (:func:`compute_output_port`,
+  :class:`RouteComputation`): the deadlock-free Elevator-First path
+  discipline -- XY routing within a layer, travel to the packet's assigned
+  elevator column, vertical traversal, then XY to the destination.  This is
+  identical for every policy (Table I: "Routing and VC selection:
+  Elevator-First ... used to avoid deadlock").
+* *Elevator selection* (:class:`ElevatorSelectionPolicy`): which elevator a
+  source router assigns to an inter-layer packet.  This is the knob the
+  paper studies; Elevator-First, CDA and AdEle provide different
+  implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, TYPE_CHECKING
+
+from repro.sim.flit import Packet
+from repro.sim.router import Port
+from repro.topology.elevators import Elevator, ElevatorPlacement
+from repro.topology.mesh3d import Mesh3D
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Network
+
+#: Virtual network for packets that ascend (destination layer above source).
+ASCEND_VN = 0
+#: Virtual network for packets that descend (destination layer below source).
+DESCEND_VN = 1
+
+
+def virtual_network_for(mesh: Mesh3D, source: int, destination: int) -> int:
+    """Virtual network assignment of the Elevator-First discipline.
+
+    Packets whose destination layer is above the source travel on the ascend
+    network, packets going down on the descend network, and intra-layer
+    packets (which never take a vertical link) default to the ascend network.
+    """
+    src_z = mesh.coordinate(source).z
+    dst_z = mesh.coordinate(destination).z
+    if dst_z < src_z:
+        return DESCEND_VN
+    return ASCEND_VN
+
+
+def compute_output_port(
+    mesh: Mesh3D,
+    current: int,
+    destination: int,
+    elevator_column: Optional[Tuple[int, int]],
+) -> Port:
+    """Next output port under Elevator-First routing.
+
+    Args:
+        mesh: The mesh geometry.
+        current: Node id of the router currently holding the flit.
+        destination: Final destination node id.
+        elevator_column: ``(x, y)`` column of the packet's assigned elevator;
+            ``None`` for intra-layer packets.
+
+    Returns:
+        The output :class:`~repro.sim.router.Port`:  LOCAL when the packet
+        has arrived, UP/DOWN on the elevator column when a layer change is
+        still needed, and an XY direction otherwise.
+    """
+    cur = mesh.coordinate(current)
+    dst = mesh.coordinate(destination)
+
+    if cur.z != dst.z:
+        if elevator_column is None:
+            raise ValueError(
+                "inter-layer packet without an assigned elevator at node "
+                f"{current} (destination {destination})"
+            )
+        ex, ey = elevator_column
+        if (cur.x, cur.y) == (ex, ey):
+            return Port.UP if dst.z > cur.z else Port.DOWN
+        return _xy_port(cur.x, cur.y, ex, ey)
+
+    if (cur.x, cur.y) == (dst.x, dst.y):
+        return Port.LOCAL
+    return _xy_port(cur.x, cur.y, dst.x, dst.y)
+
+
+def _xy_port(cur_x: int, cur_y: int, target_x: int, target_y: int) -> Port:
+    """Dimension-order (X then Y) routing within a layer."""
+    if cur_x < target_x:
+        return Port.EAST
+    if cur_x > target_x:
+        return Port.WEST
+    if cur_y < target_y:
+        return Port.NORTH
+    return Port.SOUTH
+
+
+def path_nodes(
+    mesh: Mesh3D,
+    source: int,
+    destination: int,
+    elevator_column: Optional[Tuple[int, int]],
+) -> list:
+    """The full node sequence a packet visits under Elevator-First routing.
+
+    Useful for analysis (e.g. CDA's path-occupancy cost) and tests: the path
+    starts at ``source``, ends at ``destination``, and respects the XY /
+    elevator / XY structure.
+    """
+    nodes = [source]
+    current = source
+    guard = mesh.num_nodes * 4
+    while current != destination:
+        port = compute_output_port(mesh, current, destination, elevator_column)
+        if port == Port.LOCAL:
+            break
+        coord = mesh.coordinate(current)
+        if port == Port.EAST:
+            nxt = mesh.node_id_xyz(coord.x + 1, coord.y, coord.z)
+        elif port == Port.WEST:
+            nxt = mesh.node_id_xyz(coord.x - 1, coord.y, coord.z)
+        elif port == Port.NORTH:
+            nxt = mesh.node_id_xyz(coord.x, coord.y + 1, coord.z)
+        elif port == Port.SOUTH:
+            nxt = mesh.node_id_xyz(coord.x, coord.y - 1, coord.z)
+        elif port == Port.UP:
+            nxt = mesh.node_id_xyz(coord.x, coord.y, coord.z + 1)
+        else:
+            nxt = mesh.node_id_xyz(coord.x, coord.y, coord.z - 1)
+        nodes.append(nxt)
+        current = nxt
+        guard -= 1
+        if guard <= 0:
+            raise RuntimeError(
+                "routing failed to converge; check the elevator assignment"
+            )
+    return nodes
+
+
+class RouteComputation:
+    """Callable route computation bound to a mesh (used by the network)."""
+
+    def __init__(self, mesh: Mesh3D) -> None:
+        self.mesh = mesh
+
+    def __call__(self, current: int, packet: Packet) -> Port:
+        """Output port for a packet at a given router."""
+        return compute_output_port(
+            self.mesh, current, packet.destination, packet.elevator_column
+        )
+
+
+class ElevatorSelectionPolicy:
+    """Base class for elevator-selection policies.
+
+    A policy is bound to an :class:`ElevatorPlacement` and is consulted once
+    per packet, at the source router, when the packet is injected.  Policies
+    that adapt online additionally receive local latency feedback
+    (:meth:`notify_source_latency`, AdEle Eq. 6-7) and may inspect global
+    network state through the optional ``network`` argument (CDA).
+
+    Attributes:
+        name: Short policy name used in reports and benches.
+    """
+
+    name = "base"
+
+    def __init__(self, placement: ElevatorPlacement) -> None:
+        self.placement = placement
+        self.mesh = placement.mesh
+
+    # ------------------------------------------------------------------ #
+    # Selection interface
+    # ------------------------------------------------------------------ #
+    def select_elevator(
+        self,
+        source: int,
+        destination: int,
+        network: Optional["Network"] = None,
+        cycle: int = 0,
+    ) -> Optional[Elevator]:
+        """Choose an elevator for a packet, or ``None`` for intra-layer pairs."""
+        if self.mesh.same_layer(source, destination):
+            return None
+        return self._select(source, destination, network, cycle)
+
+    def _select(
+        self,
+        source: int,
+        destination: int,
+        network: Optional["Network"],
+        cycle: int,
+    ) -> Elevator:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Online feedback hooks (no-ops by default)
+    # ------------------------------------------------------------------ #
+    def notify_source_latency(
+        self, source: int, elevator_index: int, latency_metric: float, cycle: int = 0
+    ) -> None:
+        """Feedback: the packet's tail flit left the source router.
+
+        ``latency_metric`` is T_ek of Eq. 6 -- the source-side serialization
+        slack normalized by packet length.  Non-adaptive policies ignore it.
+        """
+
+    def reset(self) -> None:
+        """Reset any online state (called between independent simulations)."""
+
+    def annotate_packet(self, packet: Packet, elevator: Optional[Elevator]) -> None:
+        """Record the selection on the packet (elevator index + column)."""
+        if elevator is None:
+            packet.elevator_index = None
+            packet.elevator_column = None
+        else:
+            packet.elevator_index = elevator.index
+            packet.elevator_column = elevator.column
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(placement={self.placement.name!r})"

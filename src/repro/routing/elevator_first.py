@@ -1,0 +1,57 @@
+"""Elevator-First elevator selection (baseline 1).
+
+The original Elevator-First algorithm (Dubois et al., IEEE TC 2013) selects
+the elevator *closest to the source router* for every inter-layer packet,
+without considering traffic or the destination's position.  This is the
+policy the paper's Fig. 2 motivates against: it produces a static,
+potentially very uneven partition of routers to elevators and may route far
+off the minimal path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.routing.base import ElevatorSelectionPolicy
+from repro.topology.elevators import Elevator, ElevatorPlacement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Network
+
+
+class ElevatorFirstPolicy(ElevatorSelectionPolicy):
+    """Always select the elevator nearest to the source router.
+
+    The selection is static: it depends only on the source position, so it
+    is precomputed per node at construction time.
+    """
+
+    name = "elevator_first"
+
+    def __init__(self, placement: ElevatorPlacement) -> None:
+        super().__init__(placement)
+        # A single-layer network may legitimately have no elevators; the
+        # selection is then never consulted (all traffic stays intra-layer).
+        self._nearest = {}
+        if placement.num_elevators > 0:
+            self._nearest = {
+                node: placement.nearest_elevator(node)
+                for node in placement.mesh.nodes()
+            }
+
+    def _select(
+        self,
+        source: int,
+        destination: int,
+        network: Optional["Network"],
+        cycle: int,
+    ) -> Elevator:
+        elevator = self._nearest[source]
+        if self.placement.is_faulty(elevator.index):
+            # Fall back to the nearest healthy elevator (fault extension).
+            return self.placement.nearest_elevator(source, exclude_faulty=True)
+        return elevator
+
+    def static_assignment(self) -> dict:
+        """The node -> elevator-index map (used by tests and Fig. 2 analysis)."""
+        return {node: elevator.index for node, elevator in self._nearest.items()}

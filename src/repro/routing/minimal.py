@@ -1,0 +1,38 @@
+"""Minimal-path elevator selection (energy-optimal, congestion-oblivious).
+
+Selecting the elevator on the minimal source-elevator-destination path gives
+the lowest possible hop count and therefore the lowest energy per packet,
+but it ignores congestion entirely.  AdEle switches to exactly this choice
+when its low-traffic override triggers; exposing it as a standalone policy
+lets the ablation benches quantify what each AdEle ingredient contributes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.routing.base import ElevatorSelectionPolicy
+from repro.topology.elevators import Elevator, ElevatorPlacement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Network
+
+
+class MinimalPathPolicy(ElevatorSelectionPolicy):
+    """Always select the elevator on the minimal path to the destination."""
+
+    name = "minimal"
+
+    def __init__(self, placement: ElevatorPlacement) -> None:
+        super().__init__(placement)
+
+    def _select(
+        self,
+        source: int,
+        destination: int,
+        network: Optional["Network"],
+        cycle: int,
+    ) -> Elevator:
+        return self.placement.minimal_path_elevator(
+            source, destination, candidates=self.placement.healthy_elevators()
+        )

@@ -1,0 +1,115 @@
+"""Input FIFO buffers with two-phase (stage/commit) arrival semantics.
+
+Every router input port/virtual-channel pair owns one :class:`FlitBuffer`.
+Arrivals during a cycle are *staged* and only become visible to the router
+pipeline at the end of the cycle (:meth:`FlitBuffer.commit`), which prevents
+a flit from traversing more than one hop per cycle regardless of the order
+in which routers are evaluated.  Free-space checks account for staged flits
+so the buffer never exceeds its depth -- this is the credit-based
+backpressure that lets congestion propagate back toward the source, the
+mechanism AdEle's local traffic monitor relies on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.sim.flit import Flit
+
+
+class FlitBuffer:
+    """A fixed-depth FIFO of flits.
+
+    Args:
+        depth: Maximum number of flits the buffer can hold (Table I: 4).
+
+    Raises:
+        ValueError: If ``depth`` is not positive.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError("buffer depth must be at least 1")
+        self.depth = depth
+        self._fifo: Deque[Flit] = deque()
+        self._staged: List[Flit] = []
+
+    # ------------------------------------------------------------------ #
+    # Occupancy
+    # ------------------------------------------------------------------ #
+    @property
+    def occupancy(self) -> int:
+        """Number of flits currently visible to the router pipeline."""
+        return len(self._fifo)
+
+    @property
+    def total_occupancy(self) -> int:
+        """Visible plus staged flits (used for free-space accounting)."""
+        return len(self._fifo) + len(self._staged)
+
+    @property
+    def free_slots(self) -> int:
+        """Slots available for new arrivals this cycle."""
+        return self.depth - self.total_occupancy
+
+    def is_empty(self) -> bool:
+        """True when no flit is visible to the pipeline."""
+        return not self._fifo
+
+    def is_full(self) -> bool:
+        """True when no further arrival can be accepted this cycle."""
+        return self.free_slots <= 0
+
+    # ------------------------------------------------------------------ #
+    # Pipeline access
+    # ------------------------------------------------------------------ #
+    def front(self) -> Optional[Flit]:
+        """The head-of-line flit, or ``None`` when empty."""
+        return self._fifo[0] if self._fifo else None
+
+    def pop(self) -> Flit:
+        """Remove and return the head-of-line flit.
+
+        Raises:
+            IndexError: If the buffer is empty.
+        """
+        return self._fifo.popleft()
+
+    # ------------------------------------------------------------------ #
+    # Arrivals
+    # ------------------------------------------------------------------ #
+    def stage(self, flit: Flit) -> None:
+        """Stage an arriving flit; it becomes visible after :meth:`commit`.
+
+        Raises:
+            OverflowError: If the buffer has no free slot (flow-control
+                violation -- the sender must check :attr:`free_slots`).
+        """
+        if self.is_full():
+            raise OverflowError("flit arrived at a full buffer (flow-control bug)")
+        self._staged.append(flit)
+
+    def commit(self) -> None:
+        """Make all staged flits visible, preserving arrival order."""
+        if self._staged:
+            self._fifo.extend(self._staged)
+            self._staged.clear()
+
+    # ------------------------------------------------------------------ #
+    # Introspection / maintenance
+    # ------------------------------------------------------------------ #
+    def flits(self) -> List[Flit]:
+        """Snapshot of visible flits from head to tail."""
+        return list(self._fifo)
+
+    def clear(self) -> None:
+        """Drop all content (used when resetting a network between runs)."""
+        self._fifo.clear()
+        self._staged.clear()
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"FlitBuffer(depth={self.depth}, occupancy={self.occupancy})"

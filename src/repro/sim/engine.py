@@ -1,0 +1,185 @@
+"""Simulation driver.
+
+The :class:`Simulator` connects a :class:`~repro.sim.network.Network` with a
+:class:`~repro.traffic.generator.PacketSource` and runs the cycle loop:
+
+* *warm-up* cycles fill the network with traffic but are not measured;
+* *measurement* cycles feed the statistics;
+* *drain* cycles stop injecting new traffic and give in-flight packets a
+  bounded amount of time to reach their destinations (an over-saturated
+  network will not drain, which is expected at injection rates past the
+  saturation point).
+
+The result object bundles the statistics with derived, report-ready metrics
+(average latency, throughput, energy per flit when an energy model is
+supplied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.energy.model import EnergyModel
+from repro.sim.network import Network
+from repro.sim.stats import SimulationStats
+from repro.traffic.generator import PacketSource
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    Attributes:
+        stats: Raw event counters.
+        warmup_cycles: Number of unmeasured warm-up cycles.
+        measurement_cycles: Number of measured cycles.
+        drain_cycles_used: Drain cycles actually simulated.
+        num_nodes: Network size (routers).
+        average_latency: Mean end-to-end packet latency in cycles.
+        throughput: Accepted flits per node per cycle over the measurement
+            window.
+        energy_per_flit: Mean energy per delivered flit in Joules (``None``
+            when no energy model was supplied).
+        total_energy: Total network energy in Joules over the measurement
+            window (``None`` without an energy model).
+        policy_name: Name of the elevator-selection policy that produced the
+            run (for reporting).
+    """
+
+    stats: SimulationStats
+    warmup_cycles: int
+    measurement_cycles: int
+    drain_cycles_used: int
+    num_nodes: int
+    average_latency: float
+    throughput: float
+    energy_per_flit: Optional[float] = None
+    total_energy: Optional[float] = None
+    policy_name: str = ""
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def delivered_packets(self) -> int:
+        """Number of measured packets delivered."""
+        return self.stats.packets_delivered
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic saturation flag: most measured packets never arrived."""
+        return self.stats.delivery_ratio < 0.5
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dictionary of headline metrics (for tables and benches)."""
+        summary = {
+            "average_latency": self.average_latency,
+            "throughput": self.throughput,
+            "packets_delivered": float(self.stats.packets_delivered),
+            "packets_created": float(self.stats.packets_created),
+            "delivery_ratio": self.stats.delivery_ratio,
+            "average_hops": self.stats.average_hops,
+        }
+        if self.energy_per_flit is not None:
+            summary["energy_per_flit"] = self.energy_per_flit
+        if self.total_energy is not None:
+            summary["total_energy"] = self.total_energy
+        summary.update(self.extra)
+        return summary
+
+
+class Simulator:
+    """Runs a network + packet source for a configured number of cycles.
+
+    Args:
+        network: The network under test.
+        packet_source: Traffic injector.
+        warmup_cycles: Unmeasured cycles at the start of the run.
+        measurement_cycles: Measured cycles.
+        drain_cycles: Maximum extra cycles (with injection stopped) granted
+            for in-flight packets to arrive.
+        energy_model: Optional energy model used to derive energy metrics.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        packet_source: PacketSource,
+        warmup_cycles: int = 500,
+        measurement_cycles: int = 2000,
+        drain_cycles: int = 1000,
+        energy_model: Optional[EnergyModel] = None,
+    ) -> None:
+        if warmup_cycles < 0 or measurement_cycles <= 0 or drain_cycles < 0:
+            raise ValueError("invalid cycle configuration")
+        self.network = network
+        self.packet_source = packet_source
+        self.warmup_cycles = warmup_cycles
+        self.measurement_cycles = measurement_cycles
+        self.drain_cycles = drain_cycles
+        self.energy_model = energy_model
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return its result."""
+        network = self.network
+        network.stats.measurement_start = self.warmup_cycles
+        injection_end = self.warmup_cycles + self.measurement_cycles
+
+        cycle = 0
+        for cycle in range(injection_end):
+            for request in self.packet_source.requests(cycle):
+                network.create_packet(
+                    request.source, request.destination, request.length, cycle
+                )
+            network.inject(cycle)
+            network.step(cycle)
+
+        drain_used = 0
+        for drain in range(self.drain_cycles):
+            if network.is_idle():
+                break
+            cycle = injection_end + drain
+            network.inject(cycle)
+            network.step(cycle)
+            drain_used = drain + 1
+
+        stats = network.stats
+        result = SimulationResult(
+            stats=stats,
+            warmup_cycles=self.warmup_cycles,
+            measurement_cycles=self.measurement_cycles,
+            drain_cycles_used=drain_used,
+            num_nodes=network.mesh.num_nodes,
+            average_latency=stats.average_latency,
+            throughput=stats.throughput(
+                self.measurement_cycles, network.mesh.num_nodes
+            ),
+            policy_name=network.policy.name,
+        )
+        if self.energy_model is not None:
+            total = self.energy_model.total_energy(stats)
+            result.total_energy = total
+            if stats.flits_delivered > 0:
+                result.energy_per_flit = total / stats.flits_delivered
+            else:
+                result.energy_per_flit = 0.0
+        return result
+
+
+def run_simulation(
+    network: Network,
+    packet_source: PacketSource,
+    warmup_cycles: int = 500,
+    measurement_cycles: int = 2000,
+    drain_cycles: int = 1000,
+    energy_model: Optional[EnergyModel] = None,
+) -> SimulationResult:
+    """Convenience wrapper building and running a :class:`Simulator`."""
+    simulator = Simulator(
+        network,
+        packet_source,
+        warmup_cycles=warmup_cycles,
+        measurement_cycles=measurement_cycles,
+        drain_cycles=drain_cycles,
+        energy_model=energy_model,
+    )
+    return simulator.run()

@@ -1,0 +1,165 @@
+"""Packets and flits.
+
+A packet is split into flits for wormhole switching: one HEAD flit carrying
+the routing information (destination, assigned elevator, virtual network),
+zero or more BODY flits and one TAIL flit.  Single-flit packets use the
+combined HEAD_TAIL type.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class FlitType(enum.Enum):
+    """Role of a flit inside its packet."""
+
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    HEAD_TAIL = "head_tail"
+
+    @property
+    def is_head(self) -> bool:
+        """True for flits that open a wormhole (HEAD or HEAD_TAIL)."""
+        return self in (FlitType.HEAD, FlitType.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        """True for flits that close a wormhole (TAIL or HEAD_TAIL)."""
+        return self in (FlitType.TAIL, FlitType.HEAD_TAIL)
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A network packet.
+
+    Attributes:
+        source: Source node id.
+        destination: Destination node id.
+        length: Number of flits.
+        creation_cycle: Cycle the packet was created by the traffic source.
+        virtual_network: Virtual network (0 = ascend, 1 = descend) assigned
+            at injection per the Elevator-First deadlock-avoidance rule.
+        elevator_index: Index of the elevator assigned by the selection
+            policy, or ``None`` for intra-layer packets.
+        elevator_column: ``(x, y)`` column of the assigned elevator, or
+            ``None`` for intra-layer packets.
+        packet_id: Unique id (monotonically increasing).
+        injection_cycle: Cycle the head flit entered the source router.
+        head_exit_cycle: Cycle the head flit left the source router
+            (used by AdEle's local latency estimate, Eq. 6).
+        tail_exit_cycle: Cycle the tail flit left the source router.
+        delivery_cycle: Cycle the tail flit was ejected at the destination.
+        hops: Number of router-to-router link traversals taken so far
+            (per flit hop counting is done by the statistics object; this
+            field tracks the head flit's path length).
+        vertical_hops: Number of vertical (TSV) link traversals of the head.
+    """
+
+    source: int
+    destination: int
+    length: int
+    creation_cycle: int
+    virtual_network: int = 0
+    elevator_index: Optional[int] = None
+    elevator_column: Optional[tuple] = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    injection_cycle: Optional[int] = None
+    head_exit_cycle: Optional[int] = None
+    tail_exit_cycle: Optional[int] = None
+    delivery_cycle: Optional[int] = None
+    hops: int = 0
+    vertical_hops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("packet length must be at least one flit")
+        if self.source == self.destination:
+            raise ValueError("source and destination must differ")
+
+    def make_flits(self) -> List["Flit"]:
+        """Split the packet into its flits."""
+        if self.length == 1:
+            return [Flit(packet=self, flit_type=FlitType.HEAD_TAIL, sequence=0)]
+        flits = [Flit(packet=self, flit_type=FlitType.HEAD, sequence=0)]
+        for seq in range(1, self.length - 1):
+            flits.append(Flit(packet=self, flit_type=FlitType.BODY, sequence=seq))
+        flits.append(Flit(packet=self, flit_type=FlitType.TAIL, sequence=self.length - 1))
+        return flits
+
+    @property
+    def latency(self) -> Optional[int]:
+        """End-to-end latency (creation to tail delivery), if delivered."""
+        if self.delivery_cycle is None:
+            return None
+        return self.delivery_cycle - self.creation_cycle
+
+    @property
+    def network_latency(self) -> Optional[int]:
+        """Latency from head injection into the network to tail delivery."""
+        if self.delivery_cycle is None or self.injection_cycle is None:
+            return None
+        return self.delivery_cycle - self.injection_cycle
+
+    def source_serialization_latency(self) -> Optional[float]:
+        """AdEle's local latency metric T_ek (Eq. 6 of the paper).
+
+        The time between the head flit and the tail flit leaving the source
+        router, in excess of the packet's own serialization time, normalized
+        by packet length.  ``None`` until the tail flit has left the source.
+        """
+        if self.head_exit_cycle is None or self.tail_exit_cycle is None:
+            return None
+        return (self.tail_exit_cycle - self.head_exit_cycle - self.length) / float(
+            self.length
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Packet(id={self.packet_id}, {self.source}->{self.destination}, "
+            f"len={self.length}, vn={self.virtual_network}, "
+            f"elev={self.elevator_index})"
+        )
+
+
+@dataclass
+class Flit:
+    """A single flit of a packet.
+
+    Attributes:
+        packet: The owning packet.
+        flit_type: HEAD / BODY / TAIL / HEAD_TAIL.
+        sequence: Position of this flit inside the packet (0-based).
+    """
+
+    packet: Packet
+    flit_type: FlitType
+    sequence: int
+
+    @property
+    def is_head(self) -> bool:
+        """True for wormhole-opening flits."""
+        return self.flit_type.is_head
+
+    @property
+    def is_tail(self) -> bool:
+        """True for wormhole-closing flits."""
+        return self.flit_type.is_tail
+
+    @property
+    def destination(self) -> int:
+        """Destination node id of the owning packet."""
+        return self.packet.destination
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Flit(pkt={self.packet.packet_id}, {self.flit_type.value}, "
+            f"seq={self.sequence})"
+        )

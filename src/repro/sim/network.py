@@ -1,0 +1,293 @@
+"""The partially connected 3D NoC: routers wired together.
+
+The :class:`Network` owns all routers, knows which links exist (all
+horizontal neighbour links; vertical links only at elevator columns), routes
+flits with the Elevator-First discipline, performs the elevator selection by
+delegating to the configured policy, and records statistics.
+
+The per-cycle evaluation order is:
+
+1. :meth:`Network.inject` -- pending flits enter source routers' LOCAL
+   buffers while space is available;
+2. :meth:`Network.step` -- every router computes routes, then every router
+   performs switch allocation and traversal (arrivals are staged);
+3. staged arrivals are committed so they become visible next cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.routing.base import (
+    ElevatorSelectionPolicy,
+    RouteComputation,
+    virtual_network_for,
+)
+from repro.sim.flit import Flit, Packet
+from repro.sim.router import OPPOSITE_PORT, Port, Router, VERTICAL_PORTS
+from repro.sim.stats import SimulationStats
+from repro.topology.elevators import ElevatorPlacement
+from repro.topology.mesh3d import Mesh3D
+
+
+class Network:
+    """A partially connected 3D NoC instance.
+
+    Args:
+        placement: Elevator placement (carries the mesh).
+        policy: Elevator-selection policy consulted at packet injection.
+        num_vcs: Virtual channels per port (2 = Elevator-First discipline).
+        buffer_depth: Input buffer depth in flits (Table I: 4).
+        stats: Optional pre-built statistics collector.
+    """
+
+    def __init__(
+        self,
+        placement: ElevatorPlacement,
+        policy: ElevatorSelectionPolicy,
+        num_vcs: int = 2,
+        buffer_depth: int = 4,
+        stats: Optional[SimulationStats] = None,
+    ) -> None:
+        if num_vcs < 2:
+            raise ValueError(
+                "the Elevator-First discipline needs at least two virtual networks"
+            )
+        self.placement = placement
+        self.mesh: Mesh3D = placement.mesh
+        self.policy = policy
+        self.num_vcs = num_vcs
+        self.buffer_depth = buffer_depth
+        self.stats = stats if stats is not None else SimulationStats()
+        self._route_computation = RouteComputation(self.mesh)
+
+        self.routers: List[Router] = []
+        for node in self.mesh.nodes():
+            router = Router(
+                node_id=node,
+                coordinate=self.mesh.coordinate(node),
+                num_vcs=num_vcs,
+                buffer_depth=buffer_depth,
+            )
+            router.network = self
+            self.routers.append(router)
+
+        #: Neighbour node id per (node, output port); None when the link
+        #: does not exist (mesh edge or missing vertical link).
+        self._neighbor: Dict[Tuple[int, Port], Optional[int]] = {}
+        self._build_links()
+
+        #: Per-node, per-VC injection queues feeding the LOCAL input port.
+        self._injection_queues: Dict[Tuple[int, int], Deque[Flit]] = {
+            (node, vc): deque()
+            for node in self.mesh.nodes()
+            for vc in range(num_vcs)
+        }
+        #: Packets currently in flight (injected but not fully delivered).
+        self._in_flight: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build_links(self) -> None:
+        mesh = self.mesh
+        for node in mesh.nodes():
+            coord = mesh.coordinate(node)
+            for port in Port:
+                if port == Port.LOCAL:
+                    continue
+                dx, dy, dz = {
+                    Port.EAST: (1, 0, 0),
+                    Port.WEST: (-1, 0, 0),
+                    Port.NORTH: (0, 1, 0),
+                    Port.SOUTH: (0, -1, 0),
+                    Port.UP: (0, 0, 1),
+                    Port.DOWN: (0, 0, -1),
+                }[port]
+                x, y, z = coord.x + dx, coord.y + dy, coord.z + dz
+                neighbor: Optional[int] = None
+                if 0 <= x < mesh.size_x and 0 <= y < mesh.size_y and 0 <= z < mesh.size_z:
+                    candidate = mesh.node_id_xyz(x, y, z)
+                    if port in VERTICAL_PORTS:
+                        if self.placement.has_elevator(node):
+                            neighbor = candidate
+                    else:
+                        neighbor = candidate
+                self._neighbor[(node, port)] = neighbor
+
+    # ------------------------------------------------------------------ #
+    # Topology queries
+    # ------------------------------------------------------------------ #
+    def router(self, node_id: int) -> Router:
+        """The router at a node id."""
+        return self.routers[node_id]
+
+    def neighbor(self, node_id: int, port: Port) -> Optional[int]:
+        """Neighbour node id through an output port, or ``None``."""
+        return self._neighbor[(node_id, port)]
+
+    def link_exists(self, node_id: int, port: Port) -> bool:
+        """Whether the output link through a port is populated."""
+        if port == Port.LOCAL:
+            return True
+        return self._neighbor[(node_id, port)] is not None
+
+    def buffer_occupancy(self, node_id: int) -> int:
+        """Total visible flits buffered in a router (used by CDA)."""
+        return self.routers[node_id].buffer_occupancy()
+
+    @property
+    def in_flight_packets(self) -> int:
+        """Packets injected but not yet fully delivered."""
+        return self._in_flight
+
+    def pending_injections(self) -> int:
+        """Flits still waiting in source injection queues."""
+        return sum(len(queue) for queue in self._injection_queues.values())
+
+    def is_idle(self) -> bool:
+        """True when no flit remains anywhere in the network."""
+        if self.pending_injections() > 0:
+            return False
+        return all(not router.has_traffic() for router in self.routers)
+
+    # ------------------------------------------------------------------ #
+    # Routing interface used by routers
+    # ------------------------------------------------------------------ #
+    def route_flit(self, current: int, packet: Packet) -> Port:
+        """Output port for a packet at a router (Elevator-First discipline)."""
+        return self._route_computation(current, packet)
+
+    def downstream_has_space(self, node_id: int, out_port: Port, vc: int) -> bool:
+        """Whether a flit may leave through an output port this cycle."""
+        if out_port == Port.LOCAL:
+            return True
+        neighbor = self._neighbor[(node_id, out_port)]
+        if neighbor is None:
+            return False
+        in_port = OPPOSITE_PORT[out_port]
+        return not self.routers[neighbor].buffer(in_port, vc).is_full()
+
+    def deliver_flit(
+        self,
+        node_id: int,
+        in_key: Tuple[Port, int],
+        out_port: Port,
+        out_vc: int,
+        flit: Flit,
+        cycle: int,
+    ) -> None:
+        """Move a granted flit out of a router (ejection or next-hop stage)."""
+        packet = flit.packet
+        stats = self.stats
+        stats.record_router_traversal(node_id, packet, cycle)
+
+        # Source-side bookkeeping for AdEle's local latency estimate: the
+        # flit is leaving its source router from the LOCAL input port.
+        if node_id == packet.source and in_key[0] == Port.LOCAL:
+            if flit.is_head:
+                packet.head_exit_cycle = cycle
+            if flit.is_tail:
+                packet.tail_exit_cycle = cycle
+                metric = packet.source_serialization_latency()
+                if metric is not None and packet.elevator_index is not None:
+                    self.policy.notify_source_latency(
+                        packet.source, packet.elevator_index, metric, cycle
+                    )
+
+        if out_port == Port.LOCAL:
+            stats.record_flit_delivered(packet, cycle)
+            if flit.is_tail:
+                packet.delivery_cycle = cycle
+                stats.record_packet_delivered(packet, cycle)
+                self._in_flight -= 1
+            return
+
+        neighbor = self._neighbor[(node_id, out_port)]
+        if neighbor is None:
+            raise RuntimeError(
+                f"flit routed through missing link: node {node_id}, port {out_port}"
+            )
+        vertical = out_port in VERTICAL_PORTS
+        stats.record_link_traversal(vertical, packet, cycle)
+        if flit.is_head:
+            packet.hops += 1
+            if vertical:
+                packet.vertical_hops += 1
+        in_port = OPPOSITE_PORT[out_port]
+        self.routers[neighbor].buffer(in_port, out_vc).stage(flit)
+
+    # ------------------------------------------------------------------ #
+    # Injection
+    # ------------------------------------------------------------------ #
+    def create_packet(
+        self, source: int, destination: int, length: int, cycle: int
+    ) -> Packet:
+        """Create a packet, run elevator selection and queue its flits."""
+        vn = virtual_network_for(self.mesh, source, destination)
+        packet = Packet(
+            source=source,
+            destination=destination,
+            length=length,
+            creation_cycle=cycle,
+            virtual_network=vn,
+        )
+        elevator = self.policy.select_elevator(
+            source, destination, network=self, cycle=cycle
+        )
+        self.policy.annotate_packet(packet, elevator)
+        self.stats.record_packet_created(packet, cycle)
+        queue = self._injection_queues[(source, vn)]
+        for flit in packet.make_flits():
+            queue.append(flit)
+        self._in_flight += 1
+        return packet
+
+    def inject(self, cycle: int) -> None:
+        """Move pending flits from injection queues into LOCAL input buffers."""
+        for (node, vc), queue in self._injection_queues.items():
+            if not queue:
+                continue
+            buf = self.routers[node].buffer(Port.LOCAL, vc)
+            while queue and not buf.is_full():
+                flit = queue.popleft()
+                if flit.is_head and flit.packet.injection_cycle is None:
+                    flit.packet.injection_cycle = cycle
+                buf.stage(flit)
+                self.stats.record_flit_injected(flit.packet, cycle)
+
+    # ------------------------------------------------------------------ #
+    # Per-cycle evaluation
+    # ------------------------------------------------------------------ #
+    def step(self, cycle: int) -> None:
+        """One simulation cycle: route, allocate/traverse, commit arrivals."""
+        for router in self.routers:
+            router.compute_routes()
+        for router in self.routers:
+            router.allocate_and_traverse(cycle)
+        for router in self.routers:
+            router.commit_arrivals()
+
+    def reset(self) -> None:
+        """Clear all buffers, queues and policy state for a fresh run."""
+        for router in self.routers:
+            router.reset()
+        for queue in self._injection_queues.values():
+            queue.clear()
+        self._in_flight = 0
+        self.policy.reset()
+        self.stats = SimulationStats()
+
+    def elevator_nodes_by_index(self) -> Dict[int, List[int]]:
+        """Node ids of every elevator column, keyed by elevator index."""
+        return {
+            elevator.index: self.placement.elevator_nodes(elevator)
+            for elevator in self.placement.elevators
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Network(mesh={self.mesh!r}, placement={self.placement.name!r}, "
+            f"policy={self.policy.name!r})"
+        )

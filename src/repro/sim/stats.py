@@ -1,0 +1,226 @@
+"""Simulation statistics.
+
+The statistics object counts the events the paper's evaluation is built on:
+
+* packet latency (creation to tail delivery) -> Figs. 4, 7, Table II;
+* per-router forwarded-flit load -> Fig. 5;
+* link/router/TSV traversal counts -> energy per flit (Fig. 6, Table II)
+  via :mod:`repro.energy.model`;
+* injection / delivery counts -> throughput and saturation detection.
+
+A *measurement window* can be set so that warm-up traffic does not pollute
+the measurements: only packets created at or after ``measurement_start`` are
+counted for latency, and only events at or after that cycle contribute to
+load and traversal counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.flit import Packet
+
+
+@dataclass
+class SimulationStats:
+    """Event counters collected during a simulation run.
+
+    Attributes:
+        measurement_start: First cycle that counts toward measurements.
+        packets_created: Packets handed to the network by the traffic source
+            within the measurement window.
+        packets_delivered: Measured packets whose tail flit reached its
+            destination.
+        flits_injected: Head/body/tail flits of measured packets that entered
+            a source router.
+        flits_delivered: Flits of measured packets ejected at destinations.
+        total_latency: Sum of end-to-end latencies of delivered measured
+            packets.
+        total_network_latency: Sum of network (injection-to-delivery)
+            latencies of delivered measured packets.
+        total_hops: Sum of head-flit hop counts of delivered measured packets.
+        total_vertical_hops: Sum of head-flit vertical hops of delivered
+            measured packets.
+        router_traversals: Flits forwarded per router (includes ejection).
+        horizontal_link_traversals: Flits crossing horizontal links.
+        vertical_link_traversals: Flits crossing vertical (TSV) links.
+        elevator_assignments: Packets assigned per elevator index.
+        elevator_flit_load: Flits forwarded per router restricted to routers
+            sitting on elevator columns (keyed by node id).
+        latencies: Individual packet latencies (kept for percentile /
+            distribution analysis; bounded by the number of delivered
+            packets which is small at the simulated scales).
+    """
+
+    measurement_start: int = 0
+    packets_created: int = 0
+    packets_delivered: int = 0
+    flits_injected: int = 0
+    flits_delivered: int = 0
+    total_latency: float = 0.0
+    total_network_latency: float = 0.0
+    total_hops: int = 0
+    total_vertical_hops: int = 0
+    router_traversals: Dict[int, int] = field(default_factory=dict)
+    horizontal_link_traversals: int = 0
+    vertical_link_traversals: int = 0
+    elevator_assignments: Dict[int, int] = field(default_factory=dict)
+    latencies: List[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def in_window(self, cycle: int) -> bool:
+        """Whether a cycle falls inside the measurement window."""
+        return cycle >= self.measurement_start
+
+    def record_packet_created(self, packet: Packet, cycle: int) -> None:
+        """A packet was created by the traffic source."""
+        if not self.in_window(cycle):
+            return
+        self.packets_created += 1
+        if packet.elevator_index is not None:
+            self.elevator_assignments[packet.elevator_index] = (
+                self.elevator_assignments.get(packet.elevator_index, 0) + 1
+            )
+
+    def record_flit_injected(self, packet: Packet, cycle: int) -> None:
+        """A flit entered its source router."""
+        if self.in_window(packet.creation_cycle):
+            self.flits_injected += 1
+
+    def record_router_traversal(self, node_id: int, packet: Packet, cycle: int) -> None:
+        """A flit was forwarded by (left) a router."""
+        if not self.in_window(cycle):
+            return
+        self.router_traversals[node_id] = self.router_traversals.get(node_id, 0) + 1
+
+    def record_link_traversal(self, vertical: bool, packet: Packet, cycle: int) -> None:
+        """A flit crossed a router-to-router link."""
+        if not self.in_window(cycle):
+            return
+        if vertical:
+            self.vertical_link_traversals += 1
+        else:
+            self.horizontal_link_traversals += 1
+
+    def record_flit_delivered(self, packet: Packet, cycle: int) -> None:
+        """A flit was ejected at its destination."""
+        if self.in_window(packet.creation_cycle):
+            self.flits_delivered += 1
+
+    def record_packet_delivered(self, packet: Packet, cycle: int) -> None:
+        """A packet's tail flit was ejected at its destination."""
+        if not self.in_window(packet.creation_cycle):
+            return
+        self.packets_delivered += 1
+        latency = packet.latency
+        if latency is not None:
+            self.total_latency += latency
+            self.latencies.append(float(latency))
+        network_latency = packet.network_latency
+        if network_latency is not None:
+            self.total_network_latency += network_latency
+        self.total_hops += packet.hops
+        self.total_vertical_hops += packet.vertical_hops
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def average_latency(self) -> float:
+        """Mean end-to-end packet latency in cycles (inf if nothing delivered)."""
+        if self.packets_delivered == 0:
+            return float("inf")
+        return self.total_latency / self.packets_delivered
+
+    @property
+    def average_network_latency(self) -> float:
+        """Mean injection-to-delivery latency in cycles."""
+        if self.packets_delivered == 0:
+            return float("inf")
+        return self.total_network_latency / self.packets_delivered
+
+    @property
+    def average_hops(self) -> float:
+        """Mean hop count of delivered packets."""
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.total_hops / self.packets_delivered
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / created packets (1.0 when the network fully drained)."""
+        if self.packets_created == 0:
+            return 1.0
+        return self.packets_delivered / self.packets_created
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile over delivered packets (e.g. 99.0)."""
+        if not self.latencies:
+            return float("inf")
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        ordered = sorted(self.latencies)
+        index = int(round((percentile / 100.0) * (len(ordered) - 1)))
+        return ordered[index]
+
+    def throughput(self, measurement_cycles: int, num_nodes: int) -> float:
+        """Accepted traffic in flits per node per cycle."""
+        if measurement_cycles <= 0 or num_nodes <= 0:
+            return 0.0
+        return self.flits_delivered / (measurement_cycles * num_nodes)
+
+    def router_load(self, node_id: int) -> int:
+        """Flits forwarded by one router during the measurement window."""
+        return self.router_traversals.get(node_id, 0)
+
+    def normalized_elevator_load(self, elevator_nodes: Dict[int, List[int]]) -> Dict[int, float]:
+        """Per-elevator router load normalized to elevator-less routers.
+
+        Args:
+            elevator_nodes: Mapping of elevator index to the node ids of its
+                column routers.
+
+        Returns:
+            ``{elevator_index: normalized_load}`` where loads are divided by
+            the mean load of routers that do not sit on any elevator column
+            (the paper's Fig. 5 normalization).
+        """
+        elevator_node_set = {
+            node for nodes in elevator_nodes.values() for node in nodes
+        }
+        plain_loads = [
+            load
+            for node, load in self.router_traversals.items()
+            if node not in elevator_node_set
+        ]
+        baseline = sum(plain_loads) / len(plain_loads) if plain_loads else 1.0
+        if baseline == 0:
+            baseline = 1.0
+        result: Dict[int, float] = {}
+        for index, nodes in elevator_nodes.items():
+            load = sum(self.router_traversals.get(node, 0) for node in nodes)
+            result[index] = (load / len(nodes)) / baseline if nodes else 0.0
+        return result
+
+    def merge(self, other: "SimulationStats") -> None:
+        """Accumulate another stats object into this one (for aggregation)."""
+        self.packets_created += other.packets_created
+        self.packets_delivered += other.packets_delivered
+        self.flits_injected += other.flits_injected
+        self.flits_delivered += other.flits_delivered
+        self.total_latency += other.total_latency
+        self.total_network_latency += other.total_network_latency
+        self.total_hops += other.total_hops
+        self.total_vertical_hops += other.total_vertical_hops
+        self.horizontal_link_traversals += other.horizontal_link_traversals
+        self.vertical_link_traversals += other.vertical_link_traversals
+        for node, count in other.router_traversals.items():
+            self.router_traversals[node] = self.router_traversals.get(node, 0) + count
+        for index, count in other.elevator_assignments.items():
+            self.elevator_assignments[index] = (
+                self.elevator_assignments.get(index, 0) + count
+            )
+        self.latencies.extend(other.latencies)

@@ -1,0 +1,33 @@
+"""Topology substrate for partially connected 3D NoCs.
+
+This subpackage models the physical structure of a partially connected 3D
+network-on-chip (PC-3DNoC):
+
+* :mod:`repro.topology.mesh3d` -- a regular ``X x Y x Z`` 3D mesh of routers,
+  node/coordinate conversion, neighbourhood queries, and Manhattan distances.
+* :mod:`repro.topology.elevators` -- elevator (vertical TSV link) placements,
+  including the paper's ``PS1``--``PS3`` and ``PM`` patterns, a placement
+  registry, and an average-distance-driven placement optimizer used to
+  reproduce the "extracted to have an optimized average distance" placements.
+"""
+
+from repro.topology.mesh3d import Coordinate, Mesh3D
+from repro.topology.elevators import (
+    Elevator,
+    ElevatorPlacement,
+    PlacementRegistry,
+    average_distance_of_placement,
+    optimize_placement,
+    standard_placement,
+)
+
+__all__ = [
+    "Coordinate",
+    "Mesh3D",
+    "Elevator",
+    "ElevatorPlacement",
+    "PlacementRegistry",
+    "average_distance_of_placement",
+    "optimize_placement",
+    "standard_placement",
+]

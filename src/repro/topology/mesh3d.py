@@ -1,0 +1,214 @@
+"""Regular 3D mesh topology.
+
+The mesh is addressed either by integer node ids (``0 .. N-1``) or by
+:class:`Coordinate` triples ``(x, y, z)``.  The id layout is layer-major:
+node id increases first along x, then y, then z, i.e.::
+
+    node_id = x + y * size_x + z * size_x * size_y
+
+The z coordinate is the *layer* (die) index.  Horizontal links connect
+neighbours that differ by one in x or y within a layer; vertical links
+(elevators / TSVs) exist only at a subset of ``(x, y)`` columns and are
+described by :mod:`repro.topology.elevators`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Coordinate:
+    """A router coordinate in the 3D mesh.
+
+    Attributes:
+        x: Position along the first horizontal dimension.
+        y: Position along the second horizontal dimension.
+        z: Layer (die) index; ``z = 0`` is the bottom layer.
+    """
+
+    x: int
+    y: int
+    z: int
+
+    def manhattan_2d(self, other: "Coordinate") -> int:
+        """Intra-layer Manhattan distance (ignores the layer difference)."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def manhattan_3d(self, other: "Coordinate") -> int:
+        """Full 3D Manhattan distance, counting one hop per layer crossed."""
+        return self.manhattan_2d(other) + abs(self.z - other.z)
+
+    def same_layer(self, other: "Coordinate") -> bool:
+        """Return ``True`` when both coordinates are on the same layer."""
+        return self.z == other.z
+
+    def column(self) -> Tuple[int, int]:
+        """The ``(x, y)`` column of this coordinate, ignoring the layer."""
+        return (self.x, self.y)
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """Return the plain ``(x, y, z)`` tuple."""
+        return (self.x, self.y, self.z)
+
+
+class Mesh3D:
+    """A ``size_x x size_y x size_z`` 3D mesh of routers.
+
+    The mesh knows nothing about which vertical links are populated; it only
+    provides geometry: id/coordinate conversion, neighbour enumeration and
+    distance computations.  Partial vertical connectivity is layered on top
+    by :class:`repro.topology.elevators.ElevatorPlacement`.
+
+    Args:
+        size_x: Number of routers along x (must be >= 1).
+        size_y: Number of routers along y (must be >= 1).
+        size_z: Number of layers (must be >= 1).
+    """
+
+    def __init__(self, size_x: int, size_y: int, size_z: int) -> None:
+        if size_x < 1 or size_y < 1 or size_z < 1:
+            raise ValueError(
+                "mesh dimensions must be positive, got "
+                f"({size_x}, {size_y}, {size_z})"
+            )
+        self.size_x = size_x
+        self.size_y = size_y
+        self.size_z = size_z
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Total number of routers in the mesh."""
+        return self.size_x * self.size_y * self.size_z
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layers (dies)."""
+        return self.size_z
+
+    @property
+    def nodes_per_layer(self) -> int:
+        """Number of routers in a single layer."""
+        return self.size_x * self.size_y
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """The ``(size_x, size_y, size_z)`` shape tuple."""
+        return (self.size_x, self.size_y, self.size_z)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Mesh3D({self.size_x}x{self.size_y}x{self.size_z})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mesh3D):
+            return NotImplemented
+        return self.shape == other.shape
+
+    def __hash__(self) -> int:
+        return hash(self.shape)
+
+    # ------------------------------------------------------------------ #
+    # Id / coordinate conversion
+    # ------------------------------------------------------------------ #
+    def coordinate(self, node_id: int) -> Coordinate:
+        """Convert a node id to its :class:`Coordinate`."""
+        self._check_node(node_id)
+        per_layer = self.nodes_per_layer
+        z, rest = divmod(node_id, per_layer)
+        y, x = divmod(rest, self.size_x)
+        return Coordinate(x, y, z)
+
+    def node_id(self, coord: Coordinate) -> int:
+        """Convert a :class:`Coordinate` to its node id."""
+        self._check_coordinate(coord)
+        return coord.x + coord.y * self.size_x + coord.z * self.nodes_per_layer
+
+    def node_id_xyz(self, x: int, y: int, z: int) -> int:
+        """Convenience wrapper around :meth:`node_id`."""
+        return self.node_id(Coordinate(x, y, z))
+
+    def contains(self, coord: Coordinate) -> bool:
+        """Return ``True`` when ``coord`` lies inside the mesh."""
+        return (
+            0 <= coord.x < self.size_x
+            and 0 <= coord.y < self.size_y
+            and 0 <= coord.z < self.size_z
+        )
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < self.num_nodes:
+            raise ValueError(
+                f"node id {node_id} out of range for mesh with "
+                f"{self.num_nodes} nodes"
+            )
+
+    def _check_coordinate(self, coord: Coordinate) -> None:
+        if not self.contains(coord):
+            raise ValueError(f"coordinate {coord} outside mesh {self.shape}")
+
+    # ------------------------------------------------------------------ #
+    # Iteration
+    # ------------------------------------------------------------------ #
+    def nodes(self) -> Iterator[int]:
+        """Iterate over all node ids."""
+        return iter(range(self.num_nodes))
+
+    def coordinates(self) -> Iterator[Coordinate]:
+        """Iterate over all coordinates in node-id order."""
+        for node in self.nodes():
+            yield self.coordinate(node)
+
+    def layer_nodes(self, layer: int) -> List[int]:
+        """Return all node ids on the given layer."""
+        if not 0 <= layer < self.size_z:
+            raise ValueError(f"layer {layer} out of range")
+        start = layer * self.nodes_per_layer
+        return list(range(start, start + self.nodes_per_layer))
+
+    def column_nodes(self, x: int, y: int) -> List[int]:
+        """Return node ids of the vertical column at ``(x, y)``, bottom-up."""
+        if not (0 <= x < self.size_x and 0 <= y < self.size_y):
+            raise ValueError(f"column ({x}, {y}) out of range")
+        return [self.node_id_xyz(x, y, z) for z in range(self.size_z)]
+
+    # ------------------------------------------------------------------ #
+    # Neighbourhood
+    # ------------------------------------------------------------------ #
+    def horizontal_neighbors(self, node_id: int) -> List[int]:
+        """Intra-layer (x/y) neighbours of a node."""
+        coord = self.coordinate(node_id)
+        neighbors: List[int] = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            candidate = Coordinate(coord.x + dx, coord.y + dy, coord.z)
+            if self.contains(candidate):
+                neighbors.append(self.node_id(candidate))
+        return neighbors
+
+    def vertical_neighbors(self, node_id: int) -> List[int]:
+        """Potential vertical neighbours (up/down), ignoring partial links."""
+        coord = self.coordinate(node_id)
+        neighbors: List[int] = []
+        for dz in (1, -1):
+            candidate = Coordinate(coord.x, coord.y, coord.z + dz)
+            if self.contains(candidate):
+                neighbors.append(self.node_id(candidate))
+        return neighbors
+
+    # ------------------------------------------------------------------ #
+    # Distances
+    # ------------------------------------------------------------------ #
+    def manhattan_2d(self, a: int, b: int) -> int:
+        """Intra-layer Manhattan distance between two node ids."""
+        return self.coordinate(a).manhattan_2d(self.coordinate(b))
+
+    def manhattan_3d(self, a: int, b: int) -> int:
+        """Full 3D Manhattan distance between two node ids."""
+        return self.coordinate(a).manhattan_3d(self.coordinate(b))
+
+    def same_layer(self, a: int, b: int) -> bool:
+        """Return ``True`` when both node ids are on the same layer."""
+        return self.coordinate(a).z == self.coordinate(b).z

@@ -1,0 +1,309 @@
+"""Synthetic traffic patterns (uniform, shuffle, transpose, ...).
+
+A traffic pattern answers two questions:
+
+* Online: "node ``i`` wants to inject a packet -- where does it go?"
+  (:meth:`TrafficPattern.destination`).
+* Offline: "what is the expected traffic frequency ``f_ij`` between every
+  pair of nodes?" (:meth:`TrafficPattern.traffic_matrix`), which feeds the
+  elevator-utilization objective of AdEle's offline optimization.
+
+The paper's Table I uses *uniform* and *shuffle* synthetic patterns plus
+real-application traces; additional classic NoC patterns (transpose,
+bit-complement, hotspot, nearest-neighbour) are provided for extension
+studies and tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.topology.mesh3d import Mesh3D
+
+TrafficMatrix = Dict[Tuple[int, int], float]
+
+
+class TrafficPattern:
+    """Base class for destination-selection traffic patterns.
+
+    Args:
+        mesh: The mesh the pattern runs on.
+        seed: Seed for the pattern's private RNG; simulations are
+            reproducible for a fixed seed.
+    """
+
+    name = "base"
+
+    def __init__(self, mesh: Mesh3D, seed: int = 0) -> None:
+        self.mesh = mesh
+        self.rng = random.Random(seed)
+
+    def destination(self, source: int) -> int:
+        """Pick a destination node for a packet injected at ``source``."""
+        raise NotImplementedError
+
+    def traffic_matrix(self) -> TrafficMatrix:
+        """Expected pairwise traffic frequencies ``{(src, dst): f_ij}``.
+
+        Frequencies are normalized so that each source's outgoing
+        frequencies sum to 1 (sources that never inject contribute nothing).
+        """
+        raise NotImplementedError
+
+    def reseed(self, seed: int) -> None:
+        """Reset the pattern's RNG (used between independent runs)."""
+        self.rng = random.Random(seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(mesh={self.mesh!r})"
+
+
+class UniformTraffic(TrafficPattern):
+    """Uniform random traffic: every other node is an equally likely target."""
+
+    name = "uniform"
+
+    def destination(self, source: int) -> int:
+        dst = self.rng.randrange(self.mesh.num_nodes - 1)
+        if dst >= source:
+            dst += 1
+        return dst
+
+    def traffic_matrix(self) -> TrafficMatrix:
+        n = self.mesh.num_nodes
+        weight = 1.0 / (n - 1)
+        return {
+            (src, dst): weight
+            for src in range(n)
+            for dst in range(n)
+            if src != dst
+        }
+
+
+class _DeterministicPattern(TrafficPattern):
+    """Base for patterns with a single destination per source."""
+
+    def _target(self, source: int) -> int:
+        raise NotImplementedError
+
+    def destination(self, source: int) -> int:
+        target = self._target(source)
+        if target == source:
+            # Self-directed pairs are remapped to a uniform random target so
+            # that every node still participates in the workload.
+            return UniformTraffic.destination(self, source)
+        return target
+
+    def traffic_matrix(self) -> TrafficMatrix:
+        n = self.mesh.num_nodes
+        matrix: TrafficMatrix = {}
+        uniform_weight = 1.0 / (n - 1)
+        for src in range(n):
+            target = self._target(src)
+            if target == src:
+                for dst in range(n):
+                    if dst != src:
+                        matrix[(src, dst)] = matrix.get((src, dst), 0.0) + uniform_weight
+            else:
+                matrix[(src, target)] = matrix.get((src, target), 0.0) + 1.0
+        return matrix
+
+
+class ShuffleTraffic(_DeterministicPattern):
+    """Perfect-shuffle traffic: destination id is the source id rotated left.
+
+    The rotation is performed over ``ceil(log2(N))`` bits and re-drawn
+    uniformly when it falls outside the node range (non-power-of-two
+    meshes), following common NoC simulator practice.
+    """
+
+    name = "shuffle"
+
+    def __init__(self, mesh: Mesh3D, seed: int = 0) -> None:
+        super().__init__(mesh, seed)
+        self._bits = max(1, (mesh.num_nodes - 1).bit_length())
+
+    def _target(self, source: int) -> int:
+        rotated = ((source << 1) | (source >> (self._bits - 1))) & (
+            (1 << self._bits) - 1
+        )
+        if rotated >= self.mesh.num_nodes:
+            return source
+        return rotated
+
+
+class BitComplementTraffic(_DeterministicPattern):
+    """Bit-complement traffic: destination is the bitwise complement of source."""
+
+    name = "bit_complement"
+
+    def __init__(self, mesh: Mesh3D, seed: int = 0) -> None:
+        super().__init__(mesh, seed)
+        self._bits = max(1, (mesh.num_nodes - 1).bit_length())
+
+    def _target(self, source: int) -> int:
+        target = (~source) & ((1 << self._bits) - 1)
+        if target >= self.mesh.num_nodes:
+            return source
+        return target
+
+
+class TransposeTraffic(_DeterministicPattern):
+    """Transpose traffic: ``(x, y, z)`` sends to ``(y, x, z_max - z)``.
+
+    The layer flip makes the pattern exercise inter-layer links even on
+    meshes whose horizontal footprint is square, which is the interesting
+    case for elevator selection.
+    """
+
+    name = "transpose"
+
+    def _target(self, source: int) -> int:
+        coord = self.mesh.coordinate(source)
+        if coord.x >= self.mesh.size_y or coord.y >= self.mesh.size_x:
+            return source
+        flipped_z = self.mesh.size_z - 1 - coord.z
+        return self.mesh.node_id_xyz(coord.y, coord.x, flipped_z)
+
+
+class HotspotTraffic(TrafficPattern):
+    """Hotspot traffic: a fraction of packets target a few hotspot nodes.
+
+    Args:
+        mesh: Target mesh.
+        hotspots: Node ids of the hotspots.  Defaults to the mesh centre
+            router of every layer.
+        hotspot_fraction: Probability that a packet targets a hotspot; the
+            remaining packets are uniform random.
+        seed: RNG seed.
+    """
+
+    name = "hotspot"
+
+    def __init__(
+        self,
+        mesh: Mesh3D,
+        hotspots: Optional[List[int]] = None,
+        hotspot_fraction: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(mesh, seed)
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be within [0, 1]")
+        if hotspots is None:
+            hotspots = [
+                mesh.node_id_xyz(mesh.size_x // 2, mesh.size_y // 2, z)
+                for z in range(mesh.size_z)
+            ]
+        if not hotspots:
+            raise ValueError("at least one hotspot is required")
+        for node in hotspots:
+            if not 0 <= node < mesh.num_nodes:
+                raise ValueError(f"hotspot {node} out of range")
+        self.hotspots = list(hotspots)
+        self.hotspot_fraction = hotspot_fraction
+        self._uniform = UniformTraffic(mesh, seed=seed + 1)
+
+    def destination(self, source: int) -> int:
+        if self.rng.random() < self.hotspot_fraction:
+            candidates = [h for h in self.hotspots if h != source]
+            if candidates:
+                return self.rng.choice(candidates)
+        return self._uniform.destination(source)
+
+    def traffic_matrix(self) -> TrafficMatrix:
+        n = self.mesh.num_nodes
+        matrix: TrafficMatrix = {}
+        for src in range(n):
+            hot_candidates = [h for h in self.hotspots if h != src]
+            hot_share = self.hotspot_fraction if hot_candidates else 0.0
+            uniform_share = 1.0 - hot_share
+            per_hot = hot_share / len(hot_candidates) if hot_candidates else 0.0
+            per_uniform = uniform_share / (n - 1)
+            for dst in range(n):
+                if dst == src:
+                    continue
+                weight = per_uniform
+                if dst in hot_candidates:
+                    weight += per_hot
+                if weight > 0.0:
+                    matrix[(src, dst)] = weight
+        return matrix
+
+
+class NeighborTraffic(TrafficPattern):
+    """Nearest-neighbour dominated traffic with occasional long-range packets.
+
+    Args:
+        mesh: Target mesh.
+        local_fraction: Probability of targeting a direct neighbour
+            (horizontal or vertical); remaining packets are uniform.
+        seed: RNG seed.
+    """
+
+    name = "neighbor"
+
+    def __init__(self, mesh: Mesh3D, local_fraction: float = 0.7, seed: int = 0) -> None:
+        super().__init__(mesh, seed)
+        if not 0.0 <= local_fraction <= 1.0:
+            raise ValueError("local_fraction must be within [0, 1]")
+        self.local_fraction = local_fraction
+        self._uniform = UniformTraffic(mesh, seed=seed + 1)
+
+    def _neighbors(self, source: int) -> List[int]:
+        return self.mesh.horizontal_neighbors(source) + self.mesh.vertical_neighbors(
+            source
+        )
+
+    def destination(self, source: int) -> int:
+        neighbors = self._neighbors(source)
+        if neighbors and self.rng.random() < self.local_fraction:
+            return self.rng.choice(neighbors)
+        return self._uniform.destination(source)
+
+    def traffic_matrix(self) -> TrafficMatrix:
+        n = self.mesh.num_nodes
+        matrix: TrafficMatrix = {}
+        for src in range(n):
+            neighbors = self._neighbors(src)
+            local_share = self.local_fraction if neighbors else 0.0
+            per_neighbor = local_share / len(neighbors) if neighbors else 0.0
+            per_uniform = (1.0 - local_share) / (n - 1)
+            for dst in range(n):
+                if dst == src:
+                    continue
+                weight = per_uniform
+                if dst in neighbors:
+                    weight += per_neighbor
+                matrix[(src, dst)] = weight
+        return matrix
+
+
+_PATTERNS = {
+    "uniform": UniformTraffic,
+    "shuffle": ShuffleTraffic,
+    "transpose": TransposeTraffic,
+    "bit_complement": BitComplementTraffic,
+    "hotspot": HotspotTraffic,
+    "neighbor": NeighborTraffic,
+}
+
+
+def make_pattern(name: str, mesh: Mesh3D, seed: int = 0, **kwargs) -> TrafficPattern:
+    """Create a traffic pattern by name.
+
+    Args:
+        name: One of ``uniform``, ``shuffle``, ``transpose``,
+            ``bit_complement``, ``hotspot``, ``neighbor``.
+        mesh: Mesh the pattern runs on.
+        seed: RNG seed.
+        **kwargs: Pattern-specific options (e.g. ``hotspot_fraction``).
+
+    Raises:
+        KeyError: For unknown pattern names.
+    """
+    key = name.lower()
+    if key not in _PATTERNS:
+        raise KeyError(f"unknown traffic pattern {name!r}; available: {sorted(_PATTERNS)}")
+    return _PATTERNS[key](mesh, seed=seed, **kwargs)

@@ -1,0 +1,164 @@
+"""Recorded traffic traces and trace playback.
+
+A :class:`TrafficTrace` is an explicit list of injection events
+``(cycle, source, destination, packet_length)``.  Traces can be recorded
+from any :class:`~repro.traffic.patterns.TrafficPattern` (to freeze a
+workload for reproducible comparisons across routing policies) or built by
+hand in tests.  The simulator's packet source can replay a trace instead of
+sampling a pattern online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.topology.mesh3d import Mesh3D
+from repro.traffic.patterns import TrafficMatrix, TrafficPattern
+
+
+@dataclass(frozen=True, order=True)
+class TraceEvent:
+    """A single packet injection event.
+
+    Attributes:
+        cycle: Simulation cycle at which the packet becomes ready at the
+            source network interface.
+        source: Source node id.
+        destination: Destination node id.
+        length: Packet length in flits (head + body + tail).
+    """
+
+    cycle: int
+    source: int
+    destination: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError("cycle must be non-negative")
+        if self.length < 1:
+            raise ValueError("packet length must be at least one flit")
+        if self.source == self.destination:
+            raise ValueError("source and destination must differ")
+
+
+class TrafficTrace:
+    """An ordered collection of :class:`TraceEvent` objects.
+
+    Args:
+        events: Injection events; they are sorted by cycle internally.
+        mesh: Optional mesh used to validate node ids.
+    """
+
+    def __init__(
+        self, events: Iterable[TraceEvent], mesh: Optional[Mesh3D] = None
+    ) -> None:
+        self.events: List[TraceEvent] = sorted(events)
+        if mesh is not None:
+            for event in self.events:
+                if not (
+                    0 <= event.source < mesh.num_nodes
+                    and 0 <= event.destination < mesh.num_nodes
+                ):
+                    raise ValueError(f"trace event {event} outside mesh {mesh.shape}")
+        self.mesh = mesh
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    @property
+    def duration(self) -> int:
+        """Cycle of the last injection event (0 for an empty trace)."""
+        if not self.events:
+            return 0
+        return self.events[-1].cycle
+
+    def events_by_cycle(self) -> Dict[int, List[TraceEvent]]:
+        """Group events by their injection cycle."""
+        grouped: Dict[int, List[TraceEvent]] = {}
+        for event in self.events:
+            grouped.setdefault(event.cycle, []).append(event)
+        return grouped
+
+    def events_for_source(self, source: int) -> List[TraceEvent]:
+        """All events injected by a given source node."""
+        return [event for event in self.events if event.source == source]
+
+    def total_flits(self) -> int:
+        """Total number of flits injected by the trace."""
+        return sum(event.length for event in self.events)
+
+    def traffic_matrix(self) -> TrafficMatrix:
+        """Empirical traffic matrix of the trace (flit-weighted, normalized).
+
+        Each source's outgoing weights sum to 1, matching the convention of
+        :meth:`repro.traffic.patterns.TrafficPattern.traffic_matrix`.
+        """
+        per_source_total: Dict[int, float] = {}
+        raw: Dict[Tuple[int, int], float] = {}
+        for event in self.events:
+            raw[(event.source, event.destination)] = (
+                raw.get((event.source, event.destination), 0.0) + event.length
+            )
+            per_source_total[event.source] = (
+                per_source_total.get(event.source, 0.0) + event.length
+            )
+        return {
+            pair: weight / per_source_total[pair[0]]
+            for pair, weight in raw.items()
+            if per_source_total[pair[0]] > 0
+        }
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def record(
+        cls,
+        pattern: TrafficPattern,
+        injection_rate: float,
+        cycles: int,
+        min_packet_length: int = 10,
+        max_packet_length: int = 30,
+        seed: int = 0,
+    ) -> "TrafficTrace":
+        """Record a trace by sampling a pattern with a Bernoulli process.
+
+        Args:
+            pattern: Destination-selection pattern.
+            injection_rate: Packet injection rate per node per cycle.
+            cycles: Number of cycles to record.
+            min_packet_length: Minimum packet length in flits.
+            max_packet_length: Maximum packet length in flits.
+            seed: RNG seed for injection timing and packet lengths.
+
+        Returns:
+            The recorded :class:`TrafficTrace`.
+        """
+        import random
+
+        if injection_rate < 0:
+            raise ValueError("injection_rate must be non-negative")
+        if min_packet_length < 1 or max_packet_length < min_packet_length:
+            raise ValueError("invalid packet length bounds")
+        rng = random.Random(seed)
+        packet_probability = injection_rate
+        events: List[TraceEvent] = []
+        for cycle in range(cycles):
+            for source in pattern.mesh.nodes():
+                if rng.random() < packet_probability:
+                    destination = pattern.destination(source)
+                    length = rng.randint(min_packet_length, max_packet_length)
+                    events.append(
+                        TraceEvent(
+                            cycle=cycle,
+                            source=source,
+                            destination=destination,
+                            length=length,
+                        )
+                    )
+        return cls(events, mesh=pattern.mesh)

@@ -1,0 +1,139 @@
+"""Unit tests for the energy and area models."""
+
+import pytest
+
+from repro.area.model import AreaModel
+from repro.energy.model import EnergyModel
+from repro.sim.flit import Packet
+from repro.sim.stats import SimulationStats
+
+
+class TestEnergyModel:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(flit_width_bits=0)
+        with pytest.raises(ValueError):
+            EnergyModel(router_energy_per_bit=-1.0)
+
+    def test_per_flit_energies_scale_with_width(self):
+        narrow = EnergyModel(flit_width_bits=32)
+        wide = EnergyModel(flit_width_bits=64)
+        assert wide.router_energy_per_flit == pytest.approx(
+            2 * narrow.router_energy_per_flit
+        )
+
+    def test_breakdown_counts_events(self):
+        model = EnergyModel()
+        stats = SimulationStats()
+        packet = Packet(source=0, destination=1, length=2, creation_cycle=0)
+        for _ in range(3):
+            stats.record_router_traversal(0, packet, cycle=0)
+        stats.record_link_traversal(vertical=False, packet=packet, cycle=0)
+        stats.record_link_traversal(vertical=True, packet=packet, cycle=0)
+        breakdown = model.breakdown(stats)
+        assert breakdown.router_energy == pytest.approx(3 * model.router_energy_per_flit)
+        assert breakdown.horizontal_link_energy == pytest.approx(model.link_energy_per_flit)
+        assert breakdown.vertical_link_energy == pytest.approx(model.tsv_energy_per_flit)
+        assert breakdown.total == pytest.approx(
+            breakdown.router_energy
+            + breakdown.horizontal_link_energy
+            + breakdown.vertical_link_energy
+        )
+        assert set(breakdown.as_dict()) == {
+            "router",
+            "horizontal_link",
+            "vertical_link",
+            "total",
+        }
+
+    def test_energy_per_flit_zero_without_deliveries(self):
+        assert EnergyModel().energy_per_flit(SimulationStats()) == 0.0
+
+    def test_energy_per_flit_nj(self):
+        model = EnergyModel()
+        stats = SimulationStats()
+        packet = Packet(source=0, destination=1, length=1, creation_cycle=0)
+        stats.record_router_traversal(0, packet, cycle=0)
+        stats.record_flit_delivered(packet, cycle=0)
+        assert model.energy_per_flit_nj(stats) == pytest.approx(
+            model.router_energy_per_flit * 1e9
+        )
+
+    def test_path_energy(self):
+        model = EnergyModel()
+        energy = model.path_energy(horizontal_hops=2, vertical_hops=1)
+        expected = (
+            4 * model.router_energy_per_flit
+            + 2 * model.link_energy_per_flit
+            + 1 * model.tsv_energy_per_flit
+        )
+        assert energy == pytest.approx(expected)
+        with pytest.raises(ValueError):
+            model.path_energy(-1, 0)
+
+    def test_longer_paths_cost_more(self):
+        model = EnergyModel()
+        assert model.path_energy(4, 1) > model.path_energy(2, 1)
+        assert model.path_energy(2, 2) > model.path_energy(2, 1)
+
+    def test_tsv_cheaper_than_horizontal_link(self):
+        model = EnergyModel()
+        assert model.tsv_energy_per_flit < model.link_energy_per_flit
+
+
+class TestAreaModel:
+    def test_baseline_matches_calibration_target(self):
+        model = AreaModel()
+        report = model.baseline_report()
+        assert report.area_um2 == pytest.approx(35550.0, rel=1e-6)
+        assert report.overhead == 0.0
+        assert report.cycles == 1
+
+    def test_adele_overhead_small(self):
+        # Table III: AdEle adds ~3.1 % with no extra pipeline cycle.
+        report = AreaModel().adele_report()
+        assert 0.005 < report.overhead < 0.08
+        assert report.cycles == 1
+        assert report.breakdown.policy_logic > 0
+
+    def test_cda_overhead_larger_than_adele(self):
+        model = AreaModel()
+        adele = model.adele_report()
+        cda = model.cda_report()
+        assert cda.overhead > 2 * adele.overhead
+        assert cda.cycles == 2
+
+    def test_cda_overhead_order_of_magnitude(self):
+        # Table III: CDA adds ~14.4 %.
+        report = AreaModel().cda_report()
+        assert 0.05 < report.overhead < 0.30
+
+    def test_table_contains_three_rows(self):
+        table = AreaModel().table()
+        assert set(table) == {"ElevFirst", "CDA", "AdEle"}
+        assert table["ElevFirst"].area_um2 < table["AdEle"].area_um2 < table["CDA"].area_um2
+
+    def test_cda_table_scales_with_network_size(self):
+        small = AreaModel(num_routers_per_layer=16)
+        large = AreaModel(num_routers_per_layer=64)
+        assert large.cda_report().overhead > small.cda_report().overhead
+
+    def test_adele_area_scales_with_subset_size(self):
+        small = AreaModel(subset_size=2)
+        large = AreaModel(subset_size=6)
+        assert large.adele_report().overhead > small.adele_report().overhead
+
+    def test_breakdown_total_consistent(self):
+        report = AreaModel().adele_report()
+        parts = report.breakdown.as_dict()
+        assert parts["total"] == pytest.approx(
+            parts["buffers"]
+            + parts["crossbar"]
+            + parts["allocators"]
+            + parts["routing_logic"]
+            + parts["policy_logic"]
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AreaModel(num_ports=0)

@@ -1,0 +1,157 @@
+"""Unit tests for packets, flits and input buffers."""
+
+import pytest
+
+from repro.sim.buffer import FlitBuffer
+from repro.sim.flit import Flit, FlitType, Packet
+
+
+class TestPacket:
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(source=0, destination=1, length=0, creation_cycle=0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(source=1, destination=1, length=5, creation_cycle=0)
+
+    def test_unique_ids(self):
+        a = Packet(source=0, destination=1, length=5, creation_cycle=0)
+        b = Packet(source=0, destination=1, length=5, creation_cycle=0)
+        assert a.packet_id != b.packet_id
+
+    def test_make_flits_multi(self):
+        packet = Packet(source=0, destination=1, length=4, creation_cycle=0)
+        flits = packet.make_flits()
+        assert [f.flit_type for f in flits] == [
+            FlitType.HEAD,
+            FlitType.BODY,
+            FlitType.BODY,
+            FlitType.TAIL,
+        ]
+        assert [f.sequence for f in flits] == [0, 1, 2, 3]
+        assert all(f.packet is packet for f in flits)
+
+    def test_make_flits_single(self):
+        packet = Packet(source=0, destination=1, length=1, creation_cycle=0)
+        flits = packet.make_flits()
+        assert len(flits) == 1
+        assert flits[0].flit_type == FlitType.HEAD_TAIL
+        assert flits[0].is_head and flits[0].is_tail
+
+    def test_latency_none_until_delivered(self):
+        packet = Packet(source=0, destination=1, length=3, creation_cycle=10)
+        assert packet.latency is None
+        packet.delivery_cycle = 42
+        assert packet.latency == 32
+
+    def test_network_latency(self):
+        packet = Packet(source=0, destination=1, length=3, creation_cycle=10)
+        packet.injection_cycle = 12
+        packet.delivery_cycle = 30
+        assert packet.network_latency == 18
+
+    def test_source_serialization_latency_eq6(self):
+        # Eq. 6: T = (t_tail - t_head - lp) / lp.
+        packet = Packet(source=0, destination=1, length=10, creation_cycle=0)
+        assert packet.source_serialization_latency() is None
+        packet.head_exit_cycle = 5
+        packet.tail_exit_cycle = 25
+        assert packet.source_serialization_latency() == pytest.approx(1.0)
+
+    def test_unblocked_packet_has_negative_metric(self):
+        packet = Packet(source=0, destination=1, length=10, creation_cycle=0)
+        packet.head_exit_cycle = 0
+        packet.tail_exit_cycle = 9
+        assert packet.source_serialization_latency() == pytest.approx(-0.1)
+
+
+class TestFlitType:
+    def test_head_tail_flags(self):
+        assert FlitType.HEAD.is_head and not FlitType.HEAD.is_tail
+        assert FlitType.TAIL.is_tail and not FlitType.TAIL.is_head
+        assert FlitType.HEAD_TAIL.is_head and FlitType.HEAD_TAIL.is_tail
+        assert not FlitType.BODY.is_head and not FlitType.BODY.is_tail
+
+    def test_flit_destination_proxies_packet(self):
+        packet = Packet(source=0, destination=7, length=2, creation_cycle=0)
+        flit = packet.make_flits()[0]
+        assert flit.destination == 7
+
+
+class TestFlitBuffer:
+    def _flit(self) -> Flit:
+        packet = Packet(source=0, destination=1, length=1, creation_cycle=0)
+        return packet.make_flits()[0]
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlitBuffer(0)
+
+    def test_stage_not_visible_until_commit(self):
+        buf = FlitBuffer(2)
+        buf.stage(self._flit())
+        assert buf.is_empty()
+        assert buf.occupancy == 0
+        assert buf.total_occupancy == 1
+        buf.commit()
+        assert buf.occupancy == 1
+        assert not buf.is_empty()
+
+    def test_free_slots_account_for_staged(self):
+        buf = FlitBuffer(2)
+        buf.stage(self._flit())
+        assert buf.free_slots == 1
+        buf.stage(self._flit())
+        assert buf.free_slots == 0
+        assert buf.is_full()
+
+    def test_overflow_raises(self):
+        buf = FlitBuffer(1)
+        buf.stage(self._flit())
+        with pytest.raises(OverflowError):
+            buf.stage(self._flit())
+
+    def test_fifo_order_preserved(self):
+        buf = FlitBuffer(4)
+        flits = [self._flit() for _ in range(3)]
+        for flit in flits:
+            buf.stage(flit)
+        buf.commit()
+        assert buf.front() is flits[0]
+        assert buf.pop() is flits[0]
+        assert buf.pop() is flits[1]
+        assert buf.pop() is flits[2]
+
+    def test_pop_empty_raises(self):
+        buf = FlitBuffer(1)
+        with pytest.raises(IndexError):
+            buf.pop()
+
+    def test_front_none_when_empty(self):
+        assert FlitBuffer(1).front() is None
+
+    def test_commit_preserves_arrival_order_across_cycles(self):
+        buf = FlitBuffer(4)
+        first = self._flit()
+        second = self._flit()
+        buf.stage(first)
+        buf.commit()
+        buf.stage(second)
+        buf.commit()
+        assert buf.flits() == [first, second]
+
+    def test_clear(self):
+        buf = FlitBuffer(2)
+        buf.stage(self._flit())
+        buf.commit()
+        buf.stage(self._flit())
+        buf.clear()
+        assert buf.occupancy == 0
+        assert buf.total_occupancy == 0
+
+    def test_len_matches_occupancy(self):
+        buf = FlitBuffer(3)
+        buf.stage(self._flit())
+        buf.commit()
+        assert len(buf) == 1

@@ -1,0 +1,139 @@
+"""Unit tests for the 3D mesh geometry."""
+
+import pytest
+
+from repro.topology.mesh3d import Coordinate, Mesh3D
+
+
+class TestCoordinate:
+    def test_manhattan_2d_ignores_layer(self):
+        a = Coordinate(0, 0, 0)
+        b = Coordinate(2, 3, 3)
+        assert a.manhattan_2d(b) == 5
+
+    def test_manhattan_3d_counts_layers(self):
+        a = Coordinate(0, 0, 0)
+        b = Coordinate(2, 3, 3)
+        assert a.manhattan_3d(b) == 8
+
+    def test_same_layer(self):
+        assert Coordinate(1, 2, 0).same_layer(Coordinate(0, 0, 0))
+        assert not Coordinate(1, 2, 1).same_layer(Coordinate(0, 0, 0))
+
+    def test_column(self):
+        assert Coordinate(3, 1, 2).column() == (3, 1)
+
+    def test_as_tuple(self):
+        assert Coordinate(1, 2, 3).as_tuple() == (1, 2, 3)
+
+    def test_ordering_is_stable(self):
+        assert Coordinate(0, 0, 0) < Coordinate(1, 0, 0)
+
+
+class TestMesh3D:
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh3D(0, 4, 4)
+        with pytest.raises(ValueError):
+            Mesh3D(4, -1, 4)
+
+    def test_num_nodes(self):
+        assert Mesh3D(4, 4, 4).num_nodes == 64
+        assert Mesh3D(8, 8, 4).num_nodes == 256
+
+    def test_nodes_per_layer(self):
+        assert Mesh3D(4, 3, 2).nodes_per_layer == 12
+
+    def test_shape(self):
+        assert Mesh3D(2, 3, 4).shape == (2, 3, 4)
+
+    def test_id_coordinate_roundtrip(self):
+        mesh = Mesh3D(3, 4, 2)
+        for node in mesh.nodes():
+            assert mesh.node_id(mesh.coordinate(node)) == node
+
+    def test_coordinate_layout_is_layer_major(self):
+        mesh = Mesh3D(4, 4, 4)
+        assert mesh.coordinate(0) == Coordinate(0, 0, 0)
+        assert mesh.coordinate(1) == Coordinate(1, 0, 0)
+        assert mesh.coordinate(4) == Coordinate(0, 1, 0)
+        assert mesh.coordinate(16) == Coordinate(0, 0, 1)
+
+    def test_node_id_xyz(self):
+        mesh = Mesh3D(4, 4, 4)
+        assert mesh.node_id_xyz(1, 2, 3) == 1 + 2 * 4 + 3 * 16
+
+    def test_out_of_range_node_rejected(self):
+        mesh = Mesh3D(2, 2, 2)
+        with pytest.raises(ValueError):
+            mesh.coordinate(8)
+        with pytest.raises(ValueError):
+            mesh.coordinate(-1)
+
+    def test_out_of_range_coordinate_rejected(self):
+        mesh = Mesh3D(2, 2, 2)
+        with pytest.raises(ValueError):
+            mesh.node_id(Coordinate(2, 0, 0))
+
+    def test_contains(self):
+        mesh = Mesh3D(2, 2, 2)
+        assert mesh.contains(Coordinate(1, 1, 1))
+        assert not mesh.contains(Coordinate(2, 0, 0))
+        assert not mesh.contains(Coordinate(0, 0, -1))
+
+    def test_layer_nodes(self):
+        mesh = Mesh3D(2, 2, 3)
+        assert mesh.layer_nodes(0) == [0, 1, 2, 3]
+        assert mesh.layer_nodes(2) == [8, 9, 10, 11]
+        with pytest.raises(ValueError):
+            mesh.layer_nodes(3)
+
+    def test_column_nodes(self):
+        mesh = Mesh3D(2, 2, 3)
+        assert mesh.column_nodes(1, 0) == [1, 5, 9]
+        with pytest.raises(ValueError):
+            mesh.column_nodes(2, 0)
+
+    def test_horizontal_neighbors_corner(self):
+        mesh = Mesh3D(3, 3, 1)
+        corner = mesh.node_id_xyz(0, 0, 0)
+        assert sorted(mesh.horizontal_neighbors(corner)) == sorted(
+            [mesh.node_id_xyz(1, 0, 0), mesh.node_id_xyz(0, 1, 0)]
+        )
+
+    def test_horizontal_neighbors_center(self):
+        mesh = Mesh3D(3, 3, 1)
+        center = mesh.node_id_xyz(1, 1, 0)
+        assert len(mesh.horizontal_neighbors(center)) == 4
+
+    def test_vertical_neighbors(self):
+        mesh = Mesh3D(2, 2, 3)
+        bottom = mesh.node_id_xyz(0, 0, 0)
+        middle = mesh.node_id_xyz(0, 0, 1)
+        top = mesh.node_id_xyz(0, 0, 2)
+        assert mesh.vertical_neighbors(bottom) == [middle]
+        assert sorted(mesh.vertical_neighbors(middle)) == sorted([bottom, top])
+
+    def test_distances(self):
+        mesh = Mesh3D(4, 4, 4)
+        a = mesh.node_id_xyz(0, 0, 0)
+        b = mesh.node_id_xyz(3, 2, 1)
+        assert mesh.manhattan_2d(a, b) == 5
+        assert mesh.manhattan_3d(a, b) == 6
+
+    def test_same_layer(self):
+        mesh = Mesh3D(2, 2, 2)
+        assert mesh.same_layer(0, 3)
+        assert not mesh.same_layer(0, 4)
+
+    def test_equality_and_hash(self):
+        assert Mesh3D(2, 3, 4) == Mesh3D(2, 3, 4)
+        assert Mesh3D(2, 3, 4) != Mesh3D(4, 3, 2)
+        assert hash(Mesh3D(2, 3, 4)) == hash(Mesh3D(2, 3, 4))
+
+    def test_coordinates_iteration_matches_nodes(self):
+        mesh = Mesh3D(2, 2, 2)
+        coords = list(mesh.coordinates())
+        assert len(coords) == mesh.num_nodes
+        assert coords[0] == Coordinate(0, 0, 0)
+        assert coords[-1] == Coordinate(1, 1, 1)

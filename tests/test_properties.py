@@ -1,0 +1,247 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the invariants the paper's correctness rests on:
+
+* Elevator-First route computation always reaches the destination and never
+  uses a missing vertical link (deadlock-freedom prerequisite);
+* the Pareto archive never contains a dominated point;
+* the objective evaluator agrees with the reference (naive) implementation;
+* buffers never exceed their depth and preserve FIFO order;
+* the skip probability of Eq. 9 stays within [0, 1 - xi].
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.objectives import ObjectiveEvaluator, average_distance, utilization_variance
+from repro.core.pareto import ParetoArchive, dominates
+from repro.core.subset_search import ElevatorSubsetProblem
+from repro.routing.adele import AdElePolicy, AdEleRouterState
+from repro.routing.base import compute_output_port, path_nodes, virtual_network_for
+from repro.sim.buffer import FlitBuffer
+from repro.sim.flit import Packet
+from repro.sim.router import Port, VERTICAL_PORTS
+from repro.topology.elevators import ElevatorPlacement
+from repro.topology.mesh3d import Mesh3D
+from repro.traffic.patterns import UniformTraffic
+
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+mesh_shapes = st.tuples(
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=2, max_value=3),
+)
+
+
+@st.composite
+def mesh_and_placement(draw):
+    shape = draw(mesh_shapes)
+    mesh = Mesh3D(*shape)
+    columns = [(x, y) for x in range(shape[0]) for y in range(shape[1])]
+    count = draw(st.integers(min_value=1, max_value=min(4, len(columns))))
+    chosen = draw(
+        st.lists(
+            st.sampled_from(columns), min_size=count, max_size=count, unique=True
+        )
+    )
+    return mesh, ElevatorPlacement(mesh, chosen)
+
+
+@st.composite
+def routed_pair(draw):
+    mesh, placement = draw(mesh_and_placement())
+    src = draw(st.integers(min_value=0, max_value=mesh.num_nodes - 1))
+    dst = draw(st.integers(min_value=0, max_value=mesh.num_nodes - 1))
+    if src == dst:
+        dst = (dst + 1) % mesh.num_nodes
+    return mesh, placement, src, dst
+
+
+# --------------------------------------------------------------------- #
+# Routing properties
+# --------------------------------------------------------------------- #
+@settings(max_examples=60, deadline=None)
+@given(routed_pair())
+def test_route_always_reaches_destination(data):
+    mesh, placement, src, dst = data
+    elevator = None
+    if not mesh.same_layer(src, dst):
+        elevator = placement.nearest_elevator(src)
+    column = elevator.column if elevator else None
+    path = path_nodes(mesh, src, dst, column)
+    assert path[0] == src
+    assert path[-1] == dst
+    # Path length is bounded by the Manhattan distance via the elevator.
+    if elevator is not None:
+        assert len(path) - 1 == placement.distance_via(src, dst, elevator)
+    else:
+        assert len(path) - 1 == mesh.manhattan_2d(src, dst)
+
+
+@settings(max_examples=60, deadline=None)
+@given(routed_pair())
+def test_route_never_uses_missing_vertical_link(data):
+    mesh, placement, src, dst = data
+    elevator = None
+    if not mesh.same_layer(src, dst):
+        elevator = placement.minimal_path_elevator(src, dst)
+    column = elevator.column if elevator else None
+    current = src
+    for _ in range(4 * mesh.num_nodes):
+        if current == dst:
+            break
+        port = compute_output_port(mesh, current, dst, column)
+        if port == Port.LOCAL:
+            break
+        if port in VERTICAL_PORTS:
+            # Vertical moves only happen on routers that carry an elevator.
+            assert placement.has_elevator(current)
+        coord = mesh.coordinate(current)
+        step = {
+            Port.EAST: (1, 0, 0), Port.WEST: (-1, 0, 0), Port.NORTH: (0, 1, 0),
+            Port.SOUTH: (0, -1, 0), Port.UP: (0, 0, 1), Port.DOWN: (0, 0, -1),
+        }[port]
+        current = mesh.node_id_xyz(coord.x + step[0], coord.y + step[1], coord.z + step[2])
+    assert current == dst
+
+
+@settings(max_examples=60, deadline=None)
+@given(routed_pair())
+def test_vertical_direction_matches_virtual_network(data):
+    mesh, placement, src, dst = data
+    vn = virtual_network_for(mesh, src, dst)
+    if mesh.same_layer(src, dst):
+        return
+    elevator = placement.nearest_elevator(src)
+    path = path_nodes(mesh, src, dst, elevator.column)
+    directions = set()
+    for a, b in zip(path, path[1:]):
+        dz = mesh.coordinate(b).z - mesh.coordinate(a).z
+        if dz != 0:
+            directions.add(dz)
+    # Ascend packets only move up; descend packets only move down.
+    assert directions == ({1} if vn == 0 else {-1})
+
+
+# --------------------------------------------------------------------- #
+# Pareto archive properties
+# --------------------------------------------------------------------- #
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_archive_never_holds_dominated_points(points):
+    archive = ParetoArchive(hard_limit=8, soft_limit=16)
+    for index, point in enumerate(points):
+        archive.add(index, point)
+    assert archive.invariant_holds()
+    assert len(archive) <= 16
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=10, allow_nan=False),
+            st.floats(min_value=0, max_value=10, allow_nan=False),
+        ),
+        min_size=2,
+        max_size=30,
+    )
+)
+def test_archive_keeps_a_non_dominated_representative(points):
+    archive = ParetoArchive(hard_limit=6, soft_limit=10)
+    for index, point in enumerate(points):
+        archive.add(index, point)
+    # Every input point must be dominated-or-equalled by something retained.
+    retained = archive.objective_vectors()
+    for point in points:
+        assert any(
+            vector == point or dominates(vector, point) or not dominates(point, vector)
+            for vector in retained
+        )
+
+
+# --------------------------------------------------------------------- #
+# Objective evaluator property
+# --------------------------------------------------------------------- #
+@settings(max_examples=20, deadline=None)
+@given(mesh_and_placement(), st.integers(min_value=0, max_value=2 ** 30))
+def test_evaluator_matches_reference(data, seed):
+    mesh, placement = data
+    traffic = UniformTraffic(mesh).traffic_matrix()
+    problem = ElevatorSubsetProblem(placement, traffic)
+    solution = problem.random_solution(random.Random(seed))
+    subsets = solution.subsets()
+    evaluator = ObjectiveEvaluator(placement, traffic)
+    assert evaluator.utilization_variance(subsets) == (
+        __import__("pytest").approx(utilization_variance(subsets, placement, traffic))
+    )
+    assert evaluator.average_distance(subsets) == (
+        __import__("pytest").approx(average_distance(subsets, placement))
+    )
+
+
+# --------------------------------------------------------------------- #
+# Buffer properties
+# --------------------------------------------------------------------- #
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.lists(st.sampled_from(["stage", "commit", "pop"]), max_size=60),
+)
+def test_buffer_never_exceeds_depth_and_keeps_fifo(depth, operations):
+    buf = FlitBuffer(depth)
+    packet = Packet(source=0, destination=1, length=1, creation_cycle=0)
+    pushed = []
+    popped = []
+    counter = 0
+    for op in operations:
+        if op == "stage" and not buf.is_full():
+            flit = packet.make_flits()[0]
+            flit.sequence = counter
+            counter += 1
+            pushed.append(flit.sequence)
+            buf.stage(flit)
+        elif op == "commit":
+            buf.commit()
+        elif op == "pop" and not buf.is_empty():
+            popped.append(buf.pop().sequence)
+        assert buf.total_occupancy <= depth
+        assert buf.occupancy <= depth
+    # FIFO: popped sequences must be a prefix of pushed sequences.
+    assert popped == pushed[: len(popped)]
+
+
+# --------------------------------------------------------------------- #
+# AdEle skip-probability property (Eq. 9)
+# --------------------------------------------------------------------- #
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0, max_value=50, allow_nan=False), min_size=2, max_size=6),
+    st.floats(min_value=0.0, max_value=0.3),
+)
+def test_skip_probability_bounded(costs, xi):
+    mesh = Mesh3D(3, 3, 2)
+    columns = [(x, y) for x in range(3) for y in range(3)][: len(costs)]
+    placement = ElevatorPlacement(mesh, columns)
+    policy = AdElePolicy(placement, xi=xi)
+    state = AdEleRouterState(subset=list(placement.elevators))
+    for index, cost in enumerate(costs):
+        state.costs[index] = cost
+    for index in range(len(costs)):
+        probability = policy.skip_probability(state, index)
+        assert 0.0 <= probability <= 1.0 - xi + 1e-12
+    # At least one elevator must always remain selectable outright.
+    assert min(policy.skip_probability(state, i) for i in range(len(costs))) < 1.0

@@ -1,0 +1,260 @@
+"""Unit tests for the router microarchitecture and network wiring."""
+
+import pytest
+
+from repro.routing.elevator_first import ElevatorFirstPolicy
+from repro.sim.flit import FlitType
+from repro.sim.network import Network
+from repro.sim.router import OPPOSITE_PORT, Port, Router
+from repro.topology.elevators import ElevatorPlacement
+from repro.topology.mesh3d import Coordinate, Mesh3D
+
+
+def make_network(columns=((0, 0),), shape=(2, 2, 2)):
+    mesh = Mesh3D(*shape)
+    placement = ElevatorPlacement(mesh, list(columns))
+    return Network(placement, ElevatorFirstPolicy(placement))
+
+
+class TestRouterBasics:
+    def test_requires_vc(self):
+        with pytest.raises(ValueError):
+            Router(0, Coordinate(0, 0, 0), num_vcs=0)
+
+    def test_buffers_created_for_all_ports_and_vcs(self):
+        router = Router(0, Coordinate(0, 0, 0), num_vcs=2, buffer_depth=4)
+        assert len(router.input_buffers) == len(Port) * 2
+        assert router.buffer(Port.LOCAL, 0).depth == 4
+
+    def test_occupancy_queries(self):
+        router = Router(0, Coordinate(0, 0, 0))
+        assert router.buffer_occupancy() == 0
+        assert router.total_occupancy() == 0
+        assert not router.has_traffic()
+
+    def test_reset_clears_state(self, small_network):
+        router = small_network.router(0)
+        packet = small_network.create_packet(0, 4, 2, cycle=0)
+        small_network.inject(0)
+        router.commit_arrivals()
+        assert router.has_traffic()
+        router.reset()
+        assert not router.has_traffic()
+        assert packet.delivery_cycle is None
+
+
+class TestOppositePorts:
+    @pytest.mark.parametrize(
+        "port,opposite",
+        [
+            (Port.EAST, Port.WEST),
+            (Port.WEST, Port.EAST),
+            (Port.NORTH, Port.SOUTH),
+            (Port.SOUTH, Port.NORTH),
+            (Port.UP, Port.DOWN),
+            (Port.DOWN, Port.UP),
+        ],
+    )
+    def test_pairs(self, port, opposite):
+        assert OPPOSITE_PORT[port] == opposite
+
+
+class TestNetworkWiring:
+    def test_requires_two_vcs(self):
+        mesh = Mesh3D(2, 2, 2)
+        placement = ElevatorPlacement(mesh, [(0, 0)])
+        with pytest.raises(ValueError):
+            Network(placement, ElevatorFirstPolicy(placement), num_vcs=1)
+
+    def test_horizontal_links_everywhere(self):
+        network = make_network()
+        mesh = network.mesh
+        origin = mesh.node_id_xyz(0, 0, 0)
+        assert network.neighbor(origin, Port.EAST) == mesh.node_id_xyz(1, 0, 0)
+        assert network.neighbor(origin, Port.NORTH) == mesh.node_id_xyz(0, 1, 0)
+        assert network.neighbor(origin, Port.WEST) is None  # mesh edge
+        assert network.neighbor(origin, Port.SOUTH) is None
+
+    def test_vertical_links_only_at_elevators(self):
+        network = make_network()
+        mesh = network.mesh
+        elevator_node = mesh.node_id_xyz(0, 0, 0)
+        plain_node = mesh.node_id_xyz(1, 1, 0)
+        assert network.neighbor(elevator_node, Port.UP) == mesh.node_id_xyz(0, 0, 1)
+        assert network.neighbor(plain_node, Port.UP) is None
+        assert not network.link_exists(plain_node, Port.UP)
+        assert network.link_exists(elevator_node, Port.UP)
+
+    def test_local_port_always_exists(self):
+        network = make_network()
+        assert network.link_exists(0, Port.LOCAL)
+
+    def test_downstream_has_space_checks_vc_buffer(self):
+        network = make_network()
+        mesh = network.mesh
+        origin = mesh.node_id_xyz(0, 0, 0)
+        east = mesh.node_id_xyz(1, 0, 0)
+        assert network.downstream_has_space(origin, Port.EAST, 0)
+        # Fill the east router's WEST/vc0 buffer.
+        target = network.router(east).buffer(Port.WEST, 0)
+        packet = network.create_packet(origin, east, target.depth, cycle=0)
+        for flit in packet.make_flits():
+            target.stage(flit)
+        assert not network.downstream_has_space(origin, Port.EAST, 0)
+        assert network.downstream_has_space(origin, Port.EAST, 1)
+
+    def test_downstream_missing_link_has_no_space(self):
+        network = make_network()
+        plain_node = network.mesh.node_id_xyz(1, 1, 0)
+        assert not network.downstream_has_space(plain_node, Port.UP, 0)
+
+    def test_elevator_nodes_by_index(self):
+        network = make_network(columns=((0, 0), (1, 1)))
+        nodes = network.elevator_nodes_by_index()
+        assert set(nodes.keys()) == {0, 1}
+        assert all(len(column) == network.mesh.num_layers for column in nodes.values())
+
+
+class TestPacketInjectionAndDelivery:
+    def test_create_packet_assigns_vn_and_elevator(self):
+        network = make_network()
+        mesh = network.mesh
+        src = mesh.node_id_xyz(1, 1, 0)
+        dst = mesh.node_id_xyz(1, 1, 1)
+        packet = network.create_packet(src, dst, 4, cycle=0)
+        assert packet.virtual_network == 0
+        assert packet.elevator_index == 0
+        assert packet.elevator_column == (0, 0)
+
+    def test_same_layer_packet_has_no_elevator(self):
+        network = make_network()
+        mesh = network.mesh
+        packet = network.create_packet(
+            mesh.node_id_xyz(0, 0, 0), mesh.node_id_xyz(1, 1, 0), 4, cycle=0
+        )
+        assert packet.elevator_index is None
+
+    def test_inject_moves_flits_into_local_buffer(self):
+        network = make_network()
+        mesh = network.mesh
+        src = mesh.node_id_xyz(0, 0, 0)
+        dst = mesh.node_id_xyz(1, 0, 0)
+        packet = network.create_packet(src, dst, 3, cycle=0)
+        assert network.pending_injections() == 3
+        network.inject(cycle=0)
+        # Buffer depth 4 accepts the whole packet.
+        assert network.pending_injections() == 0
+        assert packet.injection_cycle == 0
+
+    def test_inject_respects_buffer_depth(self):
+        network = make_network()
+        mesh = network.mesh
+        src = mesh.node_id_xyz(0, 0, 0)
+        dst = mesh.node_id_xyz(1, 0, 0)
+        network.create_packet(src, dst, 10, cycle=0)
+        network.inject(cycle=0)
+        assert network.pending_injections() == 6  # 4-flit deep LOCAL buffer
+
+    def test_single_hop_delivery(self):
+        network = make_network()
+        mesh = network.mesh
+        src = mesh.node_id_xyz(0, 0, 0)
+        dst = mesh.node_id_xyz(1, 0, 0)
+        packet = network.create_packet(src, dst, 2, cycle=0)
+        for cycle in range(20):
+            network.inject(cycle)
+            network.step(cycle)
+            if packet.delivery_cycle is not None:
+                break
+        assert packet.delivery_cycle is not None
+        assert packet.hops == 1
+        assert packet.vertical_hops == 0
+        assert network.is_idle()
+        assert network.in_flight_packets == 0
+
+    def test_interlayer_delivery_uses_elevator(self):
+        network = make_network()
+        mesh = network.mesh
+        src = mesh.node_id_xyz(1, 1, 0)
+        dst = mesh.node_id_xyz(1, 0, 1)
+        packet = network.create_packet(src, dst, 3, cycle=0)
+        for cycle in range(60):
+            network.inject(cycle)
+            network.step(cycle)
+            if packet.delivery_cycle is not None:
+                break
+        assert packet.delivery_cycle is not None
+        assert packet.vertical_hops == 1
+        # Path: (1,1,0)->(0,1,0)->(0,0,0)->up->(0,0,1)->(1,0,1): 4 hops.
+        assert packet.hops == 4
+
+    def test_downward_packet_uses_descend_vn(self):
+        network = make_network()
+        mesh = network.mesh
+        src = mesh.node_id_xyz(1, 1, 1)
+        dst = mesh.node_id_xyz(1, 1, 0)
+        packet = network.create_packet(src, dst, 2, cycle=0)
+        assert packet.virtual_network == 1
+        for cycle in range(60):
+            network.inject(cycle)
+            network.step(cycle)
+            if packet.delivery_cycle is not None:
+                break
+        assert packet.delivery_cycle is not None
+
+    def test_head_and_tail_exit_cycles_recorded(self):
+        network = make_network()
+        mesh = network.mesh
+        src = mesh.node_id_xyz(0, 0, 0)
+        dst = mesh.node_id_xyz(1, 1, 0)
+        packet = network.create_packet(src, dst, 3, cycle=0)
+        for cycle in range(30):
+            network.inject(cycle)
+            network.step(cycle)
+        assert packet.head_exit_cycle is not None
+        assert packet.tail_exit_cycle is not None
+        assert packet.tail_exit_cycle >= packet.head_exit_cycle + packet.length - 1
+
+    def test_reset_restores_empty_network(self):
+        network = make_network()
+        mesh = network.mesh
+        network.create_packet(
+            mesh.node_id_xyz(0, 0, 0), mesh.node_id_xyz(1, 1, 1), 4, cycle=0
+        )
+        network.inject(0)
+        network.step(0)
+        network.reset()
+        assert network.is_idle()
+        assert network.in_flight_packets == 0
+        assert network.stats.packets_created == 0
+
+
+class TestWormholeDiscipline:
+    def test_packets_do_not_interleave_on_a_link(self):
+        """Two packets sharing an output link must not interleave flits."""
+        network = make_network(shape=(3, 1, 1), columns=())
+        mesh = network.mesh
+        left = mesh.node_id_xyz(0, 0, 0)
+        middle = mesh.node_id_xyz(1, 0, 0)
+        right = mesh.node_id_xyz(2, 0, 0)
+        # Both packets traverse middle -> right on the same VC.
+        a = network.create_packet(left, right, 4, cycle=0)
+        b = network.create_packet(middle, right, 4, cycle=0)
+        arrivals = []
+        original = network.deliver_flit
+
+        def tracking_deliver(node_id, in_key, out_port, out_vc, flit, cycle):
+            if node_id == right and out_port == Port.LOCAL:
+                arrivals.append(flit.packet.packet_id)
+            return original(node_id, in_key, out_port, out_vc, flit, cycle)
+
+        network.deliver_flit = tracking_deliver
+        for cycle in range(60):
+            network.inject(cycle)
+            network.step(cycle)
+        assert a.delivery_cycle is not None and b.delivery_cycle is not None
+        # All flits of one packet arrive contiguously.
+        switches = sum(
+            1 for i in range(1, len(arrivals)) if arrivals[i] != arrivals[i - 1]
+        )
+        assert switches == 1

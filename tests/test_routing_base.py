@@ -1,0 +1,135 @@
+"""Unit tests for the Elevator-First route computation and VC discipline."""
+
+import pytest
+
+from repro.routing.base import (
+    ASCEND_VN,
+    DESCEND_VN,
+    compute_output_port,
+    path_nodes,
+    virtual_network_for,
+)
+from repro.sim.flit import Packet
+from repro.sim.router import Port
+from repro.routing.base import RouteComputation
+from repro.topology.mesh3d import Mesh3D
+
+
+@pytest.fixture
+def mesh():
+    return Mesh3D(4, 4, 4)
+
+
+class TestVirtualNetworkAssignment:
+    def test_ascending_packets_use_vn0(self, mesh):
+        src = mesh.node_id_xyz(0, 0, 0)
+        dst = mesh.node_id_xyz(3, 3, 2)
+        assert virtual_network_for(mesh, src, dst) == ASCEND_VN
+
+    def test_descending_packets_use_vn1(self, mesh):
+        src = mesh.node_id_xyz(0, 0, 3)
+        dst = mesh.node_id_xyz(1, 1, 0)
+        assert virtual_network_for(mesh, src, dst) == DESCEND_VN
+
+    def test_same_layer_defaults_to_vn0(self, mesh):
+        src = mesh.node_id_xyz(0, 0, 1)
+        dst = mesh.node_id_xyz(3, 0, 1)
+        assert virtual_network_for(mesh, src, dst) == ASCEND_VN
+
+
+class TestComputeOutputPort:
+    def test_same_layer_xy_routing_x_first(self, mesh):
+        src = mesh.node_id_xyz(0, 0, 0)
+        dst = mesh.node_id_xyz(2, 2, 0)
+        assert compute_output_port(mesh, src, dst, None) == Port.EAST
+
+    def test_same_layer_y_after_x(self, mesh):
+        cur = mesh.node_id_xyz(2, 0, 0)
+        dst = mesh.node_id_xyz(2, 2, 0)
+        assert compute_output_port(mesh, cur, dst, None) == Port.NORTH
+
+    def test_local_delivery(self, mesh):
+        node = mesh.node_id_xyz(1, 1, 1)
+        assert compute_output_port(mesh, node, node, None) == Port.LOCAL
+
+    def test_interlayer_routes_toward_elevator(self, mesh):
+        cur = mesh.node_id_xyz(0, 0, 0)
+        dst = mesh.node_id_xyz(0, 0, 2)
+        assert compute_output_port(mesh, cur, dst, (2, 0)) == Port.EAST
+
+    def test_interlayer_goes_up_at_elevator(self, mesh):
+        cur = mesh.node_id_xyz(2, 0, 0)
+        dst = mesh.node_id_xyz(0, 0, 2)
+        assert compute_output_port(mesh, cur, dst, (2, 0)) == Port.UP
+
+    def test_interlayer_goes_down_at_elevator(self, mesh):
+        cur = mesh.node_id_xyz(2, 0, 3)
+        dst = mesh.node_id_xyz(0, 0, 1)
+        assert compute_output_port(mesh, cur, dst, (2, 0)) == Port.DOWN
+
+    def test_after_vertical_xy_to_destination(self, mesh):
+        cur = mesh.node_id_xyz(2, 0, 2)
+        dst = mesh.node_id_xyz(0, 3, 2)
+        assert compute_output_port(mesh, cur, dst, (2, 0)) == Port.WEST
+
+    def test_interlayer_without_elevator_raises(self, mesh):
+        cur = mesh.node_id_xyz(0, 0, 0)
+        dst = mesh.node_id_xyz(0, 0, 1)
+        with pytest.raises(ValueError):
+            compute_output_port(mesh, cur, dst, None)
+
+    def test_westward_and_southward(self, mesh):
+        cur = mesh.node_id_xyz(3, 3, 1)
+        dst = mesh.node_id_xyz(1, 3, 1)
+        assert compute_output_port(mesh, cur, dst, None) == Port.WEST
+        cur2 = mesh.node_id_xyz(1, 3, 1)
+        dst2 = mesh.node_id_xyz(1, 0, 1)
+        assert compute_output_port(mesh, cur2, dst2, None) == Port.SOUTH
+
+
+class TestPathNodes:
+    def test_path_structure_source_elevator_destination(self, mesh):
+        src = mesh.node_id_xyz(0, 0, 0)
+        dst = mesh.node_id_xyz(3, 3, 1)
+        path = path_nodes(mesh, src, dst, (1, 1))
+        assert path[0] == src
+        assert path[-1] == dst
+        # The elevator's column must appear on both layers.
+        columns = [mesh.coordinate(n).column() for n in path]
+        assert (1, 1) in columns
+        layers = [mesh.coordinate(n).z for n in path]
+        assert layers == sorted(layers)  # monotone ascent for an up packet
+
+    def test_path_length_matches_distance_via(self, mesh):
+        from repro.topology.elevators import ElevatorPlacement
+
+        placement = ElevatorPlacement(mesh, [(1, 1)])
+        src = mesh.node_id_xyz(0, 3, 0)
+        dst = mesh.node_id_xyz(3, 0, 2)
+        elevator = placement.elevator_by_index(0)
+        path = path_nodes(mesh, src, dst, elevator.column)
+        assert len(path) - 1 == placement.distance_via(src, dst, elevator)
+
+    def test_same_layer_path_is_xy(self, mesh):
+        src = mesh.node_id_xyz(0, 0, 2)
+        dst = mesh.node_id_xyz(2, 1, 2)
+        path = path_nodes(mesh, src, dst, None)
+        assert len(path) - 1 == 3
+
+    def test_path_of_adjacent_nodes(self, mesh):
+        src = mesh.node_id_xyz(0, 0, 0)
+        dst = mesh.node_id_xyz(1, 0, 0)
+        assert path_nodes(mesh, src, dst, None) == [src, dst]
+
+
+class TestRouteComputation:
+    def test_callable_uses_packet_fields(self, mesh):
+        route = RouteComputation(mesh)
+        packet = Packet(
+            source=mesh.node_id_xyz(0, 0, 0),
+            destination=mesh.node_id_xyz(0, 0, 1),
+            length=2,
+            creation_cycle=0,
+            elevator_column=(0, 0),
+        )
+        assert route(mesh.node_id_xyz(0, 0, 0), packet) == Port.UP

@@ -1,0 +1,194 @@
+"""Unit tests for traffic traces and packet sources."""
+
+import pytest
+
+from repro.topology.mesh3d import Mesh3D
+from repro.traffic.generator import (
+    BernoulliPacketSource,
+    CompositePacketSource,
+    TracePacketSource,
+    make_packet_source,
+)
+from repro.traffic.patterns import UniformTraffic
+from repro.traffic.trace import TraceEvent, TrafficTrace
+
+
+@pytest.fixture
+def mesh():
+    return Mesh3D(2, 2, 2)
+
+
+class TestTraceEvent:
+    def test_valid_event(self):
+        event = TraceEvent(cycle=3, source=0, destination=1, length=10)
+        assert event.cycle == 3
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent(cycle=-1, source=0, destination=1, length=10)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent(cycle=0, source=0, destination=1, length=0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent(cycle=0, source=2, destination=2, length=5)
+
+
+class TestTrafficTrace:
+    def test_events_sorted_by_cycle(self):
+        events = [
+            TraceEvent(cycle=5, source=0, destination=1, length=2),
+            TraceEvent(cycle=1, source=1, destination=2, length=2),
+        ]
+        trace = TrafficTrace(events)
+        assert [e.cycle for e in trace] == [1, 5]
+
+    def test_node_validation_against_mesh(self, mesh):
+        events = [TraceEvent(cycle=0, source=0, destination=99, length=2)]
+        with pytest.raises(ValueError):
+            TrafficTrace(events, mesh=mesh)
+
+    def test_duration_and_totals(self):
+        events = [
+            TraceEvent(cycle=0, source=0, destination=1, length=3),
+            TraceEvent(cycle=7, source=1, destination=0, length=5),
+        ]
+        trace = TrafficTrace(events)
+        assert trace.duration == 7
+        assert trace.total_flits() == 8
+        assert len(trace) == 2
+
+    def test_empty_trace(self):
+        trace = TrafficTrace([])
+        assert trace.duration == 0
+        assert trace.total_flits() == 0
+
+    def test_events_by_cycle_and_source(self):
+        events = [
+            TraceEvent(cycle=2, source=0, destination=1, length=1),
+            TraceEvent(cycle=2, source=1, destination=0, length=1),
+            TraceEvent(cycle=4, source=0, destination=2, length=1),
+        ]
+        trace = TrafficTrace(events)
+        assert len(trace.events_by_cycle()[2]) == 2
+        assert len(trace.events_for_source(0)) == 2
+
+    def test_traffic_matrix_normalized_per_source(self):
+        events = [
+            TraceEvent(cycle=0, source=0, destination=1, length=10),
+            TraceEvent(cycle=1, source=0, destination=2, length=30),
+        ]
+        matrix = TrafficTrace(events).traffic_matrix()
+        assert matrix[(0, 1)] == pytest.approx(0.25)
+        assert matrix[(0, 2)] == pytest.approx(0.75)
+
+    def test_record_from_pattern(self, mesh):
+        pattern = UniformTraffic(mesh, seed=3)
+        trace = TrafficTrace.record(pattern, injection_rate=0.5, cycles=50, seed=3)
+        assert len(trace) > 0
+        assert all(10 <= event.length <= 30 for event in trace)
+        assert all(event.cycle < 50 for event in trace)
+
+    def test_record_validates_arguments(self, mesh):
+        pattern = UniformTraffic(mesh)
+        with pytest.raises(ValueError):
+            TrafficTrace.record(pattern, injection_rate=-1, cycles=10)
+        with pytest.raises(ValueError):
+            TrafficTrace.record(
+                pattern, injection_rate=0.1, cycles=10, min_packet_length=5,
+                max_packet_length=2,
+            )
+
+
+class TestBernoulliPacketSource:
+    def test_rate_zero_produces_nothing(self, mesh):
+        source = BernoulliPacketSource(UniformTraffic(mesh), injection_rate=0.0)
+        assert all(not source.requests(cycle) for cycle in range(20))
+
+    def test_requests_respect_packet_length_bounds(self, mesh):
+        source = BernoulliPacketSource(
+            UniformTraffic(mesh, seed=1), injection_rate=0.9, seed=1
+        )
+        lengths = [r.length for c in range(10) for r in source.requests(c)]
+        assert lengths
+        assert all(10 <= length <= 30 for length in lengths)
+
+    def test_injection_rate_statistics(self, mesh):
+        rate = 0.3
+        source = BernoulliPacketSource(
+            UniformTraffic(mesh, seed=2), injection_rate=rate, seed=2
+        )
+        cycles = 400
+        total = sum(len(source.requests(c)) for c in range(cycles))
+        expected = rate * mesh.num_nodes * cycles
+        assert expected * 0.8 < total < expected * 1.2
+
+    def test_reset_reproduces_stream(self, mesh):
+        source = BernoulliPacketSource(
+            UniformTraffic(mesh, seed=4), injection_rate=0.5, seed=4
+        )
+        first = [tuple((r.source, r.destination, r.length) for r in source.requests(c)) for c in range(10)]
+        source.reset()
+        second = [tuple((r.source, r.destination, r.length) for r in source.requests(c)) for c in range(10)]
+        assert first == second
+
+    def test_invalid_arguments(self, mesh):
+        with pytest.raises(ValueError):
+            BernoulliPacketSource(UniformTraffic(mesh), injection_rate=-0.1)
+        with pytest.raises(ValueError):
+            BernoulliPacketSource(
+                UniformTraffic(mesh), injection_rate=0.1, min_packet_length=0
+            )
+
+
+class TestTracePacketSource:
+    def test_replay_matches_trace(self):
+        events = [
+            TraceEvent(cycle=1, source=0, destination=1, length=4),
+            TraceEvent(cycle=3, source=1, destination=2, length=6),
+        ]
+        source = TracePacketSource(TrafficTrace(events))
+        assert source.requests(0) == []
+        assert len(source.requests(1)) == 1
+        assert source.requests(1)[0].length == 4
+        assert len(source.requests(3)) == 1
+        assert source.requests(10) == []
+
+    def test_repeat_wraps_around(self):
+        events = [TraceEvent(cycle=1, source=0, destination=1, length=4)]
+        source = TracePacketSource(TrafficTrace(events), repeat=True)
+        assert len(source.requests(1)) == 1
+        assert len(source.requests(3)) == 1  # period is 2 -> cycle 3 maps to 1
+
+    def test_empty_trace_source(self):
+        source = TracePacketSource(TrafficTrace([]))
+        assert source.requests(0) == []
+
+
+class TestCompositeAndFactory:
+    def test_composite_merges_sources(self, mesh):
+        events = [TraceEvent(cycle=0, source=0, destination=1, length=4)]
+        composite = CompositePacketSource(
+            [
+                TracePacketSource(TrafficTrace(events)),
+                TracePacketSource(TrafficTrace(events)),
+            ]
+        )
+        assert len(composite.requests(0)) == 2
+        composite.reset()
+
+    def test_composite_requires_sources(self):
+        with pytest.raises(ValueError):
+            CompositePacketSource([])
+
+    def test_factory_requires_exactly_one_input(self, mesh):
+        pattern = UniformTraffic(mesh)
+        trace = TrafficTrace([])
+        with pytest.raises(ValueError):
+            make_packet_source()
+        with pytest.raises(ValueError):
+            make_packet_source(pattern=pattern, trace=trace)
+        assert isinstance(make_packet_source(pattern=pattern, injection_rate=0.1), BernoulliPacketSource)
+        assert isinstance(make_packet_source(trace=trace), TracePacketSource)

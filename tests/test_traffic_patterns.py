@@ -1,0 +1,180 @@
+"""Unit tests for synthetic traffic patterns."""
+
+import pytest
+
+from repro.topology.mesh3d import Mesh3D
+from repro.traffic.patterns import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    NeighborTraffic,
+    ShuffleTraffic,
+    TransposeTraffic,
+    UniformTraffic,
+    make_pattern,
+)
+
+
+@pytest.fixture
+def mesh():
+    return Mesh3D(4, 4, 4)
+
+
+class TestUniformTraffic:
+    def test_destination_never_equals_source(self, mesh):
+        pattern = UniformTraffic(mesh, seed=1)
+        for source in range(mesh.num_nodes):
+            for _ in range(5):
+                assert pattern.destination(source) != source
+
+    def test_destination_in_range(self, mesh):
+        pattern = UniformTraffic(mesh, seed=2)
+        for _ in range(100):
+            dst = pattern.destination(0)
+            assert 0 <= dst < mesh.num_nodes
+
+    def test_traffic_matrix_rows_sum_to_one(self, mesh):
+        matrix = UniformTraffic(mesh).traffic_matrix()
+        for src in range(mesh.num_nodes):
+            row = sum(w for (s, _d), w in matrix.items() if s == src)
+            assert row == pytest.approx(1.0)
+
+    def test_traffic_matrix_has_no_self_pairs(self, mesh):
+        matrix = UniformTraffic(mesh).traffic_matrix()
+        assert all(src != dst for (src, dst) in matrix)
+
+    def test_reseed_reproduces_sequence(self, mesh):
+        pattern = UniformTraffic(mesh, seed=5)
+        first = [pattern.destination(3) for _ in range(10)]
+        pattern.reseed(5)
+        second = [pattern.destination(3) for _ in range(10)]
+        assert first == second
+
+
+class TestShuffleTraffic:
+    def test_deterministic_target(self, mesh):
+        pattern = ShuffleTraffic(mesh)
+        # 64 nodes -> 6 bits; shuffle of 1 (000001) is 2 (000010).
+        assert pattern.destination(1) == 2
+        # 32 (100000) rotates to 1 (000001).
+        assert pattern.destination(32) == 1
+
+    def test_matrix_rows_sum_to_one(self, mesh):
+        matrix = ShuffleTraffic(mesh).traffic_matrix()
+        for src in range(mesh.num_nodes):
+            row = sum(w for (s, _d), w in matrix.items() if s == src)
+            assert row == pytest.approx(1.0)
+
+    def test_self_mapping_falls_back_to_uniform(self, mesh):
+        pattern = ShuffleTraffic(mesh, seed=3)
+        # Node 0 shuffles onto itself; the online draw must avoid self.
+        assert pattern.destination(0) != 0
+
+    def test_non_power_of_two_mesh(self):
+        mesh = Mesh3D(3, 3, 2)
+        pattern = ShuffleTraffic(mesh)
+        for source in range(mesh.num_nodes):
+            dst = pattern.destination(source)
+            assert 0 <= dst < mesh.num_nodes and dst != source
+
+
+class TestBitComplementTraffic:
+    def test_complement_mapping(self, mesh):
+        pattern = BitComplementTraffic(mesh)
+        assert pattern.destination(0) == 63
+        assert pattern.destination(5) == 58
+
+    def test_matrix_is_symmetric_pairing(self, mesh):
+        matrix = BitComplementTraffic(mesh).traffic_matrix()
+        assert matrix[(0, 63)] == pytest.approx(1.0)
+        assert matrix[(63, 0)] == pytest.approx(1.0)
+
+
+class TestTransposeTraffic:
+    def test_transpose_flips_xy_and_layer(self, mesh):
+        pattern = TransposeTraffic(mesh)
+        src = mesh.node_id_xyz(1, 2, 0)
+        expected = mesh.node_id_xyz(2, 1, 3)
+        assert pattern.destination(src) == expected
+
+    def test_matrix_rows_sum_to_one(self, mesh):
+        matrix = TransposeTraffic(mesh).traffic_matrix()
+        for src in range(mesh.num_nodes):
+            row = sum(w for (s, _d), w in matrix.items() if s == src)
+            assert row == pytest.approx(1.0)
+
+
+class TestHotspotTraffic:
+    def test_invalid_fraction_rejected(self, mesh):
+        with pytest.raises(ValueError):
+            HotspotTraffic(mesh, hotspot_fraction=1.5)
+
+    def test_invalid_hotspot_rejected(self, mesh):
+        with pytest.raises(ValueError):
+            HotspotTraffic(mesh, hotspots=[999])
+
+    def test_hotspots_receive_extra_traffic(self, mesh):
+        hotspot = mesh.node_id_xyz(2, 2, 0)
+        pattern = HotspotTraffic(mesh, hotspots=[hotspot], hotspot_fraction=0.5, seed=4)
+        matrix = pattern.traffic_matrix()
+        hot_weight = matrix[(0, hotspot)]
+        other_weight = matrix[(0, 1)]
+        assert hot_weight > 5 * other_weight
+
+    def test_matrix_rows_sum_to_one(self, mesh):
+        pattern = HotspotTraffic(mesh, hotspot_fraction=0.3)
+        matrix = pattern.traffic_matrix()
+        for src in range(mesh.num_nodes):
+            row = sum(w for (s, _d), w in matrix.items() if s == src)
+            assert row == pytest.approx(1.0)
+
+    def test_destination_avoids_source(self, mesh):
+        pattern = HotspotTraffic(mesh, hotspots=[0], hotspot_fraction=0.9, seed=2)
+        for _ in range(50):
+            assert pattern.destination(0) != 0
+
+
+class TestNeighborTraffic:
+    def test_invalid_fraction_rejected(self, mesh):
+        with pytest.raises(ValueError):
+            NeighborTraffic(mesh, local_fraction=-0.1)
+
+    def test_neighbors_dominate(self, mesh):
+        pattern = NeighborTraffic(mesh, local_fraction=0.8, seed=1)
+        matrix = pattern.traffic_matrix()
+        src = mesh.node_id_xyz(1, 1, 1)
+        neighbor = mesh.node_id_xyz(2, 1, 1)
+        distant = mesh.node_id_xyz(3, 3, 3)
+        assert matrix[(src, neighbor)] > matrix[(src, distant)]
+
+    def test_matrix_rows_sum_to_one(self, mesh):
+        matrix = NeighborTraffic(mesh).traffic_matrix()
+        for src in range(mesh.num_nodes):
+            row = sum(w for (s, _d), w in matrix.items() if s == src)
+            assert row == pytest.approx(1.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("uniform", UniformTraffic),
+            ("shuffle", ShuffleTraffic),
+            ("transpose", TransposeTraffic),
+            ("bit_complement", BitComplementTraffic),
+            ("hotspot", HotspotTraffic),
+            ("neighbor", NeighborTraffic),
+        ],
+    )
+    def test_make_pattern(self, mesh, name, cls):
+        assert isinstance(make_pattern(name, mesh), cls)
+
+    def test_make_pattern_case_insensitive(self, mesh):
+        assert isinstance(make_pattern("Uniform", mesh), UniformTraffic)
+
+    def test_unknown_pattern(self, mesh):
+        with pytest.raises(KeyError):
+            make_pattern("tornado", mesh)
+
+    def test_pattern_specific_kwargs(self, mesh):
+        pattern = make_pattern("hotspot", mesh, hotspot_fraction=0.7)
+        assert pattern.hotspot_fraction == 0.7
