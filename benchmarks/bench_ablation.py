@@ -12,14 +12,9 @@ quantifying separately:
 
 from __future__ import annotations
 
-from conftest import SMALL_MESH_CYCLES, record_rows
+from conftest import SMALL_MESH_CYCLES, record_rows, run_grid
 
-from repro.analysis.runner import (
-    ExperimentConfig,
-    adele_design_for,
-    build_packet_source,
-    run_experiment,
-)
+from repro.analysis.runner import ExperimentConfig, build_packet_source
 from repro.energy.model import EnergyModel
 from repro.routing.cda import CDAPolicy
 from repro.sim.engine import Simulator
@@ -31,9 +26,8 @@ SEEDS = (1, 2)
 
 
 def _mean_latency(config: ExperimentConfig) -> float:
-    latencies = []
-    for seed in SEEDS:
-        latencies.append(run_experiment(config.with_(seed=seed)).average_latency)
+    outcomes = run_grid([config.with_(seed=seed) for seed in SEEDS])
+    latencies = [outcome.summary["average_latency"] for outcome in outcomes]
     return sum(latencies) / len(latencies)
 
 

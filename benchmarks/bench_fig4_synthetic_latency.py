@@ -16,11 +16,14 @@ from __future__ import annotations
 import pytest
 
 from conftest import (
+    DESIGN_CACHE,
     LARGE_MESH_CYCLES,
     POLICIES,
     RATES_PM,
     RATES_PS,
+    RESULT_CACHE,
     SMALL_MESH_CYCLES,
+    WORKERS,
     record_rows,
 )
 
@@ -32,7 +35,10 @@ def _sweep(placement_name, traffic, policies, rates, cycles, seed=1):
     config = ExperimentConfig(
         placement=placement_name, traffic=traffic, seed=seed, **cycles
     )
-    return latency_sweep(config, policies, rates)
+    return latency_sweep(
+        config, policies, rates,
+        workers=WORKERS, result_cache=RESULT_CACHE, design_cache=DESIGN_CACHE,
+    )
 
 
 def _rows_for(panel, curves):

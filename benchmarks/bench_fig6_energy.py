@@ -15,10 +15,16 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import LARGE_MESH_CYCLES, POLICIES, SMALL_MESH_CYCLES, record_rows
+from conftest import (
+    LARGE_MESH_CYCLES,
+    POLICIES,
+    SMALL_MESH_CYCLES,
+    record_rows,
+    run_grid,
+)
 
 from repro.analysis.comparison import normalize_to_baseline
-from repro.analysis.runner import ExperimentConfig, run_experiment
+from repro.analysis.runner import ExperimentConfig
 
 #: Low injection rate of Fig. 6(a); the paper uses 1e-3 packets/node/cycle.
 LOW_RATE = 0.001
@@ -26,24 +32,28 @@ LOW_RATE = 0.001
 HIGH_RATE = {"PS1": 0.005, "PS2": 0.006, "PS3": 0.007, "PM": 0.004}
 
 
-def _energy_for(placement: str, rate: float):
+def _config_for(placement: str, policy: str, rate: float) -> ExperimentConfig:
     cycles = LARGE_MESH_CYCLES if placement == "PM" else SMALL_MESH_CYCLES
-    energies = {}
-    for policy in POLICIES:
-        config = ExperimentConfig(
-            placement=placement, policy=policy, traffic="uniform",
-            injection_rate=rate, seed=3, **cycles,
-        )
-        result = run_experiment(config)
-        energies[policy] = result.energy_per_flit
-    return energies
+    return ExperimentConfig(
+        placement=placement, policy=policy, traffic="uniform",
+        injection_rate=rate, seed=3, **cycles,
+    )
 
 
 def _run_fig6(placements):
-    table = {}
+    # One flat grid through the experiment engine: every placement, regime
+    # and policy in a single (parallelizable, cached) batch.
+    grid = []
     for placement in placements:
-        table[(placement, "low")] = _energy_for(placement, LOW_RATE)
-        table[(placement, "high")] = _energy_for(placement, HIGH_RATE[placement])
+        for regime, rate in (("low", LOW_RATE), ("high", HIGH_RATE[placement])):
+            for policy in POLICIES:
+                grid.append((placement, regime, _config_for(placement, policy, rate)))
+    outcomes = run_grid([config for _, _, config in grid])
+    table = {}
+    for (placement, regime, _), outcome in zip(grid, outcomes):
+        table.setdefault((placement, regime), {})[outcome.config.policy] = (
+            outcome.summary["energy_per_flit"]
+        )
     return table
 
 

@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import POLICIES, record_rows
+from conftest import POLICIES, record_rows, run_grid
 
 from repro.analysis.comparison import normalize_to_baseline
-from repro.analysis.runner import ExperimentConfig, run_experiment
+from repro.analysis.runner import ExperimentConfig
 from repro.traffic.applications import APPLICATION_NAMES, application_spec
 
 #: Injection rate corresponding to load factor 1.0; each application scales
@@ -33,18 +33,22 @@ LOW_LOAD_APPS = ("fluidanimate", "lu")
 
 
 def _run_placement(placement: str):
+    # The full 6-application x 3-policy grid as one engine batch.
+    pairs = [(app, policy) for app in APPLICATION_NAMES for policy in POLICIES]
+    configs = [
+        ExperimentConfig(
+            placement=placement, policy=policy, traffic=app,
+            injection_rate=BASE_RATE * application_spec(app).load_factor,
+            seed=4, **APP_CYCLES,
+        )
+        for app, policy in pairs
+    ]
+    outcomes = run_grid(configs)
     latencies = {}
     energies = {}
-    for app in APPLICATION_NAMES:
-        rate = BASE_RATE * application_spec(app).load_factor
-        for policy in POLICIES:
-            config = ExperimentConfig(
-                placement=placement, policy=policy, traffic=app,
-                injection_rate=rate, seed=4, **APP_CYCLES,
-            )
-            result = run_experiment(config)
-            latencies[(app, policy)] = result.average_latency
-            energies[(app, policy)] = result.energy_per_flit
+    for (app, policy), outcome in zip(pairs, outcomes):
+        latencies[(app, policy)] = outcome.summary["average_latency"]
+        energies[(app, policy)] = outcome.summary["energy_per_flit"]
     return latencies, energies
 
 

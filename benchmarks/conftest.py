@@ -7,16 +7,45 @@ reproduction targets, not absolute cycle counts.
 
 Each bench writes its reproduction rows both to stdout and to
 ``benchmarks/results/<name>.txt`` so they survive pytest's output capture.
+
+Execution routes through the parallel experiment engine (:mod:`repro.exec`):
+set ``REPRO_BENCH_WORKERS=N`` to fan simulations out over N processes and
+``REPRO_BENCH_CACHE=DIR`` to persist summary rows and AdEle offline designs
+to disk so repeated bench runs skip finished work.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterable
+from typing import Iterable, List, Sequence
 
 import pytest
 
+from repro.analysis.runner import ExperimentConfig
+from repro.exec.batch import ExperimentBatch, ExperimentOutcome
+from repro.exec.cache import DiskDesignCache, ResultCache
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Engine knobs shared by every bench (see module docstring).
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
+
+#: Session-wide caches: memory-only by default, disk-backed when
+#: ``REPRO_BENCH_CACHE`` is set (shared across bench files and re-runs).
+RESULT_CACHE = ResultCache(_CACHE_DIR)
+DESIGN_CACHE = DiskDesignCache(_CACHE_DIR) if _CACHE_DIR else None
+
+
+def run_grid(configs: Sequence[ExperimentConfig]) -> List[ExperimentOutcome]:
+    """Run a configuration grid through the shared experiment engine."""
+    batch = ExperimentBatch(
+        configs,
+        workers=WORKERS,
+        result_cache=RESULT_CACHE,
+        design_cache=DESIGN_CACHE,
+    )
+    return batch.run()
 
 #: Simulation windows per mesh scale, chosen so the full benchmark suite
 #: completes in minutes while still spanning several thousand packets.

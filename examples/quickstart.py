@@ -6,6 +6,9 @@ under uniform traffic at a moderate injection rate and prints a comparison
 table (latency, energy per flit, normalized to Elevator-First).
 
 Run with:  python examples/quickstart.py
+
+For batched / parallel / disk-cached execution of whole experiment grids,
+see examples/parallel_sweep.py and the ``python -m repro`` CLI.
 """
 
 from __future__ import annotations

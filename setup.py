@@ -1,5 +1,25 @@
-"""Setuptools shim so `pip install -e .` works without the wheel package."""
+"""Packaging for the AdEle (DAC 2021) reproduction.
 
-from setuptools import setup
+Pure-stdlib package; installing registers the ``repro`` console script,
+which is the same entry point as ``python -m repro`` (the parallel
+experiment engine CLI: ``repro sweep`` / ``repro compare``).
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-adele",
+    version="1.1.0",
+    description=(
+        "Reproduction of AdEle: adaptive congestion- and energy-aware "
+        "elevator selection for partially connected 3D NoCs (DAC 2021)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.exec.cli:main",
+        ]
+    },
+)

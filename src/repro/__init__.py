@@ -15,7 +15,10 @@ complete system described in the paper:
   (:mod:`repro.routing.adele`);
 * the experiment harness used to regenerate the paper's tables and figures
   (:mod:`repro.analysis`, plus the ``benchmarks/`` directory of the source
-  repository).
+  repository);
+* the parallel experiment engine -- batched, deterministically seeded,
+  disk-cached execution of whole experiment grids, also exposed as the
+  ``python -m repro`` CLI (:mod:`repro.exec`).
 
 Quickstart::
 
@@ -65,6 +68,7 @@ from repro.core import (
     optimize_elevator_subsets,
 )
 from repro.analysis import (
+    DesignCache,
     ExperimentConfig,
     adele_design_for,
     elevator_load_distribution,
@@ -72,8 +76,17 @@ from repro.analysis import (
     run_experiment,
     saturation_rate,
 )
+from repro.exec import (
+    DiskDesignCache,
+    ExperimentBatch,
+    ExperimentOutcome,
+    ResultCache,
+    config_key,
+    derive_seed,
+    run_batch,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Coordinate",
@@ -110,5 +123,13 @@ __all__ = [
     "saturation_rate",
     "elevator_load_distribution",
     "adele_design_for",
+    "DesignCache",
+    "ExperimentBatch",
+    "ExperimentOutcome",
+    "ResultCache",
+    "DiskDesignCache",
+    "run_batch",
+    "config_key",
+    "derive_seed",
     "__version__",
 ]

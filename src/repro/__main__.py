@@ -1,0 +1,6 @@
+"""``python -m repro`` -- the parallel experiment engine CLI."""
+
+from repro.exec.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,13 +10,16 @@ application traffic (Fig. 7).
 """
 
 from repro.analysis.runner import (
+    DesignCache,
     ExperimentConfig,
     adele_design_for,
     build_network,
     build_packet_source,
     build_policy,
     clear_design_cache,
+    get_design_cache,
     run_experiment,
+    set_design_cache,
 )
 from repro.analysis.sweep import (
     LatencyCurve,
@@ -27,12 +30,16 @@ from repro.analysis.sweep import (
 from repro.analysis.load import elevator_load_distribution
 from repro.analysis.comparison import (
     normalize_to_baseline,
+    policy_comparison_from_summaries,
     policy_comparison_table,
     relative_improvement,
 )
 
 __all__ = [
+    "DesignCache",
     "ExperimentConfig",
+    "get_design_cache",
+    "set_design_cache",
     "build_network",
     "build_policy",
     "build_packet_source",
@@ -47,4 +54,5 @@ __all__ = [
     "normalize_to_baseline",
     "relative_improvement",
     "policy_comparison_table",
+    "policy_comparison_from_summaries",
 ]

@@ -75,10 +75,25 @@ def policy_comparison_table(
     Returns:
         ``{policy: {metric: value, metric + "_norm": normalized value}}``.
     """
+    summaries = {policy: result.summary() for policy, result in results.items()}
+    return policy_comparison_from_summaries(summaries, baseline=baseline, metrics=metrics)
+
+
+def policy_comparison_from_summaries(
+    summaries: Mapping[str, Mapping[str, float]],
+    baseline: str = "elevator_first",
+    metrics: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Like :func:`policy_comparison_table`, from plain summary rows.
+
+    Summary rows are what the parallel experiment engine
+    (:mod:`repro.exec`) returns and caches, so comparisons can be computed
+    without reconstructing :class:`~repro.sim.engine.SimulationResult`
+    objects -- including from rows loaded off a warm disk cache.
+    """
     if metrics is None:
         metrics = ["average_latency", "energy_per_flit"]
     table: Dict[str, Dict[str, float]] = {}
-    summaries = {policy: result.summary() for policy, result in results.items()}
     for metric in metrics:
         available = {
             policy: summary[metric]
@@ -88,7 +103,7 @@ def policy_comparison_table(
         normalized: Dict[str, float] = {}
         if baseline in available and available[baseline] != 0:
             normalized = normalize_to_baseline(available, baseline)
-        for policy in results:
+        for policy in summaries:
             row = table.setdefault(policy, {})
             if policy in available:
                 row[metric] = available[policy]

@@ -12,14 +12,18 @@ assembled so every bench and example builds identical networks:
 * :func:`run_experiment` executes one configuration and returns the
   :class:`~repro.sim.engine.SimulationResult`.
 
-The AdEle offline design is cached per (placement name, traffic label) so a
-latency sweep over ten injection rates runs AMOSA once, exactly like the
-paper runs the offline stage once per configuration.
+The AdEle offline design is cached in a :class:`DesignCache` so a latency
+sweep over ten injection rates runs AMOSA once, exactly like the paper runs
+the offline stage once per configuration.  The cache is an injectable,
+clearable object (callers can pass their own, e.g. the disk-backed
+:class:`repro.exec.cache.DiskDesignCache`); a module-level default instance
+preserves the historical run-AMOSA-once-per-process behaviour.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+from dataclasses import astuple, dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from repro.core.amosa import AmosaConfig
@@ -34,8 +38,72 @@ from repro.traffic.applications import make_application_traffic
 from repro.traffic.generator import BernoulliPacketSource, PacketSource
 from repro.traffic.patterns import TrafficPattern, UniformTraffic, make_pattern
 
-#: Offline-design cache: (placement name, traffic label, max subset size) -> design.
-_DESIGN_CACHE: Dict[Tuple[str, str, Optional[int]], AdEleDesign] = {}
+#: Key type of the offline-design cache (see :meth:`DesignCache.make_key`).
+DesignKey = Tuple
+
+
+class DesignCache:
+    """In-memory cache of completed AdEle offline designs.
+
+    Keys capture everything the offline stage depends on -- the placement
+    *identity* (name, mesh shape and elevator columns, so two different
+    custom placements sharing a name never collide), the assumed traffic
+    label, the subset-size cap and the AMOSA hyper-parameters.  Instances
+    are injectable into :func:`adele_design_for` / :func:`build_policy` and
+    clearable, so sweeps with different offline settings cannot share stale
+    designs and tests can isolate themselves cheaply.
+    """
+
+    def __init__(self) -> None:
+        self._designs: Dict[DesignKey, AdEleDesign] = {}
+
+    @staticmethod
+    def make_key(
+        placement: ElevatorPlacement,
+        traffic_label: str,
+        max_subset_size: Optional[int],
+        amosa_config: AmosaConfig,
+    ) -> DesignKey:
+        """The cache key of one offline-stage invocation."""
+        return (
+            placement.name,
+            tuple(placement.mesh.shape),
+            tuple(placement.columns()),
+            traffic_label,
+            max_subset_size,
+            astuple(amosa_config),
+        )
+
+    def get(self, key: DesignKey) -> Optional[AdEleDesign]:
+        """The cached design for a key, or ``None``."""
+        return self._designs.get(key)
+
+    def put(self, key: DesignKey, design: AdEleDesign) -> None:
+        """Store a completed design under a key."""
+        self._designs[key] = design
+
+    def clear(self) -> None:
+        """Drop every cached design."""
+        self._designs.clear()
+
+    def __len__(self) -> int:
+        return len(self._designs)
+
+    def __contains__(self, key: DesignKey) -> bool:
+        return key in self._designs
+
+
+#: Default process-wide design cache (injectable replacements: see
+#: :func:`set_design_cache` and the ``cache`` parameter of
+#: :func:`adele_design_for`).
+_default_design_cache = DesignCache()
+
+
+def _traffic_matrix_digest(traffic_matrix) -> str:
+    """Short content hash of an explicit traffic matrix (for cache keys)."""
+    items = sorted(traffic_matrix.items())
+    blob = repr(items).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
 
 #: AMOSA settings small enough for the pure-Python search to stay fast while
 #: still converging to a well-spread front on the 4x4x4 / 8x8x4 meshes.
@@ -133,40 +201,68 @@ def adele_design_for(
     traffic_matrix=None,
     max_subset_size: Optional[int] = 4,
     amosa_config: Optional[AmosaConfig] = None,
+    cache: Optional[DesignCache] = None,
 ) -> AdEleDesign:
     """Run (or fetch from cache) AdEle's offline optimization for a placement.
 
     The paper runs the offline stage with uniform traffic ("the most
     pessimistic assumption"), so by default the uniform matrix is used
     regardless of the runtime traffic.
+
+    Args:
+        cache: Design cache to consult/populate; defaults to the process-wide
+            cache (see :func:`get_design_cache`).
     """
-    key = (placement.name, traffic_label, max_subset_size)
-    if key in _DESIGN_CACHE:
-        return _DESIGN_CACHE[key]
+    amosa = amosa_config if amosa_config is not None else DEFAULT_OFFLINE_AMOSA
+    if cache is None:
+        cache = _default_design_cache
+    if traffic_matrix is not None:
+        # An explicit matrix must never alias the label-only entry (nor be
+        # persisted as the canonical "uniform" design by disk caches): key
+        # it by content.
+        traffic_label = f"{traffic_label}#{_traffic_matrix_digest(traffic_matrix)}"
+    key = DesignCache.make_key(placement, traffic_label, max_subset_size, amosa)
+    design = cache.get(key)
+    if design is not None:
+        return design
     if traffic_matrix is None:
         traffic_matrix = UniformTraffic(placement.mesh).traffic_matrix()
-    offline = OfflineConfig(
-        amosa=amosa_config if amosa_config is not None else DEFAULT_OFFLINE_AMOSA,
-        max_subset_size=max_subset_size,
-    )
+    offline = OfflineConfig(amosa=amosa, max_subset_size=max_subset_size)
     design = optimize_elevator_subsets(placement, traffic_matrix, offline)
-    _DESIGN_CACHE[key] = design
+    cache.put(key, design)
     return design
 
 
+def get_design_cache() -> DesignCache:
+    """The process-wide default design cache."""
+    return _default_design_cache
+
+
+def set_design_cache(cache: DesignCache) -> DesignCache:
+    """Swap the process-wide default design cache; returns the old one."""
+    global _default_design_cache
+    previous = _default_design_cache
+    _default_design_cache = cache
+    return previous
+
+
 def clear_design_cache() -> None:
-    """Drop all cached offline designs (used by tests)."""
-    _DESIGN_CACHE.clear()
+    """Drop all designs from the default cache (used by tests)."""
+    _default_design_cache.clear()
 
 
 def build_policy(
-    config: ExperimentConfig, placement: ElevatorPlacement
+    config: ExperimentConfig,
+    placement: ElevatorPlacement,
+    design_cache: Optional[DesignCache] = None,
 ) -> ElevatorSelectionPolicy:
     """Build the elevator-selection policy named by a configuration."""
     name = config.policy.lower()
     if name in ("adele", "adele_rr"):
         design = adele_design_for(
-            placement, max_subset_size=config.adele_max_subset_size
+            placement,
+            max_subset_size=config.adele_max_subset_size,
+            cache=design_cache,
         )
         if name == "adele":
             return design.to_policy(
@@ -181,10 +277,12 @@ def build_network(
     config: ExperimentConfig,
     placement: Optional[ElevatorPlacement] = None,
     policy: Optional[ElevatorSelectionPolicy] = None,
+    design_cache: Optional[DesignCache] = None,
 ) -> Network:
     """Build the network for a configuration."""
     placement = placement if placement is not None else resolve_placement(config)
-    policy = policy if policy is not None else build_policy(config, placement)
+    if policy is None:
+        policy = build_policy(config, placement, design_cache=design_cache)
     return Network(
         placement,
         policy,

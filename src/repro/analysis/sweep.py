@@ -10,17 +10,14 @@ the Fig. 6 bench to place its low/high injection-rate operating points.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.runner import (
-    ExperimentConfig,
-    build_network,
-    build_policy,
-    resolve_placement,
-    run_experiment,
-)
+from repro.analysis.runner import DesignCache, ExperimentConfig
 from repro.energy.model import EnergyModel
 from repro.sim.engine import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (exec -> runner)
+    from repro.exec.cache import ResultCache
 
 
 @dataclass
@@ -30,7 +27,11 @@ class LatencyCurve:
     Attributes:
         policy: Policy name.
         points: ``(injection_rate, average_latency)`` pairs in sweep order.
-        results: Full simulation results keyed by injection rate.
+        results: Full simulation results keyed by injection rate.  Only
+            populated when points are added via :meth:`add` with a result
+            object; curves built from engine summary rows (e.g. by
+            :func:`latency_sweep`, which routes through
+            :class:`~repro.exec.batch.ExperimentBatch`) leave it empty.
     """
 
     policy: str
@@ -38,9 +39,13 @@ class LatencyCurve:
     results: Dict[float, SimulationResult] = field(default_factory=dict)
 
     def add(self, injection_rate: float, result: SimulationResult) -> None:
-        """Append one sweep point."""
+        """Append one sweep point with its full simulation result."""
         self.points.append((injection_rate, result.average_latency))
         self.results[injection_rate] = result
+
+    def add_point(self, injection_rate: float, average_latency: float) -> None:
+        """Append one sweep point from a summary row (no result object)."""
+        self.points.append((injection_rate, average_latency))
 
     def latencies(self) -> List[float]:
         """Latency values in sweep order."""
@@ -94,38 +99,57 @@ def latency_sweep(
     policies: Sequence[str],
     injection_rates: Sequence[float],
     energy_model: Optional[EnergyModel] = None,
+    workers: int = 1,
+    result_cache: Optional["ResultCache"] = None,
+    design_cache: Optional[DesignCache] = None,
 ) -> Dict[str, LatencyCurve]:
     """Sweep injection rates for several policies on one configuration.
 
-    The same placement object is reused across the sweep; each policy gets a
-    fresh network (so online state never leaks between policies), and each
-    injection rate reuses that network after a reset (so a sweep is one
-    network construction per policy, not per point).
+    The whole ``policies x injection_rates`` grid is routed through
+    :class:`~repro.exec.batch.ExperimentBatch`: every point builds a fresh
+    network from its configuration (so no online state leaks between points
+    and the sweep parallelizes freely), runs are fanned out over ``workers``
+    processes, and finished points are served from ``result_cache``.
 
     Args:
         base_config: Configuration whose ``injection_rate`` and ``policy``
             fields are overridden by the sweep.
         policies: Policy names to sweep.
-        injection_rates: Flit injection rates per node per cycle.
+        injection_rates: Packet injection rates per node per cycle.
         energy_model: Optional energy model recorded into each result.
+        workers: Worker processes (``1`` = serial).
+        result_cache: Optional summary-row cache (disk-backed caches make
+            repeated sweeps skip finished points).
+        design_cache: Optional AdEle offline-design cache.
 
     Returns:
         ``{policy: LatencyCurve}`` in the given policy order.
     """
+    # Imported lazily: repro.exec.batch itself imports the runner module, so
+    # a module-level import here would be circular via repro.analysis.
+    from repro.exec.batch import ExperimentBatch
+
     if not injection_rates:
         raise ValueError("injection_rates must not be empty")
-    placement = resolve_placement(base_config)
     model = energy_model if energy_model is not None else EnergyModel()
-    curves: Dict[str, LatencyCurve] = {}
-    for policy_name in policies:
-        policy_config = base_config.with_(policy=policy_name)
-        policy = build_policy(policy_config, placement)
-        network = build_network(policy_config, placement=placement, policy=policy)
-        curve = LatencyCurve(policy=policy_name)
-        for rate in injection_rates:
-            config = policy_config.with_(injection_rate=rate)
-            network.reset()
-            result = run_experiment(config, energy_model=model, network=network)
-            curve.add(rate, result)
-        curves[policy_name] = curve
+    configs = [
+        base_config.with_(policy=policy_name, injection_rate=rate)
+        for policy_name in policies
+        for rate in injection_rates
+    ]
+    batch = ExperimentBatch(
+        configs,
+        workers=workers,
+        result_cache=result_cache,
+        design_cache=design_cache,
+        energy_model=model,
+    )
+    outcomes = batch.run()
+    curves: Dict[str, LatencyCurve] = {
+        policy_name: LatencyCurve(policy=policy_name) for policy_name in policies
+    }
+    for outcome in outcomes:
+        curves[outcome.config.policy].add_point(
+            outcome.config.injection_rate, outcome.summary["average_latency"]
+        )
     return curves

@@ -1,0 +1,49 @@
+"""Parallel experiment execution engine.
+
+``repro.exec`` turns lists of declarative experiment configurations into
+results -- in parallel, deterministically, and with disk-backed caching:
+
+* :class:`~repro.exec.batch.ExperimentBatch` fans configs out over a process
+  pool (serial fallback at ``workers=1``) and returns summary rows in input
+  order;
+* :mod:`repro.exec.cache` provides the canonical config serialization and
+  hash every cache key and derived seed is built from, plus the
+  :class:`~repro.exec.cache.ResultCache` (summary rows) and
+  :class:`~repro.exec.cache.DiskDesignCache` (AdEle offline designs);
+* :mod:`repro.exec.cli` is the ``python -m repro`` front end (``sweep`` /
+  ``compare`` subcommands with ``--workers``, ``--cache-dir``, ``--seed``).
+
+Determinism guarantee: identical configuration + seed produce bit-identical
+``SimulationResult.summary()`` rows whether a batch runs serially, with N
+workers, or replays from a warm cache directory.
+"""
+
+from repro.exec.batch import (
+    ExperimentBatch,
+    ExperimentOutcome,
+    run_batch,
+    summaries_by_policy,
+)
+from repro.exec.cache import (
+    DiskDesignCache,
+    ResultCache,
+    canonical_config,
+    canonical_json,
+    config_from_canonical,
+    config_key,
+    derive_seed,
+)
+
+__all__ = [
+    "ExperimentBatch",
+    "ExperimentOutcome",
+    "run_batch",
+    "summaries_by_policy",
+    "ResultCache",
+    "DiskDesignCache",
+    "canonical_config",
+    "canonical_json",
+    "config_from_canonical",
+    "config_key",
+    "derive_seed",
+]

@@ -1,0 +1,281 @@
+"""Parallel experiment batches with deterministic seeding and caching.
+
+:class:`ExperimentBatch` is the execution backbone of the repository: it
+takes a list of :class:`~repro.analysis.runner.ExperimentConfig`, fans the
+uncached ones out over a :class:`concurrent.futures.ProcessPoolExecutor`
+(or runs them inline when ``workers=1``) and returns one
+:class:`ExperimentOutcome` per input configuration, in input order.
+
+Determinism guarantee
+    Every task runs the exact same code path regardless of worker count:
+    resolve placement, build a fresh network, build the packet source from
+    the config's seed, simulate.  All randomness flows from the config (its
+    ``seed`` field, or a seed derived from the canonical config hash when a
+    batch-level ``base_seed`` is given), so a batch produces *bit-identical*
+    ``SimulationResult.summary()`` rows whether it runs serially, with N
+    workers, or from a warm disk cache.
+
+Caching
+    Outcomes are stored in a :class:`~repro.exec.cache.ResultCache` keyed by
+    the canonical config hash; warm entries skip simulation entirely
+    (``from_cache=True``).  AdEle's expensive offline stage is resolved
+    *once in the parent process* per unique (placement, subset-size) pair --
+    through the injectable design cache -- and shipped to workers as plain
+    per-router subsets, so worker processes never re-run AMOSA.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.runner import (
+    DesignCache,
+    ExperimentConfig,
+    adele_design_for,
+    build_network,
+    resolve_placement,
+    run_experiment,
+)
+from repro.energy.model import EnergyModel
+from repro.exec.cache import ResultCache, canonical_config, config_key, derive_seed
+from repro.routing.adele import AdElePolicy, AdEleRoundRobinPolicy
+
+#: Policy names whose construction needs AdEle's offline design.
+_ADELE_POLICIES = ("adele", "adele_rr")
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One unit of work shipped to a worker (picklable, design pre-resolved)."""
+
+    config: ExperimentConfig
+    key: str
+    subsets: Optional[Dict[int, Tuple[int, ...]]] = None
+    energy_model: Optional[EnergyModel] = None
+
+
+@dataclass
+class ExperimentOutcome:
+    """Result of one batched experiment.
+
+    Attributes:
+        config: The effective configuration (seed already derived).
+        key: Canonical config hash (the cache key).
+        summary: ``SimulationResult.summary()`` row of the run.
+        from_cache: ``True`` when the row came from the result cache and no
+            simulation was performed for this configuration.
+    """
+
+    config: ExperimentConfig
+    key: str
+    summary: Dict[str, float]
+    from_cache: bool
+
+
+def _policy_from_subsets(
+    config: ExperimentConfig, placement, subsets: Dict[int, Tuple[int, ...]]
+):
+    """Construct the AdEle online policy from pre-resolved offline subsets.
+
+    Mirrors :func:`repro.analysis.runner.build_policy` exactly (same kwargs,
+    same seeding) so batched runs match unbatched ones bit for bit.
+    """
+    if config.policy.lower() == "adele":
+        kwargs = {"subsets": subsets, "seed": config.seed}
+        if config.adele_low_traffic_threshold is not None:
+            kwargs["low_traffic_threshold"] = config.adele_low_traffic_threshold
+        return AdElePolicy(placement, **kwargs)
+    return AdEleRoundRobinPolicy(placement, subsets=subsets, seed=config.seed)
+
+
+def _execute_task(task: _Task) -> Tuple[str, Dict[str, float]]:
+    """Run one experiment end to end (module-level so it pickles)."""
+    config = task.config
+    placement = resolve_placement(config)
+    if task.subsets is not None:
+        policy = _policy_from_subsets(config, placement, task.subsets)
+        network = build_network(config, placement=placement, policy=policy)
+    else:
+        network = build_network(config, placement=placement)
+    result = run_experiment(
+        config, energy_model=task.energy_model, network=network
+    )
+    return task.key, result.summary()
+
+
+class ExperimentBatch:
+    """Run a list of experiment configurations, in parallel and cached.
+
+    Args:
+        configs: Configurations to run (any iterable; order is preserved in
+            the returned outcomes).
+        workers: Process count.  ``1`` (the default) runs every task inline
+            with no subprocess involved -- the serial fallback.
+        result_cache: Summary-row cache consulted before and populated after
+            execution; defaults to a fresh memory-only cache (which still
+            deduplicates identical configs within the batch).
+        design_cache: AdEle offline-design cache used while preparing tasks;
+            defaults to the process-wide cache of :mod:`repro.analysis.runner`.
+        base_seed: When given, each config's ``seed`` field is replaced by
+            :func:`~repro.exec.cache.derive_seed` (canonical-hash seeding);
+            when ``None``, configs keep their own seeds.
+        energy_model: Optional energy model forwarded to every simulation.
+    """
+
+    def __init__(
+        self,
+        configs: Iterable[ExperimentConfig],
+        workers: int = 1,
+        result_cache: Optional[ResultCache] = None,
+        design_cache: Optional[DesignCache] = None,
+        base_seed: Optional[int] = None,
+        energy_model: Optional[EnergyModel] = None,
+    ) -> None:
+        self.configs: List[ExperimentConfig] = list(configs)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.result_cache = result_cache if result_cache is not None else ResultCache()
+        self.design_cache = design_cache
+        self.base_seed = base_seed
+        self.energy_model = energy_model
+        #: Number of simulations actually executed by the last ``run()``.
+        self.last_executed = 0
+        #: Number of outcomes served from cache by the last ``run()``.
+        self.last_cached = 0
+
+    # ------------------------------------------------------------------ #
+    def _key_extra(self) -> Dict[str, Any]:
+        """Non-config inputs the cache key must capture.
+
+        A custom energy model changes the energy columns of every summary
+        row, so its parameters are mixed into the key -- rows cached under
+        one model are never served for a different one.  The *effective*
+        model is hashed (``None`` means the simulator's default), so passing
+        the default explicitly and passing ``None`` share cache entries.
+        """
+        effective = self.energy_model if self.energy_model is not None else EnergyModel()
+        return {"energy_model": dataclasses.asdict(effective)}
+
+    def effective_configs(self) -> List[ExperimentConfig]:
+        """Configs with batch-level seed derivation applied."""
+        if self.base_seed is None:
+            return list(self.configs)
+        return [
+            config.with_(seed=derive_seed(config, self.base_seed))
+            for config in self.configs
+        ]
+
+    def _make_task(self, config: ExperimentConfig, key: str) -> _Task:
+        subsets = None
+        if config.policy.lower() in _ADELE_POLICIES:
+            placement = resolve_placement(config)
+            design = adele_design_for(
+                placement,
+                max_subset_size=config.adele_max_subset_size,
+                cache=self.design_cache,
+            )
+            subsets = design.selected_subsets()
+        return _Task(
+            config=config, key=key, subsets=subsets, energy_model=self.energy_model
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> List[ExperimentOutcome]:
+        """Execute the batch and return outcomes in input order."""
+        configs = self.effective_configs()
+        extra = self._key_extra()
+        keys = [config_key(config, extra=extra) for config in configs]
+        outcomes: List[Optional[ExperimentOutcome]] = [None] * len(configs)
+
+        pending: Dict[str, _Task] = {}
+        for index, (config, key) in enumerate(zip(configs, keys)):
+            if key in pending:
+                continue  # deduplicated: same canonical config already queued
+            cached = self.result_cache.get(key)
+            if cached is not None:
+                outcomes[index] = ExperimentOutcome(
+                    config=config, key=key, summary=cached, from_cache=True
+                )
+            else:
+                pending[key] = self._make_task(config, key)
+
+        executed: Dict[str, Dict[str, float]] = {}
+        if pending:
+            tasks = list(pending.values())
+            if self.workers == 1 or len(tasks) == 1:
+                finished = [_execute_task(task) for task in tasks]
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(tasks))
+                ) as pool:
+                    finished = list(pool.map(_execute_task, tasks))
+            for key, summary in finished:
+                executed[key] = summary
+                self.result_cache.put(
+                    key, canonical_config(pending[key].config), summary
+                )
+
+        self.last_executed = len(executed)
+        self.last_cached = 0
+        for index, (config, key) in enumerate(zip(configs, keys)):
+            if outcomes[index] is not None:
+                self.last_cached += 1
+                continue
+            if key in executed:
+                outcomes[index] = ExperimentOutcome(
+                    config=config,
+                    key=key,
+                    summary=dict(executed[key]),
+                    from_cache=False,
+                )
+            else:
+                # Duplicate of an earlier config: first occurrence was served
+                # from cache or executed; either way the row is cached now.
+                summary = self.result_cache.get(key)
+                assert summary is not None
+                outcomes[index] = ExperimentOutcome(
+                    config=config, key=key, summary=summary, from_cache=True
+                )
+                self.last_cached += 1
+        return [outcome for outcome in outcomes if outcome is not None]
+
+
+def run_batch(
+    configs: Iterable[ExperimentConfig],
+    workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
+    design_cache: Optional[DesignCache] = None,
+    base_seed: Optional[int] = None,
+    energy_model: Optional[EnergyModel] = None,
+) -> List[ExperimentOutcome]:
+    """Convenience wrapper: build an :class:`ExperimentBatch` and run it."""
+    batch = ExperimentBatch(
+        configs,
+        workers=workers,
+        result_cache=result_cache,
+        design_cache=design_cache,
+        base_seed=base_seed,
+        energy_model=energy_model,
+    )
+    return batch.run()
+
+
+def summaries_by_policy(
+    outcomes: Sequence[ExperimentOutcome],
+) -> Dict[str, Dict[str, float]]:
+    """Index outcomes by policy name (for comparison tables).
+
+    Raises:
+        ValueError: If two outcomes share a policy name (ambiguous table).
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for outcome in outcomes:
+        policy = outcome.config.policy
+        if policy in table:
+            raise ValueError(f"duplicate policy {policy!r} in outcome list")
+        table[policy] = outcome.summary
+    return table

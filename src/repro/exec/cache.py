@@ -1,0 +1,407 @@
+"""Canonical configuration hashing, deterministic seeding and disk caches.
+
+The parallel experiment engine (:mod:`repro.exec.batch`) needs three things
+from this module:
+
+* a *canonical serialization* of :class:`~repro.analysis.runner.ExperimentConfig`
+  -- a JSON-stable dictionary that is independent of field/keyword order,
+  round-trips through JSON, and captures custom placements structurally (mesh
+  shape + elevator columns) so two different placements sharing a name never
+  collide (:func:`canonical_config`, :func:`config_key`);
+* a *deterministic per-task seed* derived from that serialization plus a
+  batch-level base seed (:func:`derive_seed`), so re-runs -- serial, parallel
+  or cross-process -- regenerate bit-identical traffic;
+* *disk-backed caches* keyed by the canonical hash: :class:`ResultCache`
+  persists ``SimulationResult.summary()`` rows and :class:`DiskDesignCache`
+  persists completed AdEle offline designs, so warm re-runs and cross-process
+  sweeps skip finished work entirely.
+
+Cache files are plain JSON (one file per entry, written atomically via
+rename), which keeps concurrent writers from different worker processes safe:
+the worst case is two processes computing the same entry and one rename
+winning, which is harmless because entries are deterministic functions of
+their key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.runner import (
+    DEFAULT_OFFLINE_AMOSA,
+    DesignCache,
+    DesignKey,
+    ExperimentConfig,
+)
+from repro.core.amosa import AmosaResult, ArchiveEntry
+from repro.core.pipeline import AdEleDesign
+from repro.core.subset_search import ElevatorSubsetProblem, SubsetSolution
+from repro.topology.elevators import ElevatorPlacement
+from repro.topology.mesh3d import Mesh3D
+from repro.traffic.patterns import UniformTraffic
+
+#: Maximum derived seed (exclusive); fits ``random.Random`` comfortably and
+#: keeps seeds readable in logs.
+SEED_SPACE = 2 ** 32
+
+
+# ---------------------------------------------------------------------- #
+# Canonical serialization and hashing
+# ---------------------------------------------------------------------- #
+def _canonical_placement(placement: ElevatorPlacement) -> Dict[str, Any]:
+    """Structural serialization of a placement (name alone is ambiguous)."""
+    return {
+        "name": placement.name,
+        "mesh": list(placement.mesh.shape),
+        "columns": [list(column) for column in placement.columns()],
+    }
+
+
+def canonical_config(config: ExperimentConfig) -> Dict[str, Any]:
+    """A JSON-native dictionary capturing every field of a configuration.
+
+    The result is independent of how the configuration was constructed
+    (keyword order never matters for dataclasses, and serialization sorts
+    keys) and round-trips through ``json.dumps``/``json.loads`` without loss:
+    all values are ``str``/``int``/``float``/``None`` or nested lists/dicts
+    thereof.
+    """
+    data: Dict[str, Any] = {}
+    for field_ in dataclasses.fields(config):
+        value = getattr(config, field_.name)
+        if field_.name == "placement_obj":
+            data[field_.name] = (
+                None if value is None else _canonical_placement(value)
+            )
+        else:
+            data[field_.name] = value
+    return data
+
+
+def canonical_json(config: ExperimentConfig) -> str:
+    """The canonical JSON string of a configuration (sorted keys, no spaces)."""
+    return json.dumps(canonical_config(config), sort_keys=True, separators=(",", ":"))
+
+
+def config_key(config: ExperimentConfig, extra: Optional[Dict[str, Any]] = None) -> str:
+    """Content hash of a configuration -- the experiment cache key.
+
+    Args:
+        extra: Optional JSON-native dictionary of additional inputs the run
+            depends on (e.g. non-default energy-model parameters); mixed into
+            the hash so runs differing only in those inputs never share a
+            cache entry.
+    """
+    blob = canonical_json(config)
+    if extra:
+        blob += json.dumps(extra, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def config_from_canonical(data: Dict[str, Any]) -> ExperimentConfig:
+    """Rebuild a configuration from its canonical dictionary."""
+    kwargs = dict(data)
+    placement_data = kwargs.pop("placement_obj", None)
+    placement_obj = None
+    if placement_data is not None:
+        mesh = Mesh3D(*placement_data["mesh"])
+        placement_obj = ElevatorPlacement(
+            mesh,
+            [tuple(column) for column in placement_data["columns"]],
+            name=placement_data["name"],
+        )
+    return ExperimentConfig(placement_obj=placement_obj, **kwargs)
+
+
+def derive_seed(config: ExperimentConfig, base_seed: int = 0) -> int:
+    """Deterministic per-task seed from a config's canonical serialization.
+
+    The configuration's own ``seed`` field is *replaced* by ``base_seed``
+    before hashing, so the derived seed depends only on *what* is simulated
+    plus the batch-level base seed -- two batches with the same base seed
+    assign identical seeds to identical tasks regardless of process, worker
+    count or submission order.
+    """
+    payload = canonical_config(config)
+    payload["seed"] = int(base_seed)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % SEED_SPACE
+
+
+# ---------------------------------------------------------------------- #
+# Atomic JSON helpers
+# ---------------------------------------------------------------------- #
+def _write_json_atomic(path: str, payload: Any) -> None:
+    """Write JSON to ``path`` via a temp file + rename (crash/race safe)."""
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def _read_json(path: str) -> Optional[Any]:
+    """Load JSON from ``path``; ``None`` when missing or unreadable."""
+    try:
+        with open(path, "r") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+# ---------------------------------------------------------------------- #
+# Result cache
+# ---------------------------------------------------------------------- #
+class ResultCache:
+    """Cache of ``SimulationResult.summary()`` rows keyed by config hash.
+
+    Args:
+        cache_dir: Optional directory for disk persistence.  Without it the
+            cache is memory-only (still useful for deduplication inside one
+            batch); with it entries survive the process and are shared by
+            concurrent sweeps.  Non-finite floats (``inf`` latencies of
+            saturated runs) survive the JSON round trip because Python's
+            ``json`` emits/parses ``Infinity``.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir
+        self._memory: Dict[str, Dict[str, float]] = {}
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    def _path(self, key: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, f"result-{key}.json")
+
+    def get(self, key: str) -> Optional[Dict[str, float]]:
+        """The cached summary row for a config hash, or ``None``."""
+        if key in self._memory:
+            return dict(self._memory[key])
+        if self.cache_dir is not None:
+            record = _read_json(self._path(key))
+            if isinstance(record, dict) and "summary" in record:
+                summary = dict(record["summary"])
+                self._memory[key] = summary
+                return dict(summary)
+        return None
+
+    def put(
+        self,
+        key: str,
+        config_data: Optional[Dict[str, Any]],
+        summary: Dict[str, float],
+    ) -> None:
+        """Store a summary row (with its canonical config, for debugging)."""
+        self._memory[key] = dict(summary)
+        if self.cache_dir is not None:
+            _write_json_atomic(
+                self._path(key),
+                {"key": key, "config": config_data, "summary": summary},
+            )
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        keys = set(self._memory)
+        if self.cache_dir is not None and os.path.isdir(self.cache_dir):
+            for name in os.listdir(self.cache_dir):
+                if name.startswith("result-") and name.endswith(".json"):
+                    keys.add(name[len("result-"):-len(".json")])
+        return len(keys)
+
+    def clear(self) -> None:
+        """Drop every entry (memory and disk)."""
+        self._memory.clear()
+        if self.cache_dir is not None and os.path.isdir(self.cache_dir):
+            for name in os.listdir(self.cache_dir):
+                if name.startswith("result-") and name.endswith(".json"):
+                    os.unlink(os.path.join(self.cache_dir, name))
+
+
+# ---------------------------------------------------------------------- #
+# Disk-backed design cache
+# ---------------------------------------------------------------------- #
+def design_to_record(key: DesignKey, design: AdEleDesign) -> Dict[str, Any]:
+    """Serialize an AdEle offline design to a JSON-native record.
+
+    The record keeps the final Pareto archive (per-router subsets +
+    objectives), the representative/selected indices and the baseline point
+    -- everything policies, figures and tables read from a design.  The raw
+    annealing trajectory (`explored` samples) is not persisted.
+    """
+    archive: List[Dict[str, Any]] = []
+    entry_index = {id(entry): i for i, entry in enumerate(design.result.archive)}
+    for entry in design.result.archive:
+        archive.append(
+            {
+                "subsets": {
+                    str(node): list(subset)
+                    for node, subset in entry.solution.subsets().items()
+                },
+                "objectives": list(entry.objectives),
+            }
+        )
+
+    def _index_of(entry: ArchiveEntry) -> int:
+        index = entry_index.get(id(entry))
+        if index is None:  # entry equal to, but not identical with, an archive member
+            for i, candidate in enumerate(design.result.archive):
+                if candidate.objectives == entry.objectives:
+                    return i
+            return 0
+        return index
+
+    return {
+        "format": 1,
+        "key": list(_jsonify(key)),
+        "placement": _canonical_placement(design.placement),
+        "max_subset_size": design.problem.max_subset_size,
+        "archive": archive,
+        "representatives": [_index_of(e) for e in design.representatives],
+        "selected": _index_of(design.selected),
+        "baseline_objectives": list(design.baseline_objectives),
+        "evaluations": design.result.evaluations,
+        "accepted_moves": design.result.accepted_moves,
+    }
+
+
+def design_from_record(record: Dict[str, Any]) -> AdEleDesign:
+    """Rebuild a functional :class:`AdEleDesign` from a persisted record.
+
+    The subset problem is reconstructed against the uniform traffic matrix --
+    the offline stage's default and the paper's "most pessimistic assumption"
+    (designs optimized against an explicit non-uniform matrix are never
+    persisted; see :meth:`DiskDesignCache.put`).
+    """
+    placement_data = record["placement"]
+    mesh = Mesh3D(*placement_data["mesh"])
+    placement = ElevatorPlacement(
+        mesh,
+        [tuple(column) for column in placement_data["columns"]],
+        name=placement_data["name"],
+    )
+    traffic = UniformTraffic(mesh).traffic_matrix()
+    problem = ElevatorSubsetProblem(
+        placement, traffic, max_subset_size=record["max_subset_size"]
+    )
+    entries: List[ArchiveEntry[SubsetSolution]] = []
+    for item in record["archive"]:
+        assignment = {
+            int(node): frozenset(subset)
+            for node, subset in item["subsets"].items()
+        }
+        entries.append(
+            ArchiveEntry(
+                solution=SubsetSolution(assignment=assignment),
+                objectives=tuple(item["objectives"]),
+            )
+        )
+    result: AmosaResult[SubsetSolution] = AmosaResult(
+        archive=entries,
+        evaluations=int(record.get("evaluations", 0)),
+        accepted_moves=int(record.get("accepted_moves", 0)),
+    )
+    return AdEleDesign(
+        placement=placement,
+        problem=problem,
+        result=result,
+        representatives=[entries[i] for i in record["representatives"]],
+        selected=entries[record["selected"]],
+        baseline_objectives=tuple(record["baseline_objectives"]),
+    )
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert tuples to lists so a key becomes JSON-stable."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    return value
+
+
+def design_key_hash(key: DesignKey) -> str:
+    """Stable content hash of a design-cache key (for filenames)."""
+    blob = json.dumps(_jsonify(key), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class DiskDesignCache(DesignCache):
+    """A :class:`~repro.analysis.runner.DesignCache` with JSON persistence.
+
+    Completed designs are written to ``<cache_dir>/design-<hash>.json`` and
+    reloaded lazily, so a warm cache directory lets new processes (parallel
+    workers, repeated CLI invocations) skip the expensive AMOSA stage
+    entirely.  Only designs optimized against the default uniform traffic
+    assumption are persisted; anything else stays memory-only because the
+    traffic matrix cannot be reconstructed from its label alone.
+    """
+
+    def __init__(self, cache_dir: str) -> None:
+        super().__init__()
+        self.cache_dir = cache_dir
+        os.makedirs(cache_dir, exist_ok=True)
+
+    def _path(self, key: DesignKey) -> str:
+        return os.path.join(self.cache_dir, f"design-{design_key_hash(key)}.json")
+
+    @staticmethod
+    def _persistable(key: DesignKey) -> bool:
+        # make_key layout: (name, shape, columns, traffic_label, cap, amosa).
+        return len(key) >= 4 and key[3] == "uniform"
+
+    def get(self, key: DesignKey) -> Optional[AdEleDesign]:
+        design = super().get(key)
+        if design is not None:
+            return design
+        if not self._persistable(key):
+            return None
+        record = _read_json(self._path(key))
+        if not isinstance(record, dict) or record.get("format") != 1:
+            return None
+        design = design_from_record(record)
+        super().put(key, design)
+        return design
+
+    def put(self, key: DesignKey, design: AdEleDesign) -> None:
+        super().put(key, design)
+        if self._persistable(key):
+            _write_json_atomic(self._path(key), design_to_record(key, design))
+
+    def clear(self) -> None:
+        super().clear()
+        if os.path.isdir(self.cache_dir):
+            for name in os.listdir(self.cache_dir):
+                if name.startswith("design-") and name.endswith(".json"):
+                    os.unlink(os.path.join(self.cache_dir, name))
+
+
+#: Default AMOSA settings, re-exported so CLI/benchmark code can key designs
+#: consistently with :func:`repro.analysis.runner.adele_design_for`.
+__all__ = [
+    "SEED_SPACE",
+    "canonical_config",
+    "canonical_json",
+    "config_key",
+    "config_from_canonical",
+    "derive_seed",
+    "ResultCache",
+    "DiskDesignCache",
+    "design_to_record",
+    "design_from_record",
+    "design_key_hash",
+    "DEFAULT_OFFLINE_AMOSA",
+]

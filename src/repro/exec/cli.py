@@ -1,0 +1,254 @@
+"""Command-line front end for the parallel experiment engine.
+
+``python -m repro`` (or the ``repro`` console script) exposes the two
+workflows every figure of the paper is built from:
+
+``sweep``
+    A Fig. 4-style latency-vs-injection-rate sweep: one latency curve per
+    policy, with the 10x-zero-load saturation rate per curve.
+
+``compare``
+    A Fig. 6/7-style single-operating-point comparison: one row per policy
+    with absolute and Elevator-First-normalized metrics.
+
+Both subcommands share the engine flags:
+
+``--workers N``
+    Fan the experiment grid out over N processes (``1`` = serial).
+
+``--cache-dir DIR``
+    Disk-backed caching of summary rows *and* AdEle offline designs; a warm
+    directory makes re-runs skip every finished simulation and the AMOSA
+    stage.  Without it, caching is in-memory (deduplication only).
+
+``--seed S``
+    Batch-level base seed: every task's RNG seed is derived from the
+    canonical hash of its configuration plus S, so results are reproducible
+    across processes and worker counts.
+
+The target is either a named placement (``--placement PS1``) or an ad-hoc
+one (``--mesh X Y Z --elevators "x,y;x,y"``), which keeps CI smoke runs on
+tiny meshes fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.comparison import format_table, policy_comparison_from_summaries
+from repro.analysis.runner import DesignCache, ExperimentConfig
+from repro.analysis.sweep import LatencyCurve, saturation_rate
+from repro.exec.batch import ExperimentBatch, summaries_by_policy
+from repro.exec.cache import DiskDesignCache, ResultCache
+from repro.topology.elevators import ElevatorPlacement
+from repro.topology.mesh3d import Mesh3D
+
+
+def _comma_floats(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def _comma_names(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _parse_columns(text: str) -> List[Tuple[int, int]]:
+    """Parse ``"x,y;x,y"`` elevator column lists."""
+    columns: List[Tuple[int, int]] = []
+    for part in text.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        x, y = part.split(",")
+        columns.append((int(x), int(y)))
+    return columns
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    target = parser.add_argument_group("target")
+    target.add_argument(
+        "--placement", default="PS1",
+        help="named placement (PS1-PS3, PM); ignored when --mesh is given",
+    )
+    target.add_argument(
+        "--mesh", nargs=3, type=int, metavar=("X", "Y", "Z"), default=None,
+        help="ad-hoc mesh dimensions for a custom placement",
+    )
+    target.add_argument(
+        "--elevators", default=None, metavar="X,Y;X,Y",
+        help='elevator columns of the ad-hoc placement, e.g. "0,0;1,1"',
+    )
+    workload = parser.add_argument_group("workload")
+    workload.add_argument(
+        "--policies", default="elevator_first,cda,adele",
+        help="comma-separated policy names",
+    )
+    workload.add_argument("--traffic", default="uniform", help="traffic pattern name")
+    workload.add_argument("--warmup", type=int, default=300, help="warm-up cycles")
+    workload.add_argument(
+        "--measure", type=int, default=1500, help="measurement cycles"
+    )
+    workload.add_argument("--drain", type=int, default=800, help="max drain cycles")
+    engine = parser.add_argument_group("engine")
+    engine.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial fallback)",
+    )
+    engine.add_argument(
+        "--cache-dir", default=None,
+        help="directory for disk-backed result/design caching",
+    )
+    engine.add_argument(
+        "--seed", type=int, default=None,
+        help="base seed; per-task seeds derive from it and the config hash",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AdEle reproduction: parallel experiment engine",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="latency-vs-injection-rate sweep (Fig. 4 style)"
+    )
+    _add_common_arguments(sweep)
+    sweep.add_argument(
+        "--rates", default="0.001,0.003,0.005",
+        help="comma-separated packet injection rates",
+    )
+
+    compare = subparsers.add_parser(
+        "compare", help="policy comparison at one operating point (Fig. 6/7 style)"
+    )
+    _add_common_arguments(compare)
+    compare.add_argument(
+        "--rate", type=float, default=0.004, help="packet injection rate"
+    )
+    compare.add_argument(
+        "--baseline", default="elevator_first", help="normalization baseline policy"
+    )
+    return parser
+
+
+def _base_config(args: argparse.Namespace) -> ExperimentConfig:
+    placement_obj: Optional[ElevatorPlacement] = None
+    placement_name = args.placement
+    if args.mesh is not None:
+        if not args.elevators:
+            raise SystemExit("--mesh requires --elevators")
+        mesh = Mesh3D(*args.mesh)
+        columns = _parse_columns(args.elevators)
+        placement_name = "cli-custom"
+        placement_obj = ElevatorPlacement(mesh, columns, name=placement_name)
+    return ExperimentConfig(
+        placement=placement_name,
+        placement_obj=placement_obj,
+        traffic=args.traffic,
+        warmup_cycles=args.warmup,
+        measurement_cycles=args.measure,
+        drain_cycles=args.drain,
+    )
+
+
+def _make_batch(
+    args: argparse.Namespace, configs: List[ExperimentConfig]
+) -> ExperimentBatch:
+    result_cache = ResultCache(args.cache_dir)
+    design_cache: Optional[DesignCache] = (
+        DiskDesignCache(args.cache_dir) if args.cache_dir else None
+    )
+    return ExperimentBatch(
+        configs,
+        workers=args.workers,
+        result_cache=result_cache,
+        design_cache=design_cache,
+        base_seed=args.seed,
+    )
+
+
+def _report_engine(batch: ExperimentBatch) -> None:
+    print(
+        f"[repro.exec] {batch.last_executed} simulated, "
+        f"{batch.last_cached} served from cache "
+        f"({batch.workers} worker{'s' if batch.workers != 1 else ''})"
+    )
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    policies = _comma_names(args.policies)
+    rates = _comma_floats(args.rates)
+    if not policies or not rates:
+        raise SystemExit("need at least one policy and one rate")
+    base = _base_config(args)
+    configs = [
+        base.with_(policy=policy, injection_rate=rate)
+        for policy in policies
+        for rate in rates
+    ]
+    batch = _make_batch(args, configs)
+    outcomes = batch.run()
+    _report_engine(batch)
+
+    curves = {policy: LatencyCurve(policy=policy) for policy in policies}
+    for outcome in outcomes:
+        curves[outcome.config.policy].add_point(
+            outcome.config.injection_rate, outcome.summary["average_latency"]
+        )
+    print(f"placement={base.placement} traffic={base.traffic}")
+    for policy in policies:
+        curve = curves[policy]
+        points = "  ".join(
+            f"{rate:.4f}:{latency:9.2f}" for rate, latency in curve.points
+        )
+        print(f"{policy:15s} {points}")
+        print(
+            f"{policy:15s} saturation rate (10x zero-load): "
+            f"{saturation_rate(curve):.4f}"
+        )
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    policies = _comma_names(args.policies)
+    if not policies:
+        raise SystemExit("need at least one policy")
+    base = _base_config(args)
+    configs = [
+        base.with_(policy=policy, injection_rate=args.rate) for policy in policies
+    ]
+    batch = _make_batch(args, configs)
+    outcomes = batch.run()
+    _report_engine(batch)
+
+    summaries = summaries_by_policy(outcomes)
+    baseline = args.baseline
+    if baseline not in summaries:
+        baseline = policies[0]
+        print(
+            f"[repro.exec] warning: baseline {args.baseline!r} not among "
+            f"--policies; normalizing to {baseline!r} instead",
+            file=sys.stderr,
+        )
+    table = policy_comparison_from_summaries(summaries, baseline=baseline)
+    print(f"placement={base.placement} traffic={base.traffic} rate={args.rate}")
+    print(format_table(table))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (console script ``repro`` / ``python -m repro``)."""
+    args = build_parser().parse_args(argv)
+    if args.command == "sweep":
+        return _run_sweep(args)
+    if args.command == "compare":
+        return _run_compare(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,333 @@
+"""Property-style tests for canonical config hashing and the caches.
+
+Covers the cache-key contract (order-insensitive canonicalization, JSON
+round-trips, no collisions on the benchmark grid), the injectable
+:class:`~repro.analysis.runner.DesignCache` that replaced the old
+module-global dict, and the disk persistence of results and designs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import runner
+from repro.analysis.runner import (
+    DesignCache,
+    ExperimentConfig,
+    adele_design_for,
+    build_policy,
+)
+from repro.core.amosa import AmosaConfig
+from repro.exec.cache import (
+    DiskDesignCache,
+    ResultCache,
+    canonical_config,
+    canonical_json,
+    config_from_canonical,
+    config_key,
+    derive_seed,
+    SEED_SPACE,
+)
+from repro.topology.elevators import ElevatorPlacement
+from repro.topology.mesh3d import Mesh3D
+
+TINY_AMOSA = AmosaConfig(
+    initial_temperature=5.0,
+    final_temperature=0.5,
+    cooling_rate=0.6,
+    iterations_per_temperature=10,
+    hard_limit=6,
+    soft_limit=12,
+    initial_solutions=3,
+    seed=2,
+)
+
+
+def _tiny_placement(name="cache-tiny", columns=((0, 0), (1, 1))):
+    return ElevatorPlacement(Mesh3D(2, 2, 2), list(columns), name=name)
+
+
+# ---------------------------------------------------------------------- #
+# Canonicalization properties
+# ---------------------------------------------------------------------- #
+class TestCanonicalization:
+    def test_keyword_order_is_irrelevant(self):
+        a = ExperimentConfig(policy="cda", traffic="shuffle", injection_rate=0.003)
+        b = ExperimentConfig(injection_rate=0.003, traffic="shuffle", policy="cda")
+        assert canonical_json(a) == canonical_json(b)
+        assert config_key(a) == config_key(b)
+
+    def test_canonical_json_sorts_keys(self):
+        blob = canonical_json(ExperimentConfig())
+        keys = list(json.loads(blob))
+        assert keys == sorted(keys)
+
+    def test_round_trips_through_json(self):
+        config = ExperimentConfig(
+            placement="PS2", policy="adele_rr", traffic="fft",
+            injection_rate=0.004, seed=11, adele_max_subset_size=None,
+        )
+        rebuilt = config_from_canonical(json.loads(canonical_json(config)))
+        assert rebuilt == config
+        assert config_key(rebuilt) == config_key(config)
+
+    def test_round_trip_preserves_custom_placements(self):
+        placement = _tiny_placement()
+        config = ExperimentConfig(placement="cache-tiny", placement_obj=placement)
+        rebuilt = config_from_canonical(json.loads(canonical_json(config)))
+        assert rebuilt.placement_obj is not None
+        assert rebuilt.placement_obj.name == placement.name
+        assert rebuilt.placement_obj.columns() == placement.columns()
+        assert rebuilt.placement_obj.mesh.shape == placement.mesh.shape
+        assert config_key(rebuilt) == config_key(config)
+
+    def test_every_field_feeds_the_key(self):
+        base = ExperimentConfig()
+        variants = [
+            base.with_(placement="PS2"),
+            base.with_(policy="cda"),
+            base.with_(traffic="shuffle"),
+            base.with_(injection_rate=0.0041),
+            base.with_(warmup_cycles=301),
+            base.with_(measurement_cycles=1501),
+            base.with_(drain_cycles=801),
+            base.with_(buffer_depth=5),
+            base.with_(min_packet_length=11),
+            base.with_(max_packet_length=31),
+            base.with_(seed=1),
+            base.with_(adele_max_subset_size=3),
+            base.with_(adele_low_traffic_threshold=0.3),
+        ]
+        keys = {config_key(base)} | {config_key(v) for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_custom_placements_with_the_same_name_do_not_collide(self):
+        config_a = ExperimentConfig(
+            placement="dup", placement_obj=_tiny_placement("dup", ((0, 0),))
+        )
+        config_b = ExperimentConfig(
+            placement="dup", placement_obj=_tiny_placement("dup", ((1, 1),))
+        )
+        assert config_key(config_a) != config_key(config_b)
+
+    def test_no_collisions_on_the_benchmark_grid(self):
+        # The happy-path grid the benchmarks sweep: every (placement, policy,
+        # traffic, rate) combination must map to a distinct cache key.
+        configs = [
+            ExperimentConfig(
+                placement=placement, policy=policy, traffic=traffic,
+                injection_rate=rate, seed=1,
+            )
+            for placement in ("PS1", "PS2", "PS3", "PM")
+            for policy in ("elevator_first", "cda", "adele", "adele_rr")
+            for traffic in ("uniform", "shuffle")
+            for rate in (0.001, 0.003, 0.005)
+        ]
+        keys = [config_key(config) for config in configs]
+        assert len(set(keys)) == len(configs)
+
+
+class TestKeyExtras:
+    def test_energy_model_feeds_the_result_cache_key(self, tmp_path):
+        from repro.energy.model import EnergyModel
+        from repro.exec.batch import ExperimentBatch
+
+        config = ExperimentConfig(
+            placement="cache-tiny", placement_obj=_tiny_placement(),
+            policy="elevator_first", injection_rate=0.05,
+            warmup_cycles=10, measurement_cycles=80, drain_cycles=80,
+        )
+        cache = ResultCache(str(tmp_path))
+        default_run = ExperimentBatch([config], result_cache=cache)
+        default_run.run()
+
+        # A different energy model must not be served the default model's row.
+        custom = EnergyModel(router_energy_per_bit=2e-12)
+        custom_run = ExperimentBatch([config], result_cache=cache, energy_model=custom)
+        custom_outcomes = custom_run.run()
+        assert custom_run.last_executed == 1
+        assert not custom_outcomes[0].from_cache
+
+        # Passing the default model explicitly and passing None share keys.
+        explicit_run = ExperimentBatch(
+            [config], result_cache=cache, energy_model=EnergyModel()
+        )
+        explicit_outcomes = explicit_run.run()
+        assert explicit_run.last_executed == 0
+        assert explicit_outcomes[0].from_cache
+
+
+class TestDerivedSeeds:
+    def test_range_and_determinism(self):
+        config = ExperimentConfig(policy="cda")
+        seed = derive_seed(config, 3)
+        assert 0 <= seed < SEED_SPACE
+        assert seed == derive_seed(config, 3)
+
+    def test_varies_with_config_and_base_seed(self):
+        config = ExperimentConfig(policy="cda")
+        assert derive_seed(config, 3) != derive_seed(config, 4)
+        assert derive_seed(config, 3) != derive_seed(config.with_(policy="adele"), 3)
+
+
+# ---------------------------------------------------------------------- #
+# Result cache
+# ---------------------------------------------------------------------- #
+class TestResultCache:
+    def test_memory_round_trip_and_isolation(self):
+        cache = ResultCache()
+        summary = {"average_latency": 12.5, "delivery_ratio": 1.0}
+        cache.put("k", None, summary)
+        loaded = cache.get("k")
+        assert loaded == summary
+        loaded["average_latency"] = -1.0  # mutating the copy must not leak
+        assert cache.get("k") == summary
+
+    def test_disk_round_trip_preserves_infinities(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        summary = {"average_latency": float("inf"), "delivery_ratio": 0.0}
+        cache.put("sat", {"policy": "cda"}, summary)
+        fresh = ResultCache(str(tmp_path))
+        assert fresh.get("sat") == summary
+        assert fresh.get("sat")["average_latency"] == float("inf")
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("a", None, {"x": 1.0})
+        cache.put("b", None, {"x": 2.0})
+        assert len(cache) == 2
+        assert "a" in cache and "missing" not in cache
+        cache.clear()
+        assert len(cache) == 0
+        assert ResultCache(str(tmp_path)).get("a") is None
+
+
+# ---------------------------------------------------------------------- #
+# Design cache (the fixed module-global)
+# ---------------------------------------------------------------------- #
+class TestDesignCache:
+    def test_different_max_subset_size_never_shares_designs(self):
+        # Regression: the old module-global dict was keyed loosely enough
+        # that offline settings could collide; two sweeps with different
+        # subset-size caps must produce two distinct cached designs.
+        placement = _tiny_placement()
+        cache = DesignCache()
+        design_1 = adele_design_for(
+            placement, max_subset_size=1, amosa_config=TINY_AMOSA, cache=cache
+        )
+        design_2 = adele_design_for(
+            placement, max_subset_size=2, amosa_config=TINY_AMOSA, cache=cache
+        )
+        assert len(cache) == 2
+        assert design_1 is not design_2
+        assert max(len(s) for s in design_1.selected_subsets().values()) <= 1
+
+    def test_build_policy_respects_subset_cap_via_cache(self, monkeypatch):
+        monkeypatch.setattr(runner, "DEFAULT_OFFLINE_AMOSA", TINY_AMOSA)
+        placement = _tiny_placement()
+        cache = DesignCache()
+        config = ExperimentConfig(
+            placement="cache-tiny", placement_obj=placement, policy="adele"
+        )
+        policy_1 = build_policy(
+            config.with_(adele_max_subset_size=1), placement, design_cache=cache
+        )
+        build_policy(
+            config.with_(adele_max_subset_size=2), placement, design_cache=cache
+        )
+        assert len(cache) == 2
+        nodes = placement.mesh.nodes()
+        assert max(len(policy_1.subset_indices(node)) for node in nodes) <= 1
+
+    def test_amosa_settings_feed_the_key(self):
+        placement = _tiny_placement()
+        cache = DesignCache()
+        other_amosa = AmosaConfig(
+            initial_temperature=5.0, final_temperature=0.5, cooling_rate=0.6,
+            iterations_per_temperature=10, hard_limit=6, soft_limit=12,
+            initial_solutions=3, seed=3,
+        )
+        adele_design_for(placement, max_subset_size=2, amosa_config=TINY_AMOSA, cache=cache)
+        adele_design_for(placement, max_subset_size=2, amosa_config=other_amosa, cache=cache)
+        assert len(cache) == 2
+
+    def test_injected_caches_are_isolated_and_clearable(self):
+        placement = _tiny_placement()
+        cache_a, cache_b = DesignCache(), DesignCache()
+        design = adele_design_for(
+            placement, max_subset_size=2, amosa_config=TINY_AMOSA, cache=cache_a
+        )
+        assert len(cache_a) == 1 and len(cache_b) == 0
+        again = adele_design_for(
+            placement, max_subset_size=2, amosa_config=TINY_AMOSA, cache=cache_a
+        )
+        assert again is design
+        cache_a.clear()
+        assert len(cache_a) == 0
+
+    def test_disk_design_cache_survives_processes(self, tmp_path, monkeypatch):
+        placement = _tiny_placement()
+        warm = DiskDesignCache(str(tmp_path))
+        original = adele_design_for(
+            placement, max_subset_size=2, amosa_config=TINY_AMOSA, cache=warm
+        )
+
+        # A fresh cache over the same directory must reload the design from
+        # disk without ever invoking the AMOSA stage again.
+        def _fail(*args, **kwargs):  # pragma: no cover - defensive
+            raise AssertionError("offline optimization re-ran on a warm cache")
+
+        monkeypatch.setattr(runner, "optimize_elevator_subsets", _fail)
+        fresh = DiskDesignCache(str(tmp_path))
+        reloaded = adele_design_for(
+            placement, max_subset_size=2, amosa_config=TINY_AMOSA, cache=fresh
+        )
+        assert reloaded.selected_subsets() == original.selected_subsets()
+        assert reloaded.pareto_points() == original.pareto_points()
+        assert reloaded.baseline_objectives == pytest.approx(
+            original.baseline_objectives
+        )
+        assert [e.objectives for e in reloaded.representatives] == [
+            e.objectives for e in original.representatives
+        ]
+
+    def test_explicit_traffic_matrix_never_aliases_the_uniform_design(self, tmp_path):
+        # An explicitly supplied matrix is keyed by content, so it neither
+        # reuses the label-only "uniform" entry nor gets persisted as the
+        # canonical uniform design by disk caches.
+        placement = _tiny_placement()
+        mesh = placement.mesh
+        hotspot = {
+            (src, dst): (4.0 if dst == 0 else 0.1)
+            for src in mesh.nodes()
+            for dst in mesh.nodes()
+            if src != dst
+        }
+        cache = DiskDesignCache(str(tmp_path))
+        adele_design_for(
+            placement, traffic_matrix=hotspot, max_subset_size=2,
+            amosa_config=TINY_AMOSA, cache=cache,
+        )
+        uniform = adele_design_for(
+            placement, max_subset_size=2, amosa_config=TINY_AMOSA, cache=cache
+        )
+        assert len(cache) == 2
+
+        # A fresh disk cache must serve the genuine uniform design for the
+        # plain label, not the hotspot-optimized one.
+        fresh = DiskDesignCache(str(tmp_path))
+        reloaded = adele_design_for(
+            placement, max_subset_size=2, amosa_config=TINY_AMOSA, cache=fresh
+        )
+        assert reloaded.selected_subsets() == uniform.selected_subsets()
+
+    def test_default_cache_is_swappable(self):
+        previous = runner.get_design_cache()
+        replacement = DesignCache()
+        try:
+            assert runner.set_design_cache(replacement) is previous
+            assert runner.get_design_cache() is replacement
+        finally:
+            runner.set_design_cache(previous)

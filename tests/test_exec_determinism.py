@@ -1,0 +1,160 @@
+"""Regression tests for the parallel experiment engine's determinism.
+
+The engine's contract: an identical configuration + seed produces a
+*bit-identical* ``SimulationResult.summary()`` row whether the batch runs
+serially (``workers=1``), fanned out over worker processes, or replayed from
+a warm disk cache -- and a warm cache performs zero new simulations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import runner
+from repro.analysis.runner import ExperimentConfig
+from repro.core.amosa import AmosaConfig
+from repro.exec.batch import ExperimentBatch, run_batch
+from repro.exec.cache import DiskDesignCache, ResultCache, config_key, derive_seed
+from repro.topology.elevators import ElevatorPlacement
+from repro.topology.mesh3d import Mesh3D
+
+TINY_AMOSA = AmosaConfig(
+    initial_temperature=5.0,
+    final_temperature=0.5,
+    cooling_rate=0.6,
+    iterations_per_temperature=10,
+    hard_limit=6,
+    soft_limit=12,
+    initial_solutions=3,
+    seed=2,
+)
+
+
+def _tiny_placement() -> ElevatorPlacement:
+    return ElevatorPlacement(Mesh3D(2, 2, 2), [(0, 0), (1, 1)], name="exec-tiny")
+
+
+def _base_config(**overrides) -> ExperimentConfig:
+    placement = _tiny_placement()
+    defaults = dict(
+        placement="exec-tiny",
+        placement_obj=placement,
+        traffic="uniform",
+        injection_rate=0.05,
+        warmup_cycles=20,
+        measurement_cycles=120,
+        drain_cycles=150,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+@pytest.fixture
+def grid():
+    """A small Fig. 4-style grid: 2 policies x 2 injection rates."""
+    base = _base_config()
+    return [
+        base.with_(policy=policy, injection_rate=rate)
+        for policy in ("elevator_first", "cda")
+        for rate in (0.02, 0.05)
+    ]
+
+
+class TestSerialParallelCacheIdentity:
+    def test_serial_matches_four_workers(self, grid):
+        serial = run_batch(grid, workers=1)
+        parallel = run_batch(grid, workers=4)
+        assert [o.config for o in serial] == [o.config for o in parallel]
+        # Bit-identical rows, not approximate equality.
+        assert [o.summary for o in serial] == [o.summary for o in parallel]
+        assert not any(o.from_cache for o in serial + parallel)
+
+    def test_warm_disk_cache_is_bit_identical_and_runs_nothing(self, grid, tmp_path):
+        cold = ExperimentBatch(grid, workers=1, result_cache=ResultCache(str(tmp_path)))
+        cold_outcomes = cold.run()
+        assert cold.last_executed == len(grid)
+
+        # A fresh cache object over the same directory: everything must come
+        # off disk, with zero new simulations.
+        warm = ExperimentBatch(grid, workers=1, result_cache=ResultCache(str(tmp_path)))
+        warm_outcomes = warm.run()
+        assert warm.last_executed == 0
+        assert all(o.from_cache for o in warm_outcomes)
+        assert [o.summary for o in cold_outcomes] == [o.summary for o in warm_outcomes]
+
+    def test_parallel_run_against_warm_cache(self, grid, tmp_path):
+        run_batch(grid, workers=1, result_cache=ResultCache(str(tmp_path)))
+        warm = ExperimentBatch(grid, workers=4, result_cache=ResultCache(str(tmp_path)))
+        outcomes = warm.run()
+        assert warm.last_executed == 0
+        assert all(o.from_cache for o in outcomes)
+
+    def test_duplicate_configs_simulate_once(self, grid):
+        batch = ExperimentBatch(grid + grid, workers=1)
+        outcomes = batch.run()
+        assert len(outcomes) == 2 * len(grid)
+        assert batch.last_executed == len(grid)
+        first, second = outcomes[: len(grid)], outcomes[len(grid):]
+        assert [o.summary for o in first] == [o.summary for o in second]
+
+
+class TestAdEleDeterminism:
+    """AdEle's offline design is resolved once in the parent and shipped to
+    workers as subsets, so parallel runs match serial runs bit for bit."""
+
+    @pytest.fixture(autouse=True)
+    def _tiny_offline(self, monkeypatch):
+        monkeypatch.setattr(runner, "DEFAULT_OFFLINE_AMOSA", TINY_AMOSA)
+
+    def test_adele_serial_matches_workers_and_cache(self, tmp_path):
+        base = _base_config(policy="adele", adele_max_subset_size=2)
+        configs = [base.with_(injection_rate=rate) for rate in (0.02, 0.05)]
+        design_cache = DiskDesignCache(str(tmp_path))
+
+        serial = run_batch(configs, workers=1, design_cache=design_cache)
+        parallel = run_batch(configs, workers=4, design_cache=design_cache)
+        assert [o.summary for o in serial] == [o.summary for o in parallel]
+
+        # Warm result cache on top: identical rows, zero new simulations.
+        result_cache = ResultCache(str(tmp_path))
+        cold = ExperimentBatch(
+            configs, workers=1, result_cache=result_cache, design_cache=design_cache
+        )
+        cold_rows = [o.summary for o in cold.run()]
+        warm = ExperimentBatch(
+            configs,
+            workers=4,
+            result_cache=ResultCache(str(tmp_path)),
+            design_cache=DiskDesignCache(str(tmp_path)),
+        )
+        warm_outcomes = warm.run()
+        assert warm.last_executed == 0
+        assert cold_rows == [o.summary for o in warm_outcomes]
+        assert cold_rows == [o.summary for o in serial]
+
+
+class TestBaseSeedDerivation:
+    def test_base_seed_replaces_config_seeds_deterministically(self, grid):
+        batch_a = ExperimentBatch(grid, base_seed=7)
+        batch_b = ExperimentBatch(grid, base_seed=7)
+        seeds_a = [c.seed for c in batch_a.effective_configs()]
+        seeds_b = [c.seed for c in batch_b.effective_configs()]
+        assert seeds_a == seeds_b
+        assert seeds_a == [derive_seed(c, 7) for c in grid]
+        # Distinct tasks get distinct seeds on this grid.
+        assert len(set(seeds_a)) == len(grid)
+
+    def test_different_base_seeds_give_different_tasks(self, grid):
+        seeds_7 = [c.seed for c in ExperimentBatch(grid, base_seed=7).effective_configs()]
+        seeds_8 = [c.seed for c in ExperimentBatch(grid, base_seed=8).effective_configs()]
+        assert seeds_7 != seeds_8
+
+    def test_derived_seed_ignores_the_configs_own_seed(self, grid):
+        config = grid[0]
+        assert derive_seed(config, 7) == derive_seed(config.with_(seed=999), 7)
+
+    def test_cache_keys_follow_the_derived_seed(self, grid):
+        batch = ExperimentBatch(grid, base_seed=7)
+        effective = batch.effective_configs()
+        assert [config_key(c) for c in effective] != [config_key(c) for c in grid]
