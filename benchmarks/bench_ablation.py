@@ -12,9 +12,9 @@ quantifying separately:
 
 from __future__ import annotations
 
-from conftest import SMALL_MESH_CYCLES, record_rows, run_grid
+from conftest import SMALL_MESH_CYCLES, make_spec, record_rows, run_grid
 
-from repro.analysis.runner import ExperimentConfig, build_packet_source
+from repro.analysis.runner import build_packet_source
 from repro.energy.model import EnergyModel
 from repro.routing.cda import CDAPolicy
 from repro.sim.engine import Simulator
@@ -25,24 +25,23 @@ ABLATION_RATE = 0.005
 SEEDS = (1, 2)
 
 
-def _mean_latency(config: ExperimentConfig) -> float:
-    outcomes = run_grid([config.with_(seed=seed) for seed in SEEDS])
+def _mean_latency(spec) -> float:
+    outcomes = run_grid([spec.with_(seed=seed) for seed in SEEDS])
     latencies = [outcome.summary["average_latency"] for outcome in outcomes]
     return sum(latencies) / len(latencies)
 
 
 def _run_policy_ablation():
-    config = ExperimentConfig(
-        placement="PS1", traffic="uniform", injection_rate=ABLATION_RATE,
-        **SMALL_MESH_CYCLES,
+    spec = make_spec(
+        "PS1", traffic="uniform", rate=ABLATION_RATE, cycles=SMALL_MESH_CYCLES
     )
     return {
         "elevator_first (no subsets, no adaptation)": _mean_latency(
-            config.with_(policy="elevator_first")
+            spec.with_(policy="elevator_first")
         ),
-        "adele_rr (subsets only)": _mean_latency(config.with_(policy="adele_rr")),
+        "adele_rr (subsets only)": _mean_latency(spec.with_(policy="adele_rr")),
         "adele (subsets + skipping + override)": _mean_latency(
-            config.with_(policy="adele")
+            spec.with_(policy="adele")
         ),
     }
 
@@ -65,18 +64,18 @@ def test_ablation_adele_ingredients(benchmark):
 
 def _run_cda_staleness():
     placement = standard_placement("PS1")
-    config = ExperimentConfig(
-        placement="PS1", traffic="uniform", injection_rate=ABLATION_RATE, seed=1,
-        **SMALL_MESH_CYCLES,
+    spec = make_spec(
+        "PS1", traffic="uniform", rate=ABLATION_RATE, seed=1,
+        cycles=SMALL_MESH_CYCLES,
     )
     latencies = {}
     for period in (1, 16, 64):
         policy = CDAPolicy(placement, update_period=period)
         network = Network(placement, policy)
-        source = build_packet_source(config, placement)
+        source = build_packet_source(spec, placement)
         result = Simulator(
-            network, source, config.warmup_cycles, config.measurement_cycles,
-            config.drain_cycles, EnergyModel(),
+            network, source, spec.sim.warmup_cycles, spec.sim.measurement_cycles,
+            spec.sim.drain_cycles, EnergyModel(),
         ).run()
         latencies[period] = result.average_latency
     return latencies

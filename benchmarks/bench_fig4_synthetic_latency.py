@@ -24,19 +24,17 @@ from conftest import (
     RESULT_CACHE,
     SMALL_MESH_CYCLES,
     WORKERS,
+    make_spec,
     record_rows,
 )
 
-from repro.analysis.runner import ExperimentConfig
 from repro.analysis.sweep import latency_sweep, saturation_rate
 
 
 def _sweep(placement_name, traffic, policies, rates, cycles, seed=1):
-    config = ExperimentConfig(
-        placement=placement_name, traffic=traffic, seed=seed, **cycles
-    )
+    spec = make_spec(placement_name, traffic=traffic, seed=seed, cycles=cycles)
     return latency_sweep(
-        config, policies, rates,
+        spec, policies, rates,
         workers=WORKERS, result_cache=RESULT_CACHE, design_cache=DESIGN_CACHE,
     )
 

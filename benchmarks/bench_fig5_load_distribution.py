@@ -9,10 +9,10 @@ AdEle's most-loaded elevator clearly below Elevator-First's.
 
 from __future__ import annotations
 
-from conftest import POLICIES, SMALL_MESH_CYCLES, record_rows
+from conftest import POLICIES, SMALL_MESH_CYCLES, make_spec, record_rows
 
 from repro.analysis.load import elevator_load_distribution
-from repro.analysis.runner import ExperimentConfig, build_network, run_experiment
+from repro.analysis.runner import build_network, run_experiment
 from repro.topology.elevators import standard_placement
 
 #: Moderate load where Elevator-First's imbalance is clearly visible.
@@ -23,12 +23,11 @@ def _run_fig5():
     placement = standard_placement("PS1")
     distributions = {}
     for policy in POLICIES:
-        config = ExperimentConfig(
-            placement="PS1", policy=policy, traffic="uniform",
-            injection_rate=FIG5_RATE, seed=2, **SMALL_MESH_CYCLES,
+        spec = make_spec(
+            "PS1", policy, "uniform", FIG5_RATE, seed=2, cycles=SMALL_MESH_CYCLES
         )
-        network = build_network(config, placement=placement)
-        result = run_experiment(config, network=network)
+        network = build_network(spec, placement=placement)
+        result = run_experiment(spec, network=network)
         distributions[policy] = elevator_load_distribution(network, result)
     return distributions
 

@@ -19,12 +19,12 @@ from conftest import (
     LARGE_MESH_CYCLES,
     POLICIES,
     SMALL_MESH_CYCLES,
+    make_spec,
     record_rows,
     run_grid,
 )
 
 from repro.analysis.comparison import normalize_to_baseline
-from repro.analysis.runner import ExperimentConfig
 
 #: Low injection rate of Fig. 6(a); the paper uses 1e-3 packets/node/cycle.
 LOW_RATE = 0.001
@@ -32,12 +32,9 @@ LOW_RATE = 0.001
 HIGH_RATE = {"PS1": 0.005, "PS2": 0.006, "PS3": 0.007, "PM": 0.004}
 
 
-def _config_for(placement: str, policy: str, rate: float) -> ExperimentConfig:
+def _spec_for(placement: str, policy: str, rate: float):
     cycles = LARGE_MESH_CYCLES if placement == "PM" else SMALL_MESH_CYCLES
-    return ExperimentConfig(
-        placement=placement, policy=policy, traffic="uniform",
-        injection_rate=rate, seed=3, **cycles,
-    )
+    return make_spec(placement, policy, "uniform", rate, seed=3, cycles=cycles)
 
 
 def _run_fig6(placements):
@@ -47,11 +44,11 @@ def _run_fig6(placements):
     for placement in placements:
         for regime, rate in (("low", LOW_RATE), ("high", HIGH_RATE[placement])):
             for policy in POLICIES:
-                grid.append((placement, regime, _config_for(placement, policy, rate)))
-    outcomes = run_grid([config for _, _, config in grid])
+                grid.append((placement, regime, _spec_for(placement, policy, rate)))
+    outcomes = run_grid([spec for _, _, spec in grid])
     table = {}
     for (placement, regime, _), outcome in zip(grid, outcomes):
-        table.setdefault((placement, regime), {})[outcome.config.policy] = (
+        table.setdefault((placement, regime), {})[outcome.spec.policy.name] = (
             outcome.summary["energy_per_flit"]
         )
     return table

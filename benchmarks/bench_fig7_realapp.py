@@ -17,10 +17,9 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import POLICIES, record_rows, run_grid
+from conftest import POLICIES, make_spec, record_rows, run_grid
 
 from repro.analysis.comparison import normalize_to_baseline
-from repro.analysis.runner import ExperimentConfig
 from repro.traffic.applications import APPLICATION_NAMES, application_spec
 
 #: Injection rate corresponding to load factor 1.0; each application scales
@@ -35,15 +34,15 @@ LOW_LOAD_APPS = ("fluidanimate", "lu")
 def _run_placement(placement: str):
     # The full 6-application x 3-policy grid as one engine batch.
     pairs = [(app, policy) for app in APPLICATION_NAMES for policy in POLICIES]
-    configs = [
-        ExperimentConfig(
-            placement=placement, policy=policy, traffic=app,
-            injection_rate=BASE_RATE * application_spec(app).load_factor,
-            seed=4, **APP_CYCLES,
+    specs = [
+        make_spec(
+            placement, policy, app,
+            rate=BASE_RATE * application_spec(app).load_factor,
+            seed=4, cycles=APP_CYCLES,
         )
         for app, policy in pairs
     ]
-    outcomes = run_grid(configs)
+    outcomes = run_grid(specs)
     latencies = {}
     energies = {}
     for (app, policy), outcome in zip(pairs, outcomes):

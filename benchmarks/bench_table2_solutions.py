@@ -13,11 +13,10 @@ printed have the same columns as Table II.
 
 from __future__ import annotations
 
-from conftest import LARGE_MESH_CYCLES, record_rows
+from conftest import LARGE_MESH_CYCLES, make_spec, record_rows
 
 from repro.analysis.runner import (
     DEFAULT_OFFLINE_AMOSA,
-    ExperimentConfig,
     adele_design_for,
     build_packet_source,
 )
@@ -34,15 +33,15 @@ NUM_SOLUTIONS = 4
 
 
 def _simulate(placement, policy, seed=0):
-    config = ExperimentConfig(
-        placement="PM", traffic="uniform", injection_rate=TABLE2_RATE, seed=seed,
-        **LARGE_MESH_CYCLES,
+    spec = make_spec(
+        "PM", traffic="uniform", rate=TABLE2_RATE, seed=seed,
+        cycles=LARGE_MESH_CYCLES,
     )
     network = Network(placement, policy)
-    source = build_packet_source(config, placement)
+    source = build_packet_source(spec, placement)
     simulator = Simulator(
-        network, source, config.warmup_cycles, config.measurement_cycles,
-        config.drain_cycles, EnergyModel(),
+        network, source, spec.sim.warmup_cycles, spec.sim.measurement_cycles,
+        spec.sim.drain_cycles, EnergyModel(),
     )
     return simulator.run()
 

@@ -17,13 +17,13 @@ to disk so repeated bench runs skip finished work.
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import pytest
 
-from repro.analysis.runner import ExperimentConfig
 from repro.exec.batch import ExperimentBatch, ExperimentOutcome
 from repro.exec.cache import DiskDesignCache, ResultCache
+from repro.spec import ExperimentSpec, PlacementSpec, PolicySpec, SimSpec, TrafficSpec
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -37,15 +37,32 @@ RESULT_CACHE = ResultCache(_CACHE_DIR)
 DESIGN_CACHE = DiskDesignCache(_CACHE_DIR) if _CACHE_DIR else None
 
 
-def run_grid(configs: Sequence[ExperimentConfig]) -> List[ExperimentOutcome]:
-    """Run a configuration grid through the shared experiment engine."""
+def run_grid(specs: Sequence[ExperimentSpec]) -> List[ExperimentOutcome]:
+    """Run a spec grid through the shared experiment engine."""
     batch = ExperimentBatch(
-        configs,
+        specs,
         workers=WORKERS,
         result_cache=RESULT_CACHE,
         design_cache=DESIGN_CACHE,
     )
     return batch.run()
+
+
+def make_spec(
+    placement: str,
+    policy: str = "adele",
+    traffic: str = "uniform",
+    rate: float = 0.004,
+    seed: int = 1,
+    cycles: Optional[dict] = None,
+) -> ExperimentSpec:
+    """One bench experiment as a typed spec (cycles: the *_MESH_CYCLES dicts)."""
+    return ExperimentSpec(
+        placement=PlacementSpec(name=placement),
+        policy=PolicySpec(name=policy),
+        traffic=TrafficSpec(pattern=traffic, injection_rate=rate),
+        sim=SimSpec(seed=seed, **(cycles or {})),
+    )
 
 #: Simulation windows per mesh scale, chosen so the full benchmark suite
 #: completes in minutes while still spanning several thousand packets.

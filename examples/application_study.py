@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import sys
 
-from repro import ExperimentConfig, run_experiment
 from repro.analysis.comparison import normalize_to_baseline
+from repro.api import ExperimentSpec, PlacementSpec, SimSpec, TrafficSpec, run
 from repro.traffic.applications import APPLICATION_NAMES, application_spec
 
 BASE_RATE = 0.005
@@ -26,17 +26,21 @@ def main() -> None:
     placement = sys.argv[1] if len(sys.argv) > 1 else "PS2"
     print(f"Application study on {placement} (normalized to Elevator-First)\n")
 
+    base = ExperimentSpec(
+        placement=PlacementSpec(name=placement),
+        sim=SimSpec(warmup_cycles=200, measurement_cycles=1200,
+                    drain_cycles=700, seed=4),
+    )
     latencies = {}
     energies = {}
     for app in APPLICATION_NAMES:
         rate = BASE_RATE * application_spec(app).load_factor
         for policy in POLICIES:
-            config = ExperimentConfig(
-                placement=placement, policy=policy, traffic=app,
-                injection_rate=rate, warmup_cycles=200, measurement_cycles=1200,
-                drain_cycles=700, seed=4,
+            spec = base.with_(
+                policy=policy,
+                traffic=TrafficSpec(pattern=app, injection_rate=rate),
             )
-            result = run_experiment(config)
+            result = run(spec)
             latencies[(app, policy)] = result.average_latency
             energies[(app, policy)] = result.energy_per_flit
 

@@ -12,8 +12,9 @@ Run with:  python examples/custom_topology.py
 
 from __future__ import annotations
 
-from repro import ExperimentConfig, Mesh3D, run_experiment
+from repro import Mesh3D, run_experiment
 from repro.analysis.runner import adele_design_for
+from repro.api import ExperimentSpec, PlacementSpec, SimSpec, TrafficSpec
 from repro.topology.elevators import average_distance_of_placement, optimize_placement
 from repro.traffic.patterns import HotspotTraffic
 
@@ -45,23 +46,27 @@ def main() -> None:
 
     # 5. Compare the policies under the hotspot workload.  The AdEle network
     #    deploys the hotspot-optimized subsets built above.
-    base = ExperimentConfig(
-        placement="CUSTOM", placement_obj=placement, traffic="hotspot",
-        injection_rate=0.004, warmup_cycles=300, measurement_cycles=1200,
-        drain_cycles=800, seed=5,
+    base = ExperimentSpec(
+        placement=PlacementSpec.from_placement(placement),
+        traffic=TrafficSpec(
+            pattern="hotspot", injection_rate=0.004,
+            options={"hotspots": controllers, "hotspot_fraction": 0.3},
+        ),
+        sim=SimSpec(warmup_cycles=300, measurement_cycles=1200,
+                    drain_cycles=800, seed=5),
     )
     from repro.analysis.runner import build_network, build_policy
 
     print("\npolicy            latency (cycles)   energy (nJ/flit)   delivery")
     for policy_name in ("elevator_first", "cda", "adele"):
-        config = base.with_(policy=policy_name)
+        spec = base.with_(policy=policy_name)
         if policy_name == "adele":
-            network = build_network(config, placement=placement,
-                                    policy=design.to_policy(seed=config.seed))
+            network = build_network(spec, placement=placement,
+                                    policy=design.to_policy(seed=spec.sim.seed))
         else:
-            network = build_network(config, placement=placement,
-                                    policy=build_policy(config, placement))
-        result = run_experiment(config, network=network)
+            network = build_network(spec, placement=placement,
+                                    policy=build_policy(spec, placement))
+        result = run_experiment(spec, network=network)
         print(f"{policy_name:15s} {result.average_latency:17.1f} "
               f"{result.energy_per_flit * 1e9:18.3f} "
               f"{result.stats.delivery_ratio * 100:9.1f}%")

@@ -11,7 +11,9 @@ Run with:  python examples/fault_tolerance.py
 
 from __future__ import annotations
 
-from repro import ExperimentConfig, Mesh3D, run_experiment
+from repro import Mesh3D, run_experiment
+from repro.analysis.runner import build_network
+from repro.api import ExperimentSpec, PlacementSpec, SimSpec, TrafficSpec
 from repro.topology.elevators import ElevatorPlacement
 
 POLICIES = ("elevator_first", "cda", "adele")
@@ -19,13 +21,19 @@ POLICIES = ("elevator_first", "cda", "adele")
 
 def run_all(placement: ElevatorPlacement, label: str) -> dict:
     results = {}
-    base = ExperimentConfig(
-        placement=placement.name, placement_obj=placement, traffic="uniform",
-        injection_rate=0.003, warmup_cycles=300, measurement_cycles=1500,
-        drain_cycles=800, seed=7,
+    base = ExperimentSpec(
+        placement=PlacementSpec.from_placement(placement),
+        traffic=TrafficSpec(pattern="uniform", injection_rate=0.003),
+        sim=SimSpec(warmup_cycles=300, measurement_cycles=1500,
+                    drain_cycles=800, seed=7),
     )
     for policy in POLICIES:
-        result = run_experiment(base.with_(policy=policy))
+        # Build the network against the *live* placement object so fault
+        # markings (mark_faulty) are honoured; a spec-resolved placement
+        # would be a pristine structural rebuild.
+        spec = base.with_(policy=policy)
+        network = build_network(spec, placement=placement)
+        result = run_experiment(spec, network=network)
         results[policy] = result
         print(f"  [{label}] {policy:15s} latency={result.average_latency:7.1f} cycles  "
               f"delivery={result.stats.delivery_ratio * 100:5.1f}%  "

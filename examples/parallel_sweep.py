@@ -20,7 +20,8 @@ from __future__ import annotations
 import os
 import time
 
-from repro import ExperimentConfig, ExperimentBatch
+from repro import ExperimentBatch
+from repro.api import ExperimentSpec, PlacementSpec, SimSpec, TrafficSpec
 from repro.exec.cache import DiskDesignCache, ResultCache
 
 CACHE_DIR = os.path.join(os.path.dirname(__file__), ".repro-cache")
@@ -29,20 +30,18 @@ RATES = (0.001, 0.003, 0.005)
 
 
 def main() -> None:
-    base = ExperimentConfig(
-        placement="PS1",
-        traffic="uniform",
-        warmup_cycles=300,
-        measurement_cycles=1000,
-        drain_cycles=600,
+    base = ExperimentSpec(
+        placement=PlacementSpec(name="PS1"),
+        traffic=TrafficSpec(pattern="uniform"),
+        sim=SimSpec(warmup_cycles=300, measurement_cycles=1000, drain_cycles=600),
     )
-    configs = [
+    specs = [
         base.with_(policy=policy, injection_rate=rate)
         for policy in POLICIES
         for rate in RATES
     ]
     batch = ExperimentBatch(
-        configs,
+        specs,
         workers=4,
         result_cache=ResultCache(CACHE_DIR),
         design_cache=DiskDesignCache(CACHE_DIR),
@@ -58,9 +57,9 @@ def main() -> None:
     )
     for policy in POLICIES:
         points = "  ".join(
-            f"{o.config.injection_rate:.4f}:{o.summary['average_latency']:7.1f}"
+            f"{o.spec.traffic.injection_rate:.4f}:{o.summary['average_latency']:7.1f}"
             for o in outcomes
-            if o.config.policy == policy
+            if o.spec.policy.name == policy
         )
         print(f"{policy:15s} {points}")
     print("\nRe-run this script: everything will be served from the warm cache.")

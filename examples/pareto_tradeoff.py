@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import sys
 
-from repro import ExperimentConfig, standard_placement
+from repro import standard_placement
 from repro.analysis.runner import adele_design_for, build_packet_source
+from repro.api import ExperimentSpec, PlacementSpec, SimSpec, TrafficSpec
 from repro.energy.model import EnergyModel
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
@@ -24,13 +25,15 @@ def simulate_entry(design, entry, placement, injection_rate=0.004, seed=1):
     """Simulate one archive entry's subsets under uniform traffic."""
     policy = design.to_policy(entry=entry, seed=seed)
     network = Network(placement, policy)
-    config = ExperimentConfig(
-        placement=placement.name, traffic="uniform", injection_rate=injection_rate,
-        warmup_cycles=300, measurement_cycles=1500, drain_cycles=800, seed=seed,
+    spec = ExperimentSpec(
+        placement=PlacementSpec.from_placement(placement),
+        traffic=TrafficSpec(pattern="uniform", injection_rate=injection_rate),
+        sim=SimSpec(warmup_cycles=300, measurement_cycles=1500,
+                    drain_cycles=800, seed=seed),
     )
-    source = build_packet_source(config, placement)
-    simulator = Simulator(network, source, config.warmup_cycles,
-                          config.measurement_cycles, config.drain_cycles,
+    source = build_packet_source(spec, placement)
+    simulator = Simulator(network, source, spec.sim.warmup_cycles,
+                          spec.sim.measurement_cycles, spec.sim.drain_cycles,
                           EnergyModel())
     return simulator.run()
 

@@ -13,9 +13,10 @@ see examples/parallel_sweep.py and the ``python -m repro`` CLI.
 
 from __future__ import annotations
 
-from repro import ExperimentConfig, run_experiment, standard_placement
+from repro import standard_placement
 from repro.analysis.comparison import format_table, policy_comparison_table
 from repro.analysis.runner import adele_design_for
+from repro.api import ExperimentSpec, PlacementSpec, SimSpec, TrafficSpec, run
 
 
 def main() -> None:
@@ -32,19 +33,16 @@ def main() -> None:
           f"distance={design.selected.objectives[1]:.3f})")
 
     # Online stage: simulate each policy under the same workload.
-    base = ExperimentConfig(
-        placement="PS1",
-        traffic="uniform",
-        injection_rate=0.004,
-        warmup_cycles=300,
-        measurement_cycles=1500,
-        drain_cycles=800,
-        seed=1,
+    base = ExperimentSpec(
+        placement=PlacementSpec(name="PS1"),
+        traffic=TrafficSpec(pattern="uniform", injection_rate=0.004),
+        sim=SimSpec(warmup_cycles=300, measurement_cycles=1500,
+                    drain_cycles=800, seed=1),
     )
     results = {}
     for policy in ("elevator_first", "cda", "adele"):
         print(f"Simulating {policy} ...")
-        results[policy] = run_experiment(base.with_(policy=policy))
+        results[policy] = run(base.with_(policy=policy))
 
     table = policy_comparison_table(results, baseline="elevator_first")
     print()

@@ -18,18 +18,17 @@ complete system described in the paper:
   repository);
 * the parallel experiment engine -- batched, deterministically seeded,
   disk-cached execution of whole experiment grids, also exposed as the
-  ``python -m repro`` CLI (:mod:`repro.exec`).
+  ``python -m repro`` CLI (:mod:`repro.exec`);
+* the public API -- typed :class:`~repro.spec.ExperimentSpec` experiment
+  descriptions over pluggable component registries (:mod:`repro.api`,
+  :mod:`repro.spec`, :mod:`repro.registry`).
 
 Quickstart::
 
-    from repro import (
-        ExperimentConfig, run_experiment, optimize_elevator_subsets,
-        standard_placement,
-    )
+    from repro import api
 
-    placement = standard_placement("PS1")
-    design = optimize_elevator_subsets(placement)
-    result = run_experiment(ExperimentConfig(placement="PS1", policy="adele"))
+    spec = api.ExperimentSpec().with_(placement="PS1", policy="adele")
+    result = api.run(spec)
     print(result.average_latency)
 """
 
@@ -85,8 +84,17 @@ from repro.exec import (
     derive_seed,
     run_batch,
 )
+from repro.registry import Registry, RegistryEntry, UnknownComponentError
+from repro.spec import (
+    ExperimentSpec,
+    PlacementSpec,
+    PolicySpec,
+    SimSpec,
+    TrafficSpec,
+)
+from repro import api
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Coordinate",
@@ -118,6 +126,15 @@ __all__ = [
     "AmosaOptimizer",
     "optimize_elevator_subsets",
     "ExperimentConfig",
+    "ExperimentSpec",
+    "PlacementSpec",
+    "PolicySpec",
+    "TrafficSpec",
+    "SimSpec",
+    "Registry",
+    "RegistryEntry",
+    "UnknownComponentError",
+    "api",
     "run_experiment",
     "latency_sweep",
     "saturation_rate",

@@ -13,13 +13,16 @@ from repro.analysis.runner import (
     DesignCache,
     ExperimentConfig,
     adele_design_for,
+    as_spec,
     build_network,
     build_packet_source,
     build_policy,
     clear_design_cache,
+    config_from_spec,
     get_design_cache,
     run_experiment,
     set_design_cache,
+    spec_from_config,
 )
 from repro.analysis.sweep import (
     LatencyCurve,
@@ -30,6 +33,7 @@ from repro.analysis.sweep import (
 from repro.analysis.load import elevator_load_distribution
 from repro.analysis.comparison import (
     normalize_to_baseline,
+    policy_comparison_from_outcomes,
     policy_comparison_from_summaries,
     policy_comparison_table,
     relative_improvement,
@@ -38,6 +42,9 @@ from repro.analysis.comparison import (
 __all__ = [
     "DesignCache",
     "ExperimentConfig",
+    "as_spec",
+    "spec_from_config",
+    "config_from_spec",
     "get_design_cache",
     "set_design_cache",
     "build_network",
@@ -55,4 +62,5 @@ __all__ = [
     "relative_improvement",
     "policy_comparison_table",
     "policy_comparison_from_summaries",
+    "policy_comparison_from_outcomes",
 ]

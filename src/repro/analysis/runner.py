@@ -22,9 +22,11 @@ preserves the historical run-AMOSA-once-per-process behaviour.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import warnings
 from dataclasses import astuple, dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.core.amosa import AmosaConfig
 from repro.core.pipeline import AdEleDesign, OfflineConfig, optimize_elevator_subsets
@@ -33,10 +35,18 @@ from repro.routing import make_policy
 from repro.routing.base import ElevatorSelectionPolicy
 from repro.sim.engine import SimulationResult, Simulator
 from repro.sim.network import Network
-from repro.topology.elevators import ElevatorPlacement, standard_placement
-from repro.traffic.applications import make_application_traffic
+from repro.spec import (
+    DEFAULT_ADELE_LOW_TRAFFIC_THRESHOLD,
+    DEFAULT_ADELE_MAX_SUBSET_SIZE,
+    ExperimentSpec,
+    PlacementSpec,
+    PolicySpec,
+    SimSpec,
+    TrafficSpec,
+)
+from repro.topology.elevators import ElevatorPlacement
 from repro.traffic.generator import BernoulliPacketSource, PacketSource
-from repro.traffic.patterns import TrafficPattern, UniformTraffic, make_pattern
+from repro.traffic.patterns import TrafficPattern, UniformTraffic
 
 #: Key type of the offline-design cache (see :meth:`DesignCache.make_key`).
 DesignKey = Tuple
@@ -119,9 +129,32 @@ DEFAULT_OFFLINE_AMOSA = AmosaConfig(
 )
 
 
+#: Internal depth counter: while positive, constructing the deprecated
+#: :class:`ExperimentConfig` shim does not emit a :class:`DeprecationWarning`
+#: (used by the compatibility converters, never by user code).
+_shim_quiet_depth = 0
+
+
+@contextlib.contextmanager
+def _quiet_config_shim() -> Iterator[None]:
+    """Suppress the ExperimentConfig deprecation warning (internal use)."""
+    global _shim_quiet_depth
+    _shim_quiet_depth += 1
+    try:
+        yield
+    finally:
+        _shim_quiet_depth -= 1
+
+
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """One simulated configuration.
+    """Deprecated flat configuration shim.
+
+    .. deprecated:: 1.2
+        Construct a typed :class:`repro.spec.ExperimentSpec` instead (see
+        :mod:`repro.api`); this shim converts to/from it so existing
+        scripts, benches and cached results keep working, but emits a
+        :class:`DeprecationWarning` on construction.
 
     Attributes:
         placement: Placement name (``PS1``-``PS3``, ``PM``) or custom name
@@ -162,37 +195,141 @@ class ExperimentConfig:
         default=None, compare=False, hash=False
     )
 
+    def __post_init__(self) -> None:
+        if not _shim_quiet_depth:
+            warnings.warn(
+                "ExperimentConfig is deprecated; build a typed "
+                "repro.spec.ExperimentSpec (see repro.api) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+
     def with_(self, **changes) -> "ExperimentConfig":
         """A copy of the configuration with some fields replaced."""
-        return replace(self, **changes)
+        with _quiet_config_shim():
+            return replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    # Spec interop
+    # ------------------------------------------------------------------ #
+    def to_spec(self) -> ExperimentSpec:
+        """The equivalent typed :class:`~repro.spec.ExperimentSpec`."""
+        return spec_from_config(self)
+
+    @classmethod
+    def from_spec(cls, spec: ExperimentSpec) -> "ExperimentConfig":
+        """Build a (quiet) shim instance from a typed spec.
+
+        Lossy for components outside the flat-config vocabulary: traffic
+        options and non-AdEle policy options have no field here and are
+        dropped.
+        """
+        return config_from_spec(spec)
+
+
+def spec_from_config(config: ExperimentConfig) -> ExperimentSpec:
+    """Convert the deprecated flat config into a typed spec.
+
+    A supplied ``placement_obj`` becomes a *structural*
+    :class:`~repro.spec.PlacementSpec` (mesh shape + columns, keyed under
+    ``config.placement``), so two different custom placements reusing a name
+    can never alias each other.  AdEle's knobs move into the policy options;
+    for non-AdEle policies they are meaningless and intentionally dropped.
+    """
+    if config.placement_obj is not None:
+        placement = PlacementSpec.from_placement(
+            config.placement_obj, name=config.placement
+        )
+    else:
+        placement = PlacementSpec(name=config.placement)
+    options: Dict[str, object] = {}
+    policy_spec = PolicySpec(name=config.policy)
+    if policy_spec.needs_design:
+        options = {
+            "max_subset_size": config.adele_max_subset_size,
+            "low_traffic_threshold": config.adele_low_traffic_threshold,
+        }
+        policy_spec = PolicySpec(name=config.policy, options=options)
+    return ExperimentSpec(
+        placement=placement,
+        policy=policy_spec,
+        traffic=TrafficSpec(
+            pattern=config.traffic,
+            injection_rate=config.injection_rate,
+            min_packet_length=config.min_packet_length,
+            max_packet_length=config.max_packet_length,
+        ),
+        sim=SimSpec(
+            warmup_cycles=config.warmup_cycles,
+            measurement_cycles=config.measurement_cycles,
+            drain_cycles=config.drain_cycles,
+            buffer_depth=config.buffer_depth,
+            seed=config.seed,
+        ),
+    )
+
+
+def config_from_spec(spec: ExperimentSpec) -> ExperimentConfig:
+    """Convert a typed spec into the deprecated flat shim (no warning).
+
+    Lossy where the flat form has no vocabulary: traffic options and policy
+    options other than AdEle's two knobs are dropped.
+    """
+    placement_obj = None
+    if spec.placement.is_structural:
+        placement_obj = spec.placement.resolve()
+    with _quiet_config_shim():
+        return ExperimentConfig(
+            placement=spec.placement.name,
+            policy=spec.policy.name,
+            traffic=spec.traffic.pattern,
+            injection_rate=spec.traffic.injection_rate,
+            warmup_cycles=spec.sim.warmup_cycles,
+            measurement_cycles=spec.sim.measurement_cycles,
+            drain_cycles=spec.sim.drain_cycles,
+            buffer_depth=spec.sim.buffer_depth,
+            min_packet_length=spec.traffic.min_packet_length,
+            max_packet_length=spec.traffic.max_packet_length,
+            seed=spec.sim.seed,
+            adele_max_subset_size=spec.policy.option(
+                "max_subset_size", DEFAULT_ADELE_MAX_SUBSET_SIZE
+            ),
+            adele_low_traffic_threshold=spec.policy.option(
+                "low_traffic_threshold", DEFAULT_ADELE_LOW_TRAFFIC_THRESHOLD
+            ),
+            placement_obj=placement_obj,
+        )
+
+
+def as_spec(config: Union[ExperimentSpec, ExperimentConfig]) -> ExperimentSpec:
+    """Normalize a spec-or-legacy-config argument to a typed spec."""
+    if isinstance(config, ExperimentSpec):
+        return config
+    if isinstance(config, ExperimentConfig):
+        return spec_from_config(config)
+    raise TypeError(
+        f"expected ExperimentSpec or ExperimentConfig, got {type(config).__name__}"
+    )
 
 
 # ---------------------------------------------------------------------- #
 # Building blocks
 # ---------------------------------------------------------------------- #
-def resolve_placement(config: ExperimentConfig) -> ElevatorPlacement:
+def resolve_placement(
+    config: Union[ExperimentSpec, ExperimentConfig],
+) -> ElevatorPlacement:
     """Resolve the placement object of a configuration."""
-    if config.placement_obj is not None:
+    if isinstance(config, ExperimentConfig) and config.placement_obj is not None:
         return config.placement_obj
-    return standard_placement(config.placement)
+    return as_spec(config).placement.resolve()
 
 
-def build_traffic(config: ExperimentConfig, placement: ElevatorPlacement) -> TrafficPattern:
+def build_traffic(
+    config: Union[ExperimentSpec, ExperimentConfig], placement: ElevatorPlacement
+) -> TrafficPattern:
     """Build the traffic pattern named by a configuration."""
-    name = config.traffic.lower()
-    application_names = {
-        "canneal",
-        "fft",
-        "fluidanimate",
-        "fluid.",
-        "lu",
-        "radix",
-        "water",
-    }
-    if name in application_names:
-        app = "fluidanimate" if name == "fluid." else name
-        return make_application_traffic(app, placement.mesh, seed=config.seed)
-    return make_pattern(name, placement.mesh, seed=config.seed)
+    spec = as_spec(config)
+    return spec.traffic.build(placement, seed=spec.sim.seed)
 
 
 def adele_design_for(
@@ -252,79 +389,92 @@ def clear_design_cache() -> None:
 
 
 def build_policy(
-    config: ExperimentConfig,
+    config: Union[ExperimentSpec, ExperimentConfig],
     placement: ElevatorPlacement,
     design_cache: Optional[DesignCache] = None,
 ) -> ElevatorSelectionPolicy:
-    """Build the elevator-selection policy named by a configuration."""
-    name = config.policy.lower()
-    if name in ("adele", "adele_rr"):
+    """Build the elevator-selection policy named by a configuration.
+
+    AdEle variants run (or fetch from cache) the offline optimization
+    first; every other registered policy is constructed directly with the
+    spec's policy options as keyword arguments.
+    """
+    spec = as_spec(config)
+    name = spec.policy.name.lower()
+    if spec.policy.needs_design:
         design = adele_design_for(
             placement,
-            max_subset_size=config.adele_max_subset_size,
+            max_subset_size=spec.policy.option(
+                "max_subset_size", DEFAULT_ADELE_MAX_SUBSET_SIZE
+            ),
             cache=design_cache,
         )
         if name == "adele":
             return design.to_policy(
-                low_traffic_threshold=config.adele_low_traffic_threshold,
-                seed=config.seed,
+                low_traffic_threshold=spec.policy.option(
+                    "low_traffic_threshold", DEFAULT_ADELE_LOW_TRAFFIC_THRESHOLD
+                ),
+                seed=spec.sim.seed,
             )
-        return design.to_round_robin_policy(seed=config.seed)
-    return make_policy(name, placement)
+        return design.to_round_robin_policy(seed=spec.sim.seed)
+    return make_policy(name, placement, **spec.policy.options)
 
 
 def build_network(
-    config: ExperimentConfig,
+    config: Union[ExperimentSpec, ExperimentConfig],
     placement: Optional[ElevatorPlacement] = None,
     policy: Optional[ElevatorSelectionPolicy] = None,
     design_cache: Optional[DesignCache] = None,
 ) -> Network:
     """Build the network for a configuration."""
+    spec = as_spec(config)
     placement = placement if placement is not None else resolve_placement(config)
     if policy is None:
-        policy = build_policy(config, placement, design_cache=design_cache)
+        policy = build_policy(spec, placement, design_cache=design_cache)
     return Network(
         placement,
         policy,
         num_vcs=2,
-        buffer_depth=config.buffer_depth,
+        buffer_depth=spec.sim.buffer_depth,
     )
 
 
 def build_packet_source(
-    config: ExperimentConfig, placement: ElevatorPlacement
+    config: Union[ExperimentSpec, ExperimentConfig], placement: ElevatorPlacement
 ) -> PacketSource:
     """Build the packet source for a configuration."""
-    pattern = build_traffic(config, placement)
+    spec = as_spec(config)
+    pattern = spec.traffic.build(placement, seed=spec.sim.seed)
     return BernoulliPacketSource(
         pattern,
-        config.injection_rate,
-        min_packet_length=config.min_packet_length,
-        max_packet_length=config.max_packet_length,
-        seed=config.seed,
+        spec.traffic.injection_rate,
+        min_packet_length=spec.traffic.min_packet_length,
+        max_packet_length=spec.traffic.max_packet_length,
+        seed=spec.sim.seed,
     )
 
 
 def run_experiment(
-    config: ExperimentConfig,
+    config: Union[ExperimentSpec, ExperimentConfig],
     energy_model: Optional[EnergyModel] = None,
     network: Optional[Network] = None,
 ) -> SimulationResult:
     """Run one configuration end to end and return its result."""
+    spec = as_spec(config)
     placement = (
         network.placement if network is not None else resolve_placement(config)
     )
     if network is None:
-        network = build_network(config, placement=placement)
+        network = build_network(spec, placement=placement)
     else:
         network.reset()
-    source = build_packet_source(config, placement)
+    source = build_packet_source(spec, placement)
     simulator = Simulator(
         network,
         source,
-        warmup_cycles=config.warmup_cycles,
-        measurement_cycles=config.measurement_cycles,
-        drain_cycles=config.drain_cycles,
+        warmup_cycles=spec.sim.warmup_cycles,
+        measurement_cycles=spec.sim.measurement_cycles,
+        drain_cycles=spec.sim.drain_cycles,
         energy_model=energy_model if energy_model is not None else EnergyModel(),
     )
     return simulator.run()

@@ -10,11 +10,12 @@ the Fig. 6 bench to place its low/high injection-rate operating points.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.analysis.runner import DesignCache, ExperimentConfig
+from repro.analysis.runner import DesignCache, ExperimentConfig, as_spec
 from repro.energy.model import EnergyModel
 from repro.sim.engine import SimulationResult
+from repro.spec import ExperimentSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (exec -> runner)
     from repro.exec.cache import ResultCache
@@ -95,7 +96,7 @@ def saturation_rate(
 
 
 def latency_sweep(
-    base_config: ExperimentConfig,
+    base_config: Union[ExperimentSpec, ExperimentConfig],
     policies: Sequence[str],
     injection_rates: Sequence[float],
     energy_model: Optional[EnergyModel] = None,
@@ -107,14 +108,14 @@ def latency_sweep(
 
     The whole ``policies x injection_rates`` grid is routed through
     :class:`~repro.exec.batch.ExperimentBatch`: every point builds a fresh
-    network from its configuration (so no online state leaks between points
-    and the sweep parallelizes freely), runs are fanned out over ``workers``
+    network from its spec (so no online state leaks between points and the
+    sweep parallelizes freely), runs are fanned out over ``workers``
     processes, and finished points are served from ``result_cache``.
 
     Args:
-        base_config: Configuration whose ``injection_rate`` and ``policy``
-            fields are overridden by the sweep.
-        policies: Policy names to sweep.
+        base_config: Spec (or legacy config) whose injection rate and policy
+            are overridden by the sweep.
+        policies: Registered policy names to sweep.
         injection_rates: Packet injection rates per node per cycle.
         energy_model: Optional energy model recorded into each result.
         workers: Worker processes (``1`` = serial).
@@ -132,13 +133,14 @@ def latency_sweep(
     if not injection_rates:
         raise ValueError("injection_rates must not be empty")
     model = energy_model if energy_model is not None else EnergyModel()
-    configs = [
-        base_config.with_(policy=policy_name, injection_rate=rate)
+    base_spec = as_spec(base_config)
+    specs = [
+        base_spec.with_(policy=policy_name, injection_rate=rate)
         for policy_name in policies
         for rate in injection_rates
     ]
     batch = ExperimentBatch(
-        configs,
+        specs,
         workers=workers,
         result_cache=result_cache,
         design_cache=design_cache,
@@ -149,7 +151,7 @@ def latency_sweep(
         policy_name: LatencyCurve(policy=policy_name) for policy_name in policies
     }
     for outcome in outcomes:
-        curves[outcome.config.policy].add_point(
-            outcome.config.injection_rate, outcome.summary["average_latency"]
+        curves[outcome.spec.policy.name].add_point(
+            outcome.spec.traffic.injection_rate, outcome.summary["average_latency"]
         )
     return curves

@@ -1,0 +1,220 @@
+"""The public, typed experiment API.
+
+``repro.api`` is the one import a user (or a downstream package) needs:
+
+* **Typed specs** -- :class:`~repro.spec.ExperimentSpec` and its pieces
+  (:class:`~repro.spec.PlacementSpec`, :class:`~repro.spec.PolicySpec`,
+  :class:`~repro.spec.TrafficSpec`, :class:`~repro.spec.SimSpec`), each
+  validated on construction and round-tripping losslessly through
+  ``to_dict()`` / ``from_dict()``.  The dictionary form is the canonical
+  serialization shared by cache keys, derived seeds and ``--spec`` files.
+* **Registries** -- register a policy, traffic pattern, application model
+  or placement once (usually with a decorator) and it is usable *by name*
+  in specs, batches, benches and the ``python -m repro`` CLI.
+* **Execution** -- :func:`run` for a single spec,
+  :func:`run_specs` / :class:`~repro.exec.batch.ExperimentBatch` for
+  parallel, deterministically seeded, disk-cached grids.
+
+Quickstart::
+
+    from repro import api
+
+    spec = api.ExperimentSpec().with_(placement="PS1", policy="adele",
+                                      injection_rate=0.004)
+    result = api.run(spec)
+    print(result.average_latency)
+
+Registering a custom policy (see ``examples/custom_policy.py``)::
+
+    from repro.api import ExperimentSpec, register_policy, run_specs
+    from repro.routing.base import ElevatorSelectionPolicy
+
+    @register_policy("my_policy", description="...")
+    class MyPolicy(ElevatorSelectionPolicy):
+        ...
+
+    outcomes = run_specs([ExperimentSpec().with_(policy="my_policy")])
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.analysis.runner import (
+    DesignCache,
+    ExperimentConfig,
+    as_spec,
+    config_from_spec,
+    run_experiment,
+    spec_from_config,
+)
+from repro.energy.model import EnergyModel
+from repro.exec.batch import ExperimentBatch, ExperimentOutcome
+from repro.exec.cache import (
+    DiskDesignCache,
+    ResultCache,
+    canonical_config,
+    config_key,
+    derive_seed,
+    spec_from_canonical,
+)
+from repro.registry import (
+    DuplicateComponentError,
+    Registry,
+    RegistryEntry,
+    UnknownComponentError,
+)
+from repro.routing.base import POLICY_REGISTRY, register_policy
+from repro.sim.engine import SimulationResult
+from repro.spec import (
+    ExperimentSpec,
+    PlacementSpec,
+    PolicySpec,
+    SimSpec,
+    TrafficSpec,
+)
+from repro.topology.elevators import (
+    PLACEMENT_REGISTRY,
+    available_placements,
+    register_placement,
+)
+from repro.traffic.applications import (
+    APPLICATION_REGISTRY,
+    available_applications,
+    register_application,
+)
+from repro.traffic.patterns import (
+    PATTERN_REGISTRY,
+    available_patterns,
+    register_pattern,
+)
+
+
+def available_policies() -> List[str]:
+    """Sorted canonical names of every registered policy."""
+    return POLICY_REGISTRY.names()
+
+
+def available_components() -> Dict[str, List[str]]:
+    """Every registered component name, grouped by kind."""
+    return {
+        "policies": available_policies(),
+        "patterns": available_patterns(),
+        "applications": available_applications(),
+        "placements": available_placements(),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Execution
+# ---------------------------------------------------------------------- #
+def run(
+    spec: Union[ExperimentSpec, ExperimentConfig],
+    energy_model: Optional[EnergyModel] = None,
+) -> SimulationResult:
+    """Run one experiment spec end to end and return its full result."""
+    return run_experiment(as_spec(spec), energy_model=energy_model)
+
+
+def run_specs(
+    specs: Iterable[Union[ExperimentSpec, ExperimentConfig]],
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    base_seed: Optional[int] = None,
+    energy_model: Optional[EnergyModel] = None,
+    plugins: Iterable[str] = (),
+) -> List[ExperimentOutcome]:
+    """Run a grid of specs through the parallel batch engine.
+
+    Args:
+        specs: Experiment specs (legacy configs accepted too).
+        workers: Worker processes (``1`` = serial fallback).
+        cache_dir: Optional directory for disk-backed result *and* AdEle
+            design caching; a warm directory skips finished work entirely.
+        base_seed: When given, per-task seeds derive from the canonical
+            spec hash plus this value.
+        energy_model: Optional energy model forwarded to every simulation.
+        plugins: Module names re-imported inside worker processes so their
+            registered components exist by name under any multiprocessing
+            start method (under ``fork``, already-imported modules are
+            inherited without this).
+
+    Returns:
+        One :class:`~repro.exec.batch.ExperimentOutcome` per spec, in input
+        order, each carrying its spec, cache key and summary row.
+    """
+    batch = ExperimentBatch(
+        specs,
+        workers=workers,
+        result_cache=ResultCache(cache_dir),
+        design_cache=DiskDesignCache(cache_dir) if cache_dir else None,
+        base_seed=base_seed,
+        energy_model=energy_model,
+        plugins=tuple(plugins),
+    )
+    return batch.run()
+
+
+# ---------------------------------------------------------------------- #
+# Spec files
+# ---------------------------------------------------------------------- #
+def load_spec(path: str) -> ExperimentSpec:
+    """Load a single spec from a ``--spec``-style JSON file."""
+    with open(path, "r") as handle:
+        return ExperimentSpec.from_dict(json.load(handle))
+
+
+def save_spec(spec: Union[ExperimentSpec, ExperimentConfig], path: str) -> None:
+    """Write a spec's canonical JSON document to a file."""
+    with open(path, "w") as handle:
+        json.dump(as_spec(spec).to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+__all__ = [
+    # specs
+    "ExperimentSpec",
+    "PlacementSpec",
+    "PolicySpec",
+    "TrafficSpec",
+    "SimSpec",
+    "ExperimentConfig",
+    "as_spec",
+    "spec_from_config",
+    "config_from_spec",
+    "spec_from_canonical",
+    "canonical_config",
+    "config_key",
+    "derive_seed",
+    "load_spec",
+    "save_spec",
+    # registries
+    "Registry",
+    "RegistryEntry",
+    "UnknownComponentError",
+    "DuplicateComponentError",
+    "POLICY_REGISTRY",
+    "PATTERN_REGISTRY",
+    "APPLICATION_REGISTRY",
+    "PLACEMENT_REGISTRY",
+    "register_policy",
+    "register_pattern",
+    "register_application",
+    "register_placement",
+    "available_policies",
+    "available_patterns",
+    "available_applications",
+    "available_placements",
+    "available_components",
+    # execution
+    "run",
+    "run_specs",
+    "ExperimentBatch",
+    "ExperimentOutcome",
+    "ResultCache",
+    "DiskDesignCache",
+    "DesignCache",
+    "EnergyModel",
+    "SimulationResult",
+]

@@ -11,7 +11,8 @@ results -- in parallel, deterministically, and with disk-backed caching:
   :class:`~repro.exec.cache.ResultCache` (summary rows) and
   :class:`~repro.exec.cache.DiskDesignCache` (AdEle offline designs);
 * :mod:`repro.exec.cli` is the ``python -m repro`` front end (``sweep`` /
-  ``compare`` subcommands with ``--workers``, ``--cache-dir``, ``--seed``).
+  ``compare`` / ``run --spec`` / ``list`` subcommands with ``--workers``,
+  ``--cache-dir``, ``--seed`` and ``--plugin``).
 
 Determinism guarantee: identical configuration + seed produce bit-identical
 ``SimulationResult.summary()`` rows whether a batch runs serially, with N
@@ -32,6 +33,7 @@ from repro.exec.cache import (
     config_from_canonical,
     config_key,
     derive_seed,
+    spec_from_canonical,
 )
 
 __all__ = [
@@ -44,6 +46,7 @@ __all__ = [
     "canonical_config",
     "canonical_json",
     "config_from_canonical",
+    "spec_from_canonical",
     "config_key",
     "derive_seed",
 ]

@@ -27,34 +27,46 @@ Caching
 from __future__ import annotations
 
 import dataclasses
+import importlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.runner import (
     DesignCache,
     ExperimentConfig,
     adele_design_for,
+    as_spec,
     build_network,
+    config_from_spec,
     resolve_placement,
     run_experiment,
 )
 from repro.energy.model import EnergyModel
 from repro.exec.cache import ResultCache, canonical_config, config_key, derive_seed
 from repro.routing.adele import AdElePolicy, AdEleRoundRobinPolicy
-
-#: Policy names whose construction needs AdEle's offline design.
-_ADELE_POLICIES = ("adele", "adele_rr")
+from repro.spec import (
+    DEFAULT_ADELE_LOW_TRAFFIC_THRESHOLD,
+    DEFAULT_ADELE_MAX_SUBSET_SIZE,
+    ExperimentSpec,
+)
 
 
 @dataclass(frozen=True)
 class _Task:
-    """One unit of work shipped to a worker (picklable, design pre-resolved)."""
+    """One unit of work shipped to a worker (picklable, design pre-resolved).
 
-    config: ExperimentConfig
+    ``plugins`` are module names imported in the worker before the spec is
+    resolved, so components registered at import time (``--plugin`` modules)
+    exist by name even under the ``spawn``/``forkserver`` multiprocessing
+    start methods, where workers do not inherit the parent's registries.
+    """
+
+    spec: ExperimentSpec
     key: str
     subsets: Optional[Dict[int, Tuple[int, ...]]] = None
     energy_model: Optional[EnergyModel] = None
+    plugins: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -62,56 +74,66 @@ class ExperimentOutcome:
     """Result of one batched experiment.
 
     Attributes:
-        config: The effective configuration (seed already derived).
+        spec: The effective typed spec (seed already derived).
         key: Canonical config hash (the cache key).
         summary: ``SimulationResult.summary()`` row of the run.
         from_cache: ``True`` when the row came from the result cache and no
             simulation was performed for this configuration.
     """
 
-    config: ExperimentConfig
+    spec: ExperimentSpec
     key: str
     summary: Dict[str, float]
     from_cache: bool
 
+    @property
+    def config(self) -> ExperimentConfig:
+        """Deprecated flat view of :attr:`spec` (legacy callers)."""
+        return config_from_spec(self.spec)
+
 
 def _policy_from_subsets(
-    config: ExperimentConfig, placement, subsets: Dict[int, Tuple[int, ...]]
+    spec: ExperimentSpec, placement, subsets: Dict[int, Tuple[int, ...]]
 ):
     """Construct the AdEle online policy from pre-resolved offline subsets.
 
     Mirrors :func:`repro.analysis.runner.build_policy` exactly (same kwargs,
     same seeding) so batched runs match unbatched ones bit for bit.
     """
-    if config.policy.lower() == "adele":
-        kwargs = {"subsets": subsets, "seed": config.seed}
-        if config.adele_low_traffic_threshold is not None:
-            kwargs["low_traffic_threshold"] = config.adele_low_traffic_threshold
+    seed = spec.sim.seed
+    if spec.policy.name.lower() == "adele":
+        threshold = spec.policy.option(
+            "low_traffic_threshold", DEFAULT_ADELE_LOW_TRAFFIC_THRESHOLD
+        )
+        kwargs: Dict[str, Any] = {"subsets": subsets, "seed": seed}
+        if threshold is not None:
+            kwargs["low_traffic_threshold"] = threshold
         return AdElePolicy(placement, **kwargs)
-    return AdEleRoundRobinPolicy(placement, subsets=subsets, seed=config.seed)
+    return AdEleRoundRobinPolicy(placement, subsets=subsets, seed=seed)
 
 
 def _execute_task(task: _Task) -> Tuple[str, Dict[str, float]]:
     """Run one experiment end to end (module-level so it pickles)."""
-    config = task.config
-    placement = resolve_placement(config)
+    for module in task.plugins:
+        importlib.import_module(module)
+    spec = task.spec
+    placement = resolve_placement(spec)
     if task.subsets is not None:
-        policy = _policy_from_subsets(config, placement, task.subsets)
-        network = build_network(config, placement=placement, policy=policy)
+        policy = _policy_from_subsets(spec, placement, task.subsets)
+        network = build_network(spec, placement=placement, policy=policy)
     else:
-        network = build_network(config, placement=placement)
-    result = run_experiment(
-        config, energy_model=task.energy_model, network=network
-    )
+        network = build_network(spec, placement=placement)
+    result = run_experiment(spec, energy_model=task.energy_model, network=network)
     return task.key, result.summary()
 
 
 class ExperimentBatch:
-    """Run a list of experiment configurations, in parallel and cached.
+    """Run a list of experiments, in parallel and cached.
 
     Args:
-        configs: Configurations to run (any iterable; order is preserved in
-            the returned outcomes).
+        configs: Experiments to run -- typed :class:`ExperimentSpec` values
+            or legacy :class:`ExperimentConfig` shims, freely mixed (any
+            iterable; order is preserved in the returned outcomes).
         workers: Process count.  ``1`` (the default) runs every task inline
             with no subprocess involved -- the serial fallback.
         result_cache: Summary-row cache consulted before and populated after
@@ -119,22 +141,28 @@ class ExperimentBatch:
             deduplicates identical configs within the batch).
         design_cache: AdEle offline-design cache used while preparing tasks;
             defaults to the process-wide cache of :mod:`repro.analysis.runner`.
-        base_seed: When given, each config's ``seed`` field is replaced by
+        base_seed: When given, each spec's seed is replaced by
             :func:`~repro.exec.cache.derive_seed` (canonical-hash seeding);
-            when ``None``, configs keep their own seeds.
+            when ``None``, specs keep their own seeds.
         energy_model: Optional energy model forwarded to every simulation.
+        plugins: Module names imported inside each worker process before
+            resolving specs, so registry components registered at import
+            time stay available under the ``spawn``/``forkserver`` start
+            methods.  (Components registered by modules already imported in
+            the parent are inherited automatically under ``fork``.)
     """
 
     def __init__(
         self,
-        configs: Iterable[ExperimentConfig],
+        configs: Iterable[Union[ExperimentSpec, ExperimentConfig]],
         workers: int = 1,
         result_cache: Optional[ResultCache] = None,
         design_cache: Optional[DesignCache] = None,
         base_seed: Optional[int] = None,
         energy_model: Optional[EnergyModel] = None,
+        plugins: Sequence[str] = (),
     ) -> None:
-        self.configs: List[ExperimentConfig] = list(configs)
+        self.specs: List[ExperimentSpec] = [as_spec(config) for config in configs]
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
@@ -142,14 +170,20 @@ class ExperimentBatch:
         self.design_cache = design_cache
         self.base_seed = base_seed
         self.energy_model = energy_model
+        self.plugins: Tuple[str, ...] = tuple(plugins)
         #: Number of simulations actually executed by the last ``run()``.
         self.last_executed = 0
         #: Number of outcomes served from cache by the last ``run()``.
         self.last_cached = 0
 
     # ------------------------------------------------------------------ #
+    @property
+    def configs(self) -> List[ExperimentConfig]:
+        """Deprecated flat view of :attr:`specs` (legacy callers)."""
+        return [config_from_spec(spec) for spec in self.specs]
+
     def _key_extra(self) -> Dict[str, Any]:
-        """Non-config inputs the cache key must capture.
+        """Non-spec inputs the cache key must capture.
 
         A custom energy model changes the energy columns of every summary
         row, so its parameters are mixed into the key -- rows cached under
@@ -160,48 +194,57 @@ class ExperimentBatch:
         effective = self.energy_model if self.energy_model is not None else EnergyModel()
         return {"energy_model": dataclasses.asdict(effective)}
 
-    def effective_configs(self) -> List[ExperimentConfig]:
-        """Configs with batch-level seed derivation applied."""
+    def effective_specs(self) -> List[ExperimentSpec]:
+        """Specs with batch-level seed derivation applied."""
         if self.base_seed is None:
-            return list(self.configs)
+            return list(self.specs)
         return [
-            config.with_(seed=derive_seed(config, self.base_seed))
-            for config in self.configs
+            spec.with_(seed=derive_seed(spec, self.base_seed)) for spec in self.specs
         ]
 
-    def _make_task(self, config: ExperimentConfig, key: str) -> _Task:
+    def effective_configs(self) -> List[ExperimentConfig]:
+        """Deprecated flat view of :meth:`effective_specs` (legacy callers)."""
+        return [config_from_spec(spec) for spec in self.effective_specs()]
+
+    def _make_task(self, spec: ExperimentSpec, key: str) -> _Task:
         subsets = None
-        if config.policy.lower() in _ADELE_POLICIES:
-            placement = resolve_placement(config)
+        if spec.policy.needs_design:
+            placement = resolve_placement(spec)
             design = adele_design_for(
                 placement,
-                max_subset_size=config.adele_max_subset_size,
+                max_subset_size=spec.policy.option(
+                    "max_subset_size", DEFAULT_ADELE_MAX_SUBSET_SIZE
+                ),
                 cache=self.design_cache,
             )
             subsets = design.selected_subsets()
         return _Task(
-            config=config, key=key, subsets=subsets, energy_model=self.energy_model
+            spec=spec,
+            key=key,
+            subsets=subsets,
+            energy_model=self.energy_model,
+            plugins=self.plugins,
         )
 
     # ------------------------------------------------------------------ #
     def run(self) -> List[ExperimentOutcome]:
         """Execute the batch and return outcomes in input order."""
-        configs = self.effective_configs()
+        specs = self.effective_specs()
         extra = self._key_extra()
-        keys = [config_key(config, extra=extra) for config in configs]
-        outcomes: List[Optional[ExperimentOutcome]] = [None] * len(configs)
+        keys = [config_key(spec, extra=extra) for spec in specs]
+        outcomes: List[Optional[ExperimentOutcome]] = [None] * len(specs)
 
         pending: Dict[str, _Task] = {}
-        for index, (config, key) in enumerate(zip(configs, keys)):
+        for index, (spec, key) in enumerate(zip(specs, keys)):
             if key in pending:
-                continue  # deduplicated: same canonical config already queued
+                continue  # deduplicated: same canonical spec already queued
             cached = self.result_cache.get(key)
             if cached is not None:
                 outcomes[index] = ExperimentOutcome(
-                    config=config, key=key, summary=cached, from_cache=True
+                    spec=spec, key=key, summary=cached, from_cache=True
                 )
             else:
-                pending[key] = self._make_task(config, key)
+                pending[key] = self._make_task(spec, key)
 
         executed: Dict[str, Dict[str, float]] = {}
         if pending:
@@ -216,41 +259,46 @@ class ExperimentBatch:
             for key, summary in finished:
                 executed[key] = summary
                 self.result_cache.put(
-                    key, canonical_config(pending[key].config), summary
+                    key, canonical_config(pending[key].spec), summary
                 )
 
         self.last_executed = len(executed)
         self.last_cached = 0
-        for index, (config, key) in enumerate(zip(configs, keys)):
+        freshly_reported: set = set()
+        for index, (spec, key) in enumerate(zip(specs, keys)):
             if outcomes[index] is not None:
                 self.last_cached += 1
                 continue
-            if key in executed:
+            if key in executed and key not in freshly_reported:
+                # The one occurrence a simulation actually ran for.
+                freshly_reported.add(key)
                 outcomes[index] = ExperimentOutcome(
-                    config=config,
+                    spec=spec,
                     key=key,
                     summary=dict(executed[key]),
                     from_cache=False,
                 )
             else:
-                # Duplicate of an earlier config: first occurrence was served
-                # from cache or executed; either way the row is cached now.
+                # Duplicate of an earlier spec: the first occurrence was
+                # served from cache or executed; either way the row is in
+                # the cache now and no simulation ran for *this* outcome.
                 summary = self.result_cache.get(key)
                 assert summary is not None
                 outcomes[index] = ExperimentOutcome(
-                    config=config, key=key, summary=summary, from_cache=True
+                    spec=spec, key=key, summary=summary, from_cache=True
                 )
                 self.last_cached += 1
         return [outcome for outcome in outcomes if outcome is not None]
 
 
 def run_batch(
-    configs: Iterable[ExperimentConfig],
+    configs: Iterable[Union[ExperimentSpec, ExperimentConfig]],
     workers: int = 1,
     result_cache: Optional[ResultCache] = None,
     design_cache: Optional[DesignCache] = None,
     base_seed: Optional[int] = None,
     energy_model: Optional[EnergyModel] = None,
+    plugins: Sequence[str] = (),
 ) -> List[ExperimentOutcome]:
     """Convenience wrapper: build an :class:`ExperimentBatch` and run it."""
     batch = ExperimentBatch(
@@ -260,6 +308,7 @@ def run_batch(
         design_cache=design_cache,
         base_seed=base_seed,
         energy_model=energy_model,
+        plugins=plugins,
     )
     return batch.run()
 
@@ -274,7 +323,7 @@ def summaries_by_policy(
     """
     table: Dict[str, Dict[str, float]] = {}
     for outcome in outcomes:
-        policy = outcome.config.policy
+        policy = outcome.spec.policy.name
         if policy in table:
             raise ValueError(f"duplicate policy {policy!r} in outcome list")
         table[policy] = outcome.summary

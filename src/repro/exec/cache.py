@@ -25,25 +25,32 @@ their key.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import os
 import tempfile
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.analysis.runner import (
     DEFAULT_OFFLINE_AMOSA,
     DesignCache,
     DesignKey,
     ExperimentConfig,
+    as_spec,
 )
 from repro.core.amosa import AmosaResult, ArchiveEntry
 from repro.core.pipeline import AdEleDesign
 from repro.core.subset_search import ElevatorSubsetProblem, SubsetSolution
-from repro.topology.elevators import ElevatorPlacement
+from repro.registry import Registry
+from repro.routing.base import POLICY_REGISTRY
+from repro.spec import ExperimentSpec
+from repro.topology.elevators import PLACEMENT_REGISTRY, ElevatorPlacement
 from repro.topology.mesh3d import Mesh3D
-from repro.traffic.patterns import UniformTraffic
+from repro.traffic.applications import APPLICATION_REGISTRY
+from repro.traffic.patterns import PATTERN_REGISTRY, UniformTraffic
+
+#: Either experiment description accepted by the hashing helpers.
+ConfigLike = Union[ExperimentSpec, ExperimentConfig]
 
 #: Maximum derived seed (exclusive); fits ``random.Random`` comfortably and
 #: keeps seeds readable in logs.
@@ -62,34 +69,60 @@ def _canonical_placement(placement: ElevatorPlacement) -> Dict[str, Any]:
     }
 
 
-def canonical_config(config: ExperimentConfig) -> Dict[str, Any]:
-    """A JSON-native dictionary capturing every field of a configuration.
+def _canonical_name(registry: Registry, name: str, fallback_case: Any) -> str:
+    """Resolve a component name to its canonical registered spelling.
 
-    The result is independent of how the configuration was constructed
-    (keyword order never matters for dataclasses, and serialization sorts
-    keys) and round-trips through ``json.dumps``/``json.loads`` without loss:
-    all values are ``str``/``int``/``float``/``None`` or nested lists/dicts
-    thereof.
+    Aliases and case variants collapse onto the entry's canonical name;
+    names not (yet) registered fall back to plain case normalization so
+    keys are at least case-stable.
     """
-    data: Dict[str, Any] = {}
-    for field_ in dataclasses.fields(config):
-        value = getattr(config, field_.name)
-        if field_.name == "placement_obj":
-            data[field_.name] = (
-                None if value is None else _canonical_placement(value)
-            )
-        else:
-            data[field_.name] = value
+    if name in registry:
+        return registry.entry(name).name
+    return fallback_case(name)
+
+
+def canonical_config(config: ConfigLike) -> Dict[str, Any]:
+    """The canonical JSON-native dictionary of an experiment.
+
+    This is :meth:`repro.spec.ExperimentSpec.to_dict` with component names
+    normalized to their canonical registered spelling (``AdEle`` ->
+    ``adele``, the ``fluid.`` alias -> ``fluidanimate``) -- the single
+    serialization shared by cache keys, derived seeds and ``--spec`` files.
+    Legacy :class:`~repro.analysis.runner.ExperimentConfig` values are
+    converted through their spec form first, so a flat config and its
+    equivalent spec hash identically.  The result is independent of how the
+    experiment was constructed and round-trips through
+    ``json.dumps``/``json.loads`` without loss: all values are
+    ``str``/``int``/``float``/``None`` or nested lists/dicts thereof.
+    """
+    data = as_spec(config).to_dict()
+    if data["placement"]["mesh"] is None:
+        # Named placements resolve case-insensitively through the registry;
+        # structural ones keep their label verbatim (it is an identity tag,
+        # the mesh/columns carry the structure).
+        data["placement"]["name"] = _canonical_name(
+            PLACEMENT_REGISTRY, data["placement"]["name"], str.upper
+        )
+    data["policy"]["name"] = _canonical_name(
+        POLICY_REGISTRY, data["policy"]["name"], str.lower
+    )
+    pattern = data["traffic"]["pattern"]
+    if pattern in APPLICATION_REGISTRY:
+        data["traffic"]["pattern"] = APPLICATION_REGISTRY.entry(pattern).name
+    else:
+        data["traffic"]["pattern"] = _canonical_name(
+            PATTERN_REGISTRY, pattern, str.lower
+        )
     return data
 
 
-def canonical_json(config: ExperimentConfig) -> str:
-    """The canonical JSON string of a configuration (sorted keys, no spaces)."""
+def canonical_json(config: ConfigLike) -> str:
+    """The canonical JSON string of an experiment (sorted keys, no spaces)."""
     return json.dumps(canonical_config(config), sort_keys=True, separators=(",", ":"))
 
 
-def config_key(config: ExperimentConfig, extra: Optional[Dict[str, Any]] = None) -> str:
-    """Content hash of a configuration -- the experiment cache key.
+def config_key(config: ConfigLike, extra: Optional[Dict[str, Any]] = None) -> str:
+    """Content hash of an experiment -- the cache key.
 
     Args:
         extra: Optional JSON-native dictionary of additional inputs the run
@@ -103,32 +136,31 @@ def config_key(config: ExperimentConfig, extra: Optional[Dict[str, Any]] = None)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def spec_from_canonical(data: Dict[str, Any]) -> ExperimentSpec:
+    """Rebuild a typed spec from its canonical dictionary."""
+    return ExperimentSpec.from_dict(data)
+
+
 def config_from_canonical(data: Dict[str, Any]) -> ExperimentConfig:
-    """Rebuild a configuration from its canonical dictionary."""
-    kwargs = dict(data)
-    placement_data = kwargs.pop("placement_obj", None)
-    placement_obj = None
-    if placement_data is not None:
-        mesh = Mesh3D(*placement_data["mesh"])
-        placement_obj = ElevatorPlacement(
-            mesh,
-            [tuple(column) for column in placement_data["columns"]],
-            name=placement_data["name"],
-        )
-    return ExperimentConfig(placement_obj=placement_obj, **kwargs)
+    """Rebuild a legacy flat configuration from a canonical dictionary.
+
+    Provided for callers still holding :class:`ExperimentConfig`; new code
+    should use :func:`spec_from_canonical`.
+    """
+    return ExperimentConfig.from_spec(spec_from_canonical(data))
 
 
-def derive_seed(config: ExperimentConfig, base_seed: int = 0) -> int:
-    """Deterministic per-task seed from a config's canonical serialization.
+def derive_seed(config: ConfigLike, base_seed: int = 0) -> int:
+    """Deterministic per-task seed from an experiment's canonical form.
 
-    The configuration's own ``seed`` field is *replaced* by ``base_seed``
+    The experiment's own ``seed`` field is *replaced* by ``base_seed``
     before hashing, so the derived seed depends only on *what* is simulated
     plus the batch-level base seed -- two batches with the same base seed
     assign identical seeds to identical tasks regardless of process, worker
     count or submission order.
     """
     payload = canonical_config(config)
-    payload["seed"] = int(base_seed)
+    payload["sim"] = dict(payload["sim"], seed=int(base_seed))
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     digest = hashlib.sha256(blob.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") % SEED_SPACE
@@ -397,6 +429,7 @@ __all__ = [
     "canonical_json",
     "config_key",
     "config_from_canonical",
+    "spec_from_canonical",
     "derive_seed",
     "ResultCache",
     "DiskDesignCache",

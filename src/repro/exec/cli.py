@@ -1,7 +1,7 @@
 """Command-line front end for the parallel experiment engine.
 
-``python -m repro`` (or the ``repro`` console script) exposes the two
-workflows every figure of the paper is built from:
+``python -m repro`` (or the ``repro`` console script) exposes the workflows
+every figure of the paper is built from, plus the component registries:
 
 ``sweep``
     A Fig. 4-style latency-vs-injection-rate sweep: one latency curve per
@@ -11,7 +11,22 @@ workflows every figure of the paper is built from:
     A Fig. 6/7-style single-operating-point comparison: one row per policy
     with absolute and Elevator-First-normalized metrics.
 
-Both subcommands share the engine flags:
+``run``
+    Execute experiment specs from a ``--spec`` JSON file (a single
+    :meth:`repro.spec.ExperimentSpec.to_dict` document or a list of them)
+    through the batch engine and print one summary row per spec.
+
+``list``
+    Show every registered policy, traffic pattern, application model and
+    placement with its aliases and description -- including components
+    registered by ``--plugin`` modules.
+
+All subcommands accept ``--plugin MODULE`` (repeatable): the module is
+imported first, so its ``@register_policy`` / ``@register_pattern`` /
+``register_placement`` calls run and the components become usable *by name*
+(see ``examples/custom_policy.py``).
+
+``sweep``/``compare``/``run`` share the engine flags:
 
 ``--workers N``
     Fan the experiment grid out over N processes (``1`` = serial).
@@ -23,27 +38,32 @@ Both subcommands share the engine flags:
 
 ``--seed S``
     Batch-level base seed: every task's RNG seed is derived from the
-    canonical hash of its configuration plus S, so results are reproducible
-    across processes and worker counts.
+    canonical hash of its spec plus S, so results are reproducible across
+    processes and worker counts.
 
-The target is either a named placement (``--placement PS1``) or an ad-hoc
-one (``--mesh X Y Z --elevators "x,y;x,y"``), which keeps CI smoke runs on
-tiny meshes fast.
+The sweep/compare target is either a named placement (``--placement PS1``)
+or an ad-hoc one (``--mesh X Y Z --elevators "x,y;x,y"``), which keeps CI
+smoke runs on tiny meshes fast.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
+import json
 import sys
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.comparison import format_table, policy_comparison_from_summaries
-from repro.analysis.runner import DesignCache, ExperimentConfig
+from repro.analysis.runner import DesignCache
 from repro.analysis.sweep import LatencyCurve, saturation_rate
 from repro.exec.batch import ExperimentBatch, summaries_by_policy
 from repro.exec.cache import DiskDesignCache, ResultCache
-from repro.topology.elevators import ElevatorPlacement
-from repro.topology.mesh3d import Mesh3D
+from repro.routing.base import POLICY_REGISTRY
+from repro.spec import ExperimentSpec, PlacementSpec, SimSpec, TrafficSpec
+from repro.topology.elevators import PLACEMENT_REGISTRY
+from repro.traffic.applications import APPLICATION_REGISTRY
+from repro.traffic.patterns import PATTERN_REGISTRY
 
 
 def _comma_floats(text: str) -> List[float]:
@@ -66,11 +86,29 @@ def _parse_columns(text: str) -> List[Tuple[int, int]]:
     return columns
 
 
+def _add_plugin_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--plugin", action="append", default=[], metavar="MODULE",
+        help="import MODULE first so its registered components are usable "
+             "by name (repeatable)",
+    )
+
+
+def _load_plugins(args: argparse.Namespace) -> None:
+    for module in getattr(args, "plugin", []):
+        try:
+            importlib.import_module(module)
+        except ImportError as error:
+            raise SystemExit(f"cannot import --plugin {module!r}: {error}")
+
+
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_plugin_argument(parser)
     target = parser.add_argument_group("target")
     target.add_argument(
         "--placement", default="PS1",
-        help="named placement (PS1-PS3, PM); ignored when --mesh is given",
+        help="registered placement name (see `repro list`); "
+             "ignored when --mesh is given",
     )
     target.add_argument(
         "--mesh", nargs=3, type=int, metavar=("X", "Y", "Z"), default=None,
@@ -83,14 +121,21 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     workload = parser.add_argument_group("workload")
     workload.add_argument(
         "--policies", default="elevator_first,cda,adele",
-        help="comma-separated policy names",
+        help="comma-separated registered policy names",
     )
-    workload.add_argument("--traffic", default="uniform", help="traffic pattern name")
+    workload.add_argument(
+        "--traffic", default="uniform",
+        help="registered traffic pattern or application name",
+    )
     workload.add_argument("--warmup", type=int, default=300, help="warm-up cycles")
     workload.add_argument(
         "--measure", type=int, default=1500, help="measurement cycles"
     )
     workload.add_argument("--drain", type=int, default=800, help="max drain cycles")
+    _add_engine_arguments(parser)
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     engine = parser.add_argument_group("engine")
     engine.add_argument(
         "--workers", type=int, default=1,
@@ -102,7 +147,7 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     )
     engine.add_argument(
         "--seed", type=int, default=None,
-        help="base seed; per-task seeds derive from it and the config hash",
+        help="base seed; per-task seeds derive from it and the spec hash",
     )
 
 
@@ -132,42 +177,64 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--baseline", default="elevator_first", help="normalization baseline policy"
     )
+
+    run = subparsers.add_parser(
+        "run", help="run experiment specs from a --spec JSON file"
+    )
+    _add_plugin_argument(run)
+    run.add_argument(
+        "--spec", required=True, metavar="FILE",
+        help="JSON file with one ExperimentSpec document or a list of them",
+    )
+    _add_engine_arguments(run)
+
+    listing = subparsers.add_parser(
+        "list", help="list registered policies, traffic, applications, placements"
+    )
+    _add_plugin_argument(listing)
     return parser
 
 
-def _base_config(args: argparse.Namespace) -> ExperimentConfig:
-    placement_obj: Optional[ElevatorPlacement] = None
-    placement_name = args.placement
+def _base_spec(args: argparse.Namespace) -> ExperimentSpec:
+    if args.mesh is None and args.elevators:
+        raise SystemExit("--elevators requires --mesh")
     if args.mesh is not None:
         if not args.elevators:
             raise SystemExit("--mesh requires --elevators")
-        mesh = Mesh3D(*args.mesh)
-        columns = _parse_columns(args.elevators)
-        placement_name = "cli-custom"
-        placement_obj = ElevatorPlacement(mesh, columns, name=placement_name)
-    return ExperimentConfig(
-        placement=placement_name,
-        placement_obj=placement_obj,
-        traffic=args.traffic,
-        warmup_cycles=args.warmup,
-        measurement_cycles=args.measure,
-        drain_cycles=args.drain,
+        placement = PlacementSpec(
+            name="cli-custom",
+            mesh=tuple(args.mesh),
+            columns=tuple(_parse_columns(args.elevators)),
+        )
+    else:
+        placement = PlacementSpec(name=args.placement)
+    return ExperimentSpec(
+        placement=placement,
+        traffic=TrafficSpec(pattern=args.traffic),
+        sim=SimSpec(
+            warmup_cycles=args.warmup,
+            measurement_cycles=args.measure,
+            drain_cycles=args.drain,
+        ),
     )
 
 
 def _make_batch(
-    args: argparse.Namespace, configs: List[ExperimentConfig]
+    args: argparse.Namespace, specs: List[ExperimentSpec]
 ) -> ExperimentBatch:
     result_cache = ResultCache(args.cache_dir)
     design_cache: Optional[DesignCache] = (
         DiskDesignCache(args.cache_dir) if args.cache_dir else None
     )
     return ExperimentBatch(
-        configs,
+        specs,
         workers=args.workers,
         result_cache=result_cache,
         design_cache=design_cache,
         base_seed=args.seed,
+        # Re-imported inside worker processes, so --plugin components exist
+        # by name under any multiprocessing start method (not just fork).
+        plugins=tuple(getattr(args, "plugin", [])),
     )
 
 
@@ -184,22 +251,22 @@ def _run_sweep(args: argparse.Namespace) -> int:
     rates = _comma_floats(args.rates)
     if not policies or not rates:
         raise SystemExit("need at least one policy and one rate")
-    base = _base_config(args)
-    configs = [
+    base = _base_spec(args)
+    specs = [
         base.with_(policy=policy, injection_rate=rate)
         for policy in policies
         for rate in rates
     ]
-    batch = _make_batch(args, configs)
+    batch = _make_batch(args, specs)
     outcomes = batch.run()
     _report_engine(batch)
 
     curves = {policy: LatencyCurve(policy=policy) for policy in policies}
     for outcome in outcomes:
-        curves[outcome.config.policy].add_point(
-            outcome.config.injection_rate, outcome.summary["average_latency"]
+        curves[outcome.spec.policy.name].add_point(
+            outcome.spec.traffic.injection_rate, outcome.summary["average_latency"]
         )
-    print(f"placement={base.placement} traffic={base.traffic}")
+    print(f"placement={base.placement.name} traffic={base.traffic.pattern}")
     for policy in policies:
         curve = curves[policy]
         points = "  ".join(
@@ -217,11 +284,11 @@ def _run_compare(args: argparse.Namespace) -> int:
     policies = _comma_names(args.policies)
     if not policies:
         raise SystemExit("need at least one policy")
-    base = _base_config(args)
-    configs = [
+    base = _base_spec(args)
+    specs = [
         base.with_(policy=policy, injection_rate=args.rate) for policy in policies
     ]
-    batch = _make_batch(args, configs)
+    batch = _make_batch(args, specs)
     outcomes = batch.run()
     _report_engine(batch)
 
@@ -235,18 +302,83 @@ def _run_compare(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     table = policy_comparison_from_summaries(summaries, baseline=baseline)
-    print(f"placement={base.placement} traffic={base.traffic} rate={args.rate}")
+    print(
+        f"placement={base.placement.name} traffic={base.traffic.pattern} "
+        f"rate={args.rate}"
+    )
     print(format_table(table))
+    return 0
+
+
+def _load_spec_documents(path: str) -> List[ExperimentSpec]:
+    try:
+        with open(path, "r") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise SystemExit(f"cannot read --spec file {path!r}: {error}")
+    except ValueError as error:
+        raise SystemExit(f"--spec file {path!r} is not valid JSON: {error}")
+    documents = data if isinstance(data, list) else [data]
+    specs: List[ExperimentSpec] = []
+    for index, document in enumerate(documents):
+        try:
+            specs.append(ExperimentSpec.from_dict(document))
+        except ValueError as error:
+            raise SystemExit(f"--spec file {path!r}, document {index}: {error}")
+    if not specs:
+        raise SystemExit(f"--spec file {path!r} contains no experiment specs")
+    return specs
+
+
+def _run_specs(args: argparse.Namespace) -> int:
+    specs = _load_spec_documents(args.spec)
+    batch = _make_batch(args, specs)
+    outcomes = batch.run()
+    _report_engine(batch)
+    header = f"{'placement':12s} {'policy':15s} {'traffic':14s} {'rate':>8s} {'avg_latency':>12s} {'throughput':>11s}"
+    print(header)
+    for outcome in outcomes:
+        spec = outcome.spec
+        print(
+            f"{spec.placement.name:12s} {spec.policy.name:15s} "
+            f"{spec.traffic.pattern:14s} {spec.traffic.injection_rate:8.4f} "
+            f"{outcome.summary['average_latency']:12.2f} "
+            f"{outcome.summary.get('throughput', float('nan')):11.4f}"
+        )
+    return 0
+
+
+def _print_registry(title: str, registry) -> None:
+    print(f"{title}:")
+    for entry in registry.entries():
+        alias_note = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+        description = entry.description or ""
+        print(f"  {entry.name:18s} {description}{alias_note}")
+
+
+def _run_list(args: argparse.Namespace) -> int:
+    _print_registry("policies", POLICY_REGISTRY)
+    print()
+    _print_registry("traffic patterns", PATTERN_REGISTRY)
+    print()
+    _print_registry("applications", APPLICATION_REGISTRY)
+    print()
+    _print_registry("placements", PLACEMENT_REGISTRY)
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (console script ``repro`` / ``python -m repro``)."""
     args = build_parser().parse_args(argv)
+    _load_plugins(args)
     if args.command == "sweep":
         return _run_sweep(args)
     if args.command == "compare":
         return _run_compare(args)
+    if args.command == "run":
+        return _run_specs(args)
+    if args.command == "list":
+        return _run_list(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

@@ -1,0 +1,262 @@
+"""Generic, introspectable component registries.
+
+Every extensible axis of an experiment -- elevator-selection policies,
+synthetic traffic patterns, application traffic models, elevator placements
+-- is backed by one :class:`Registry` instance.  Registering a component
+under a name (usually with the :meth:`Registry.register` decorator) makes it
+usable *by name* everywhere a name is accepted: :class:`repro.spec`
+specifications, :class:`~repro.exec.batch.ExperimentBatch`, the benchmark
+harness, and the ``python -m repro`` CLI.
+
+Design points:
+
+* **Aliases** -- a component may be reachable under several spellings
+  (``elevator_first`` / ``elevatorfirst``, ``fluidanimate`` / ``fluid.``),
+  all resolving to one canonical entry.
+* **Introspection** -- every entry carries its canonical name, aliases, a
+  one-line description and free-form metadata; ``python -m repro list``
+  renders them.
+* **Helpful errors** -- unknown names raise :class:`UnknownComponentError`
+  (a :class:`ValueError`) carrying the sorted registered names and
+  close-match suggestions, never a bare :class:`KeyError`.
+* **Normalization** -- lookups are case-insensitive via a per-registry
+  ``normalize`` callable (lower-case for policies and traffic, upper-case
+  for placement names like ``PS1``).
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+T = TypeVar("T")
+
+
+class UnknownComponentError(ValueError):
+    """Lookup of a name nothing was registered under.
+
+    Attributes:
+        kind: Human-readable component kind (``"policy"``, ...).
+        name: The name that failed to resolve.
+        known: Sorted canonical names registered at lookup time.
+    """
+
+    def __init__(self, kind: str, name: Any, known: Sequence[str]) -> None:
+        self.kind = kind
+        self.name = name
+        self.known = sorted(known)
+        message = (
+            f"unknown {kind} {name!r}; registered: "
+            f"{', '.join(self.known) if self.known else '(none)'}"
+        )
+        suggestions = difflib.get_close_matches(str(name), self.known, n=3)
+        if suggestions:
+            message += f" -- did you mean {', '.join(repr(s) for s in suggestions)}?"
+        super().__init__(message)
+
+
+class DuplicateComponentError(ValueError):
+    """Registration under a name (or alias) that is already taken."""
+
+
+@dataclass(frozen=True)
+class RegistryEntry(Generic[T]):
+    """One registered component with its introspectable metadata.
+
+    Attributes:
+        name: Canonical (normalized) name.
+        value: The registered object -- typically a class or factory.
+        aliases: Alternative normalized names resolving to this entry.
+        description: One-line human-readable summary (shown by the CLI).
+        metadata: Free-form extra attributes supplied at registration.
+    """
+
+    name: str
+    value: T
+    aliases: Tuple[str, ...] = ()
+    description: str = ""
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+
+class Registry(Generic[T]):
+    """A named component registry with decorator registration.
+
+    Args:
+        kind: Human-readable component kind used in error messages and by
+            the CLI (``"policy"``, ``"traffic pattern"``, ...).
+        normalize: Name-normalization applied to every registered name,
+            alias and lookup (default: lower-case).
+    """
+
+    def __init__(self, kind: str, normalize: Callable[[str], str] = str.lower) -> None:
+        self.kind = kind
+        self._normalize = normalize
+        self._entries: Dict[str, RegistryEntry[T]] = {}
+        self._index: Dict[str, str] = {}  # normalized name/alias -> canonical name
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def add(
+        self,
+        name: str,
+        value: T,
+        *,
+        aliases: Sequence[str] = (),
+        description: str = "",
+        overwrite: bool = False,
+        **metadata: Any,
+    ) -> T:
+        """Register ``value`` under ``name`` (plus optional aliases).
+
+        Returns the value unchanged (so :meth:`register` can decorate).
+
+        Raises:
+            DuplicateComponentError: When the name or an alias is already
+                registered and ``overwrite`` is false.
+        """
+        canonical = self._normalize(str(name))
+        if not canonical:
+            raise ValueError(f"{self.kind} name must be a non-empty string")
+        normalized_aliases = tuple(
+            dict.fromkeys(self._normalize(str(a)) for a in aliases)
+        )
+        if overwrite:
+            self._discard(canonical)
+        taken = [
+            candidate
+            for candidate in (canonical, *normalized_aliases)
+            if candidate in self._index and self._index[candidate] != canonical
+        ]
+        if canonical in self._entries and not overwrite:
+            taken.insert(0, canonical)
+        if taken:
+            raise DuplicateComponentError(
+                f"{self.kind} name(s) already registered: {', '.join(sorted(set(taken)))}"
+                f" (pass overwrite=True to replace)"
+            )
+        entry = RegistryEntry(
+            name=canonical,
+            value=value,
+            aliases=normalized_aliases,
+            description=description,
+            metadata=dict(metadata),
+        )
+        self._entries[canonical] = entry
+        self._index[canonical] = canonical
+        for alias in normalized_aliases:
+            self._index[alias] = canonical
+        return value
+
+    def register(
+        self,
+        name: Optional[str] = None,
+        *,
+        aliases: Sequence[str] = (),
+        description: str = "",
+        overwrite: bool = False,
+        **metadata: Any,
+    ) -> Callable[[T], T]:
+        """Decorator form of :meth:`add`.
+
+        When ``name`` is omitted, the decorated object's ``name`` attribute
+        (or ``__name__``) is used::
+
+            @PATTERN_REGISTRY.register("tornado", description="...")
+            class TornadoTraffic(TrafficPattern): ...
+        """
+
+        def decorator(value: T) -> T:
+            resolved = name
+            if resolved is None:
+                resolved = getattr(value, "name", None) or getattr(
+                    value, "__name__", None
+                )
+            if not isinstance(resolved, str) or not resolved:
+                raise ValueError(
+                    f"cannot infer a {self.kind} name for {value!r}; "
+                    "pass one explicitly"
+                )
+            return self.add(
+                resolved,
+                value,
+                aliases=aliases,
+                description=description,
+                overwrite=overwrite,
+                **metadata,
+            )
+
+        return decorator
+
+    def unregister(self, name: str) -> None:
+        """Remove a component (and its aliases); unknown names raise."""
+        canonical = self._index.get(self._normalize(str(name)))
+        if canonical is None:
+            raise UnknownComponentError(self.kind, name, self.names())
+        self._discard(canonical)
+
+    def _discard(self, canonical: str) -> None:
+        entry = self._entries.pop(canonical, None)
+        if entry is None:
+            return
+        self._index.pop(canonical, None)
+        for alias in entry.aliases:
+            if self._index.get(alias) == canonical:
+                self._index.pop(alias, None)
+
+    # ------------------------------------------------------------------ #
+    # Lookup and introspection
+    # ------------------------------------------------------------------ #
+    def entry(self, name: str) -> RegistryEntry[T]:
+        """The full entry for a name or alias.
+
+        Raises:
+            UnknownComponentError: For unknown names (a ``ValueError``).
+        """
+        canonical = self._index.get(self._normalize(str(name)))
+        if canonical is None:
+            raise UnknownComponentError(self.kind, name, self.names())
+        return self._entries[canonical]
+
+    def get(self, name: str) -> T:
+        """The registered value for a name or alias."""
+        return self.entry(name).value
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Instantiate the registered factory/class for a name."""
+        return self.get(name)(*args, **kwargs)
+
+    def names(self) -> List[str]:
+        """Sorted canonical names (aliases excluded)."""
+        return sorted(self._entries)
+
+    def entries(self) -> List[RegistryEntry[T]]:
+        """All entries, sorted by canonical name."""
+        return [self._entries[name] for name in self.names()]
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        return self._normalize(name) in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Registry(kind={self.kind!r}, names={self.names()!r})"

@@ -22,9 +22,11 @@ this package differ only in *which elevator* they assign to each packet:
 """
 
 from repro.routing.base import (
+    POLICY_REGISTRY,
     ElevatorSelectionPolicy,
     RouteComputation,
     compute_output_port,
+    register_policy,
 )
 from repro.routing.elevator_first import ElevatorFirstPolicy
 from repro.routing.cda import CDAPolicy
@@ -41,32 +43,33 @@ __all__ = [
     "AdElePolicy",
     "AdEleRoundRobinPolicy",
     "AdEleRouterState",
+    "POLICY_REGISTRY",
+    "register_policy",
+    "available_policies",
     "make_policy",
 ]
 
 
+def available_policies():
+    """Sorted canonical names of every registered policy."""
+    return POLICY_REGISTRY.names()
+
+
 def make_policy(name, placement, **kwargs):
-    """Create an elevator-selection policy by name.
+    """Create an elevator-selection policy by registered name.
+
+    The built-in names are ``elevator_first``, ``cda``, ``adele``,
+    ``adele_rr`` and ``minimal``; anything registered through
+    :func:`register_policy` resolves the same way.
 
     Args:
-        name: One of ``elevator_first``, ``cda``, ``adele``, ``adele_rr``,
-            ``minimal``.
+        name: Registered policy name or alias (case-insensitive).
         placement: The :class:`~repro.topology.elevators.ElevatorPlacement`
             the policy operates on.
         **kwargs: Policy-specific options (e.g. ``subsets`` for AdEle).
 
     Raises:
-        KeyError: For unknown policy names.
+        repro.registry.UnknownComponentError: (a :class:`ValueError`) for
+            unknown policy names, listing the registered names.
     """
-    key = str(name).lower()
-    factories = {
-        "elevator_first": ElevatorFirstPolicy,
-        "elevatorfirst": ElevatorFirstPolicy,
-        "cda": CDAPolicy,
-        "adele": AdElePolicy,
-        "adele_rr": AdEleRoundRobinPolicy,
-        "minimal": MinimalPathPolicy,
-    }
-    if key not in factories:
-        raise KeyError(f"unknown policy {name!r}; available: {sorted(factories)}")
-    return factories[key](placement, **kwargs)
+    return POLICY_REGISTRY.create(name, placement, **kwargs)

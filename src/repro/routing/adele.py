@@ -25,7 +25,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
-from repro.routing.base import ElevatorSelectionPolicy
+from repro.routing.base import ElevatorSelectionPolicy, register_policy
 from repro.topology.elevators import Elevator, ElevatorPlacement
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -84,6 +84,11 @@ class AdEleRouterState:
         return all(self.costs[e.index] < threshold for e in self.subset)
 
 
+@register_policy(
+    "adele",
+    description="offline subsets + online enhanced round-robin (the paper's scheme)",
+    needs_design=True,
+)
 class AdElePolicy(ElevatorSelectionPolicy):
     """AdEle online elevator selection (enhanced round-robin + override).
 
@@ -231,6 +236,11 @@ class AdElePolicy(ElevatorSelectionPolicy):
         return self.states[node].costs[elevator_index]
 
 
+@register_policy(
+    "adele_rr",
+    description="AdEle-RR ablation: plain round-robin over the offline subsets",
+    needs_design=True,
+)
 class AdEleRoundRobinPolicy(AdElePolicy):
     """AdEle-RR ablation: plain round-robin over the subsets.
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple, TYPE_CHECKING
 
+from repro.registry import Registry
 from repro.sim.flit import Packet
 from repro.sim.router import Port
 from repro.topology.elevators import Elevator, ElevatorPlacement
@@ -25,6 +26,18 @@ from repro.topology.mesh3d import Mesh3D
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.network import Network
+
+#: Registry of elevator-selection policies.  Entries are classes (or
+#: factories) called as ``factory(placement, **options)``.  Register your
+#: own with :func:`register_policy` and it becomes usable by name in
+#: :class:`~repro.spec.PolicySpec`, batches, benches and the CLI.
+POLICY_REGISTRY: Registry = Registry("policy")
+
+#: Decorator registering an elevator-selection policy class by name::
+#:
+#:     @register_policy("my_policy", description="...")
+#:     class MyPolicy(ElevatorSelectionPolicy): ...
+register_policy = POLICY_REGISTRY.register
 
 #: Virtual network for packets that ascend (destination layer above source).
 ASCEND_VN = 0

@@ -21,13 +21,17 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.routing.base import ElevatorSelectionPolicy, path_nodes
+from repro.routing.base import ElevatorSelectionPolicy, path_nodes, register_policy
 from repro.topology.elevators import Elevator, ElevatorPlacement
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.network import Network
 
 
+@register_policy(
+    "cda",
+    description="congestion-aware dynamic assignment with global occupancy (baseline 2)",
+)
 class CDAPolicy(ElevatorSelectionPolicy):
     """Congestion-aware dynamic elevator assignment.
 

@@ -12,13 +12,18 @@ from __future__ import annotations
 
 from typing import Optional, TYPE_CHECKING
 
-from repro.routing.base import ElevatorSelectionPolicy
+from repro.routing.base import ElevatorSelectionPolicy, register_policy
 from repro.topology.elevators import Elevator, ElevatorPlacement
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.network import Network
 
 
+@register_policy(
+    "elevator_first",
+    aliases=("elevatorfirst",),
+    description="nearest elevator to the source (baseline 1)",
+)
 class ElevatorFirstPolicy(ElevatorSelectionPolicy):
     """Always select the elevator nearest to the source router.
 

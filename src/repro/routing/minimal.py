@@ -11,13 +11,17 @@ from __future__ import annotations
 
 from typing import Optional, TYPE_CHECKING
 
-from repro.routing.base import ElevatorSelectionPolicy
+from repro.routing.base import ElevatorSelectionPolicy, register_policy
 from repro.topology.elevators import Elevator, ElevatorPlacement
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.network import Network
 
 
+@register_policy(
+    "minimal",
+    description="elevator on the minimal path (energy-optimal, congestion-oblivious)",
+)
 class MinimalPathPolicy(ElevatorSelectionPolicy):
     """Always select the elevator on the minimal path to the destination."""
 

@@ -18,7 +18,7 @@ supplied).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.energy.model import EnergyModel
 from repro.sim.network import Network

@@ -25,7 +25,6 @@ import enum
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.sim.buffer import FlitBuffer
-from repro.sim.flit import Flit
 from repro.topology.mesh3d import Coordinate
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard

@@ -17,7 +17,7 @@ load and traversal counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.sim.flit import Packet
 

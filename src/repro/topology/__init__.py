@@ -13,11 +13,14 @@ network-on-chip (PC-3DNoC):
 
 from repro.topology.mesh3d import Coordinate, Mesh3D
 from repro.topology.elevators import (
+    PLACEMENT_REGISTRY,
     Elevator,
     ElevatorPlacement,
     PlacementRegistry,
+    available_placements,
     average_distance_of_placement,
     optimize_placement,
+    register_placement,
     standard_placement,
 )
 
@@ -27,6 +30,9 @@ __all__ = [
     "Elevator",
     "ElevatorPlacement",
     "PlacementRegistry",
+    "PLACEMENT_REGISTRY",
+    "register_placement",
+    "available_placements",
     "average_distance_of_placement",
     "optimize_placement",
     "standard_placement",

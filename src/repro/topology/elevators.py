@@ -24,9 +24,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.registry import Registry
 from repro.topology.mesh3d import Coordinate, Mesh3D
+
+#: Registry of elevator placements.  Entries are zero-argument factories
+#: returning a fresh :class:`ElevatorPlacement`; names are upper-cased
+#: (``PS1`` and ``ps1`` resolve identically).  Register your own with
+#: :func:`register_placement` and it becomes usable by name in
+#: :class:`~repro.spec.PlacementSpec`, batches, benches and the CLI.
+PLACEMENT_REGISTRY: Registry = Registry("placement", normalize=str.upper)
 
 
 @dataclass(frozen=True)
@@ -420,14 +428,15 @@ def standard_placement(name: str, mesh: Optional[Mesh3D] = None) -> ElevatorPlac
             expected shape.
 
     Raises:
-        KeyError: For unknown placement names.
+        repro.registry.UnknownComponentError: (a :class:`ValueError`) for
+            unknown placement names, listing the known names.
         ValueError: When an incompatible mesh is supplied.
     """
     key = name.upper()
     if key not in _STANDARD_COLUMNS:
-        raise KeyError(
-            f"unknown placement {name!r}; available: {sorted(_STANDARD_COLUMNS)}"
-        )
+        from repro.registry import UnknownComponentError
+
+        raise UnknownComponentError("placement", name, sorted(_STANDARD_COLUMNS))
     spec = _STANDARD_COLUMNS[key]
     expected_shape = spec["mesh"]
     if mesh is None:
@@ -439,13 +448,94 @@ def standard_placement(name: str, mesh: Optional[Mesh3D] = None) -> ElevatorPlac
     return ElevatorPlacement(mesh, spec["columns"], name=key)  # type: ignore[arg-type]
 
 
+def _standard_factory(name: str) -> Callable[[], ElevatorPlacement]:
+    def factory() -> ElevatorPlacement:
+        return standard_placement(name)
+
+    return factory
+
+
+for _name, _spec in _STANDARD_COLUMNS.items():
+    PLACEMENT_REGISTRY.add(
+        _name,
+        _standard_factory(_name),
+        description=(
+            f"paper placement {_name}: {len(_spec['columns'])} elevators "
+            f"on a {'x'.join(str(d) for d in _spec['mesh'])} mesh"
+        ),
+        mesh=tuple(_spec["mesh"]),
+        num_elevators=len(_spec["columns"]),
+    )
+del _name, _spec
+
+
+def register_placement(
+    placement: Optional[
+        Union[ElevatorPlacement, Callable[[], ElevatorPlacement]]
+    ] = None,
+    name: Optional[str] = None,
+    *,
+    aliases: Sequence[str] = (),
+    description: str = "",
+    overwrite: bool = False,
+):
+    """Register a placement (or zero-argument factory) in the global registry.
+
+    Accepts either a ready :class:`ElevatorPlacement` (registered under its
+    own ``name`` unless overridden) or a zero-argument factory; called with
+    keyword arguments only, it returns a decorator for a factory function::
+
+        @register_placement(name="RING9")
+        def ring9() -> ElevatorPlacement: ...
+    """
+    if placement is None:
+
+        def decorator(factory: Callable[[], ElevatorPlacement]):
+            return register_placement(
+                factory,
+                name,
+                aliases=aliases,
+                description=description,
+                overwrite=overwrite,
+            )
+
+        return decorator
+    if isinstance(placement, ElevatorPlacement):
+        instance = placement
+        PLACEMENT_REGISTRY.add(
+            name or instance.name,
+            lambda: instance,
+            aliases=aliases,
+            description=description or f"user placement {instance.name}",
+            overwrite=overwrite,
+            mesh=tuple(instance.mesh.shape),
+            num_elevators=instance.num_elevators,
+        )
+        return instance
+    factory = placement
+    PLACEMENT_REGISTRY.add(
+        name or getattr(factory, "__name__", ""),
+        factory,
+        aliases=aliases,
+        description=description,
+        overwrite=overwrite,
+    )
+    return factory
+
+
+def available_placements() -> List[str]:
+    """Sorted canonical names of every registered placement."""
+    return PLACEMENT_REGISTRY.names()
+
+
 @dataclass
 class PlacementRegistry:
-    """A small registry mapping placement names to factories.
+    """Deprecated local registry shim over the paper's standard placements.
 
-    The registry is pre-populated with the paper's standard placements and
-    can be extended by users with custom placements, which keeps experiment
-    configuration (bench harnesses, examples) declarative.
+    Superseded by the global :data:`PLACEMENT_REGISTRY` (see
+    :func:`register_placement`); kept because older experiment scripts used
+    per-harness instances.  Custom placements registered here shadow the
+    standard names for this instance only.
     """
 
     _custom: Dict[str, ElevatorPlacement] = field(default_factory=dict)

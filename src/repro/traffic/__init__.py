@@ -18,6 +18,7 @@ described in Section IV-C.  Recorded traces can be replayed through
 """
 
 from repro.traffic.patterns import (
+    PATTERN_REGISTRY,
     BitComplementTraffic,
     HotspotTraffic,
     NeighborTraffic,
@@ -25,14 +26,19 @@ from repro.traffic.patterns import (
     TrafficPattern,
     TransposeTraffic,
     UniformTraffic,
+    available_patterns,
     make_pattern,
+    register_pattern,
 )
 from repro.traffic.applications import (
     APPLICATION_NAMES,
+    APPLICATION_REGISTRY,
     ApplicationSpec,
     ApplicationTraffic,
     application_spec,
+    available_applications,
     make_application_traffic,
+    register_application,
 )
 from repro.traffic.trace import TraceEvent, TrafficTrace
 from repro.traffic.generator import PacketRequest, PacketSource
@@ -45,8 +51,14 @@ __all__ = [
     "BitComplementTraffic",
     "HotspotTraffic",
     "NeighborTraffic",
+    "PATTERN_REGISTRY",
+    "register_pattern",
+    "available_patterns",
     "make_pattern",
     "APPLICATION_NAMES",
+    "APPLICATION_REGISTRY",
+    "register_application",
+    "available_applications",
     "ApplicationSpec",
     "ApplicationTraffic",
     "application_spec",

@@ -26,8 +26,16 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.registry import Registry
 from repro.topology.mesh3d import Mesh3D
 from repro.traffic.patterns import TrafficMatrix, TrafficPattern
+
+#: Registry of application traffic models.  Entries are
+#: :class:`ApplicationSpec` instances; register your own with
+#: :func:`register_application` and it becomes usable by name (like any
+#: synthetic pattern) in :class:`~repro.spec.TrafficSpec`, benches and the
+#: CLI.
+APPLICATION_REGISTRY: Registry = Registry("application")
 
 
 @dataclass(frozen=True)
@@ -139,15 +147,50 @@ APPLICATION_NAMES: Tuple[str, ...] = (
     "water",
 )
 
+#: Aliases for benchmark names -- "fluid." is the abbreviated spelling the
+#: paper's Fig. 7 uses for fluidanimate.
+_APPLICATION_ALIASES: Dict[str, Tuple[str, ...]] = {
+    "fluidanimate": ("fluid.", "fluid"),
+}
+
+for _name, _spec in _APPLICATION_SPECS.items():
+    _load = "high" if _spec.load_factor >= 0.5 else "low"
+    APPLICATION_REGISTRY.add(
+        _name,
+        _spec,
+        aliases=_APPLICATION_ALIASES.get(_name, ()),
+        description=f"SPLASH-2/PARSEC {_name} substitute ({_load} traffic load)",
+        load_factor=_spec.load_factor,
+    )
+del _name, _spec, _load
+
+
+def register_application(
+    spec: ApplicationSpec, *, aliases: Tuple[str, ...] = (), description: str = ""
+) -> ApplicationSpec:
+    """Register a custom application traffic model under ``spec.name``."""
+    return APPLICATION_REGISTRY.add(
+        spec.name,
+        spec,
+        aliases=aliases,
+        description=description or f"user application model {spec.name}",
+        load_factor=spec.load_factor,
+    )
+
+
+def available_applications() -> List[str]:
+    """Sorted canonical names of every registered application model."""
+    return APPLICATION_REGISTRY.names()
+
 
 def application_spec(name: str) -> ApplicationSpec:
-    """Return the :class:`ApplicationSpec` for a benchmark name."""
-    key = name.lower()
-    if key not in _APPLICATION_SPECS:
-        raise KeyError(
-            f"unknown application {name!r}; available: {sorted(_APPLICATION_SPECS)}"
-        )
-    return _APPLICATION_SPECS[key]
+    """Return the :class:`ApplicationSpec` registered under a name or alias.
+
+    Raises:
+        repro.registry.UnknownComponentError: (a :class:`ValueError`) for
+            unknown application names, listing the registered names.
+    """
+    return APPLICATION_REGISTRY.get(name)
 
 
 class ApplicationTraffic(TrafficPattern):

@@ -19,9 +19,22 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
+from repro.registry import Registry
 from repro.topology.mesh3d import Mesh3D
 
 TrafficMatrix = Dict[Tuple[int, int], float]
+
+#: Registry of synthetic traffic patterns.  Entries are classes (or
+#: factories) called as ``factory(mesh, seed=..., **options)``.  Register
+#: your own with :func:`register_pattern` and it becomes usable by name in
+#: :class:`~repro.spec.TrafficSpec`, batches, benches and the CLI.
+PATTERN_REGISTRY: Registry = Registry("traffic pattern")
+
+#: Decorator registering a traffic-pattern class by name::
+#:
+#:     @register_pattern("tornado", description="...")
+#:     class TornadoTraffic(TrafficPattern): ...
+register_pattern = PATTERN_REGISTRY.register
 
 
 class TrafficPattern:
@@ -59,6 +72,9 @@ class TrafficPattern:
         return f"{type(self).__name__}(mesh={self.mesh!r})"
 
 
+@register_pattern(
+    "uniform", description="uniform random: every other node equally likely"
+)
 class UniformTraffic(TrafficPattern):
     """Uniform random traffic: every other node is an equally likely target."""
 
@@ -110,6 +126,9 @@ class _DeterministicPattern(TrafficPattern):
         return matrix
 
 
+@register_pattern(
+    "shuffle", description="perfect shuffle: destination id is source id rotated left"
+)
 class ShuffleTraffic(_DeterministicPattern):
     """Perfect-shuffle traffic: destination id is the source id rotated left.
 
@@ -133,6 +152,11 @@ class ShuffleTraffic(_DeterministicPattern):
         return rotated
 
 
+@register_pattern(
+    "bit_complement",
+    aliases=("bitcomplement", "complement"),
+    description="destination is the bitwise complement of the source",
+)
 class BitComplementTraffic(_DeterministicPattern):
     """Bit-complement traffic: destination is the bitwise complement of source."""
 
@@ -149,6 +173,9 @@ class BitComplementTraffic(_DeterministicPattern):
         return target
 
 
+@register_pattern(
+    "transpose", description="(x, y, z) sends to (y, x, z_max - z)"
+)
 class TransposeTraffic(_DeterministicPattern):
     """Transpose traffic: ``(x, y, z)`` sends to ``(y, x, z_max - z)``.
 
@@ -167,6 +194,9 @@ class TransposeTraffic(_DeterministicPattern):
         return self.mesh.node_id_xyz(coord.y, coord.x, flipped_z)
 
 
+@register_pattern(
+    "hotspot", description="a fraction of packets target a few hotspot nodes"
+)
 class HotspotTraffic(TrafficPattern):
     """Hotspot traffic: a fraction of packets target a few hotspot nodes.
 
@@ -232,6 +262,11 @@ class HotspotTraffic(TrafficPattern):
         return matrix
 
 
+@register_pattern(
+    "neighbor",
+    aliases=("neighbour",),
+    description="nearest-neighbour dominated with occasional long-range packets",
+)
 class NeighborTraffic(TrafficPattern):
     """Nearest-neighbour dominated traffic with occasional long-range packets.
 
@@ -280,30 +315,26 @@ class NeighborTraffic(TrafficPattern):
         return matrix
 
 
-_PATTERNS = {
-    "uniform": UniformTraffic,
-    "shuffle": ShuffleTraffic,
-    "transpose": TransposeTraffic,
-    "bit_complement": BitComplementTraffic,
-    "hotspot": HotspotTraffic,
-    "neighbor": NeighborTraffic,
-}
+def available_patterns() -> List[str]:
+    """Sorted canonical names of every registered traffic pattern."""
+    return PATTERN_REGISTRY.names()
 
 
 def make_pattern(name: str, mesh: Mesh3D, seed: int = 0, **kwargs) -> TrafficPattern:
-    """Create a traffic pattern by name.
+    """Create a traffic pattern by registered name.
+
+    The built-in names are ``uniform``, ``shuffle``, ``transpose``,
+    ``bit_complement``, ``hotspot`` and ``neighbor``; anything registered
+    through :func:`register_pattern` resolves the same way.
 
     Args:
-        name: One of ``uniform``, ``shuffle``, ``transpose``,
-            ``bit_complement``, ``hotspot``, ``neighbor``.
+        name: Registered pattern name or alias (case-insensitive).
         mesh: Mesh the pattern runs on.
         seed: RNG seed.
         **kwargs: Pattern-specific options (e.g. ``hotspot_fraction``).
 
     Raises:
-        KeyError: For unknown pattern names.
+        repro.registry.UnknownComponentError: (a :class:`ValueError`) for
+            unknown pattern names, listing the registered names.
     """
-    key = name.lower()
-    if key not in _PATTERNS:
-        raise KeyError(f"unknown traffic pattern {name!r}; available: {sorted(_PATTERNS)}")
-    return _PATTERNS[key](mesh, seed=seed, **kwargs)
+    return PATTERN_REGISTRY.create(name, mesh, seed=seed, **kwargs)

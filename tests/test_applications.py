@@ -6,7 +6,6 @@ from repro.topology.mesh3d import Mesh3D
 from repro.traffic.applications import (
     APPLICATION_NAMES,
     ApplicationSpec,
-    ApplicationTraffic,
     application_spec,
     make_application_traffic,
 )
@@ -32,7 +31,7 @@ class TestApplicationSpec:
         assert application_spec("FFT").name == "fft"
 
     def test_unknown_application(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown application"):
             application_spec("blackscholes")
 
     def test_load_grouping_matches_paper(self):

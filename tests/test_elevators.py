@@ -151,7 +151,7 @@ class TestStandardPlacements:
         assert standard_placement("ps1").name == "PS1"
 
     def test_unknown_name(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown placement"):
             standard_placement("PS9")
 
     def test_mismatched_mesh_rejected(self):

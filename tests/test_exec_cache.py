@@ -23,7 +23,6 @@ from repro.core.amosa import AmosaConfig
 from repro.exec.cache import (
     DiskDesignCache,
     ResultCache,
-    canonical_config,
     canonical_json,
     config_from_canonical,
     config_key,

@@ -14,13 +14,11 @@ from repro.analysis.runner import (
     adele_design_for,
     build_network,
     build_packet_source,
-    resolve_placement,
     run_experiment,
 )
 from repro.core.amosa import AmosaConfig
 from repro.energy.model import EnergyModel
 from repro.routing.adele import AdElePolicy
-from repro.routing.elevator_first import ElevatorFirstPolicy
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 from repro.topology.elevators import ElevatorPlacement

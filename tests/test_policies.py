@@ -336,5 +336,5 @@ class TestPolicyFactory:
         assert isinstance(make_policy(name, placement), cls)
 
     def test_unknown_policy(self, placement):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown policy"):
             make_policy("random", placement)

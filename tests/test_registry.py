@@ -1,0 +1,195 @@
+"""Unit tests for the generic component registry and its four instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registry import (
+    DuplicateComponentError,
+    Registry,
+    RegistryEntry,
+    UnknownComponentError,
+)
+from repro.routing import POLICY_REGISTRY, available_policies, make_policy
+from repro.topology.elevators import (
+    PLACEMENT_REGISTRY,
+    ElevatorPlacement,
+    available_placements,
+    register_placement,
+)
+from repro.topology.mesh3d import Mesh3D
+from repro.traffic.applications import (
+    APPLICATION_REGISTRY,
+    application_spec,
+    available_applications,
+)
+from repro.traffic.patterns import (
+    PATTERN_REGISTRY,
+    available_patterns,
+    make_pattern,
+)
+
+
+class TestGenericRegistry:
+    def test_register_and_lookup(self):
+        registry = Registry("widget")
+        registry.add("alpha", object())
+        assert "alpha" in registry
+        assert "ALPHA" in registry  # normalization
+        assert registry.names() == ["alpha"]
+
+    def test_decorator_registration_returns_value(self):
+        registry = Registry("widget")
+
+        @registry.register("thing", description="a thing")
+        class Thing:
+            pass
+
+        assert registry.get("thing") is Thing
+        assert registry.entry("thing").description == "a thing"
+
+    def test_decorator_infers_name_attribute(self):
+        registry = Registry("widget")
+
+        @registry.register()
+        class Named:
+            name = "from_attr"
+
+        assert registry.get("from_attr") is Named
+
+    def test_aliases_resolve_to_canonical_entry(self):
+        registry = Registry("widget")
+        registry.add("canonical", 42, aliases=("other", "Second"))
+        assert registry.get("other") == 42
+        assert registry.get("SECOND") == 42
+        assert registry.entry("other").name == "canonical"
+        # Aliases are not canonical names.
+        assert registry.names() == ["canonical"]
+
+    def test_unknown_name_is_value_error_with_sorted_names(self):
+        registry = Registry("widget")
+        registry.add("bravo", 2)
+        registry.add("alpha", 1)
+        with pytest.raises(ValueError) as excinfo:
+            registry.get("charlie")
+        assert isinstance(excinfo.value, UnknownComponentError)
+        assert "alpha, bravo" in str(excinfo.value)
+        assert excinfo.value.known == ["alpha", "bravo"]
+
+    def test_unknown_name_suggests_close_matches(self):
+        registry = Registry("widget")
+        registry.add("uniform", 1)
+        with pytest.raises(UnknownComponentError, match="did you mean 'uniform'"):
+            registry.get("unifrom")
+
+    def test_duplicate_registration_raises(self):
+        registry = Registry("widget")
+        registry.add("taken", 1)
+        with pytest.raises(DuplicateComponentError):
+            registry.add("taken", 2)
+        with pytest.raises(DuplicateComponentError):
+            registry.add("fresh", 2, aliases=("taken",))
+        assert registry.get("taken") == 1
+
+    def test_overwrite_replaces_entry_and_aliases(self):
+        registry = Registry("widget")
+        registry.add("name", 1, aliases=("old_alias",))
+        registry.add("name", 2, aliases=("new_alias",), overwrite=True)
+        assert registry.get("name") == 2
+        assert registry.get("new_alias") == 2
+        with pytest.raises(UnknownComponentError):
+            registry.get("old_alias")
+
+    def test_unregister_removes_entry_and_aliases(self):
+        registry = Registry("widget")
+        registry.add("gone", 1, aliases=("bye",))
+        registry.unregister("gone")
+        assert "gone" not in registry and "bye" not in registry
+        with pytest.raises(UnknownComponentError):
+            registry.unregister("gone")
+
+    def test_entries_and_iteration_are_sorted(self):
+        registry = Registry("widget")
+        registry.add("b", 2)
+        registry.add("a", 1)
+        assert list(registry) == ["a", "b"]
+        assert [e.name for e in registry.entries()] == ["a", "b"]
+        assert len(registry) == 2
+        assert all(isinstance(e, RegistryEntry) for e in registry.entries())
+
+    def test_create_instantiates_the_factory(self):
+        registry = Registry("widget")
+        registry.add("pair", tuple)
+        assert registry.create("pair", (1, 2)) == (1, 2)
+
+
+class TestBuiltinRegistries:
+    # Other test modules may legitimately register extra components in the
+    # process-global registries, so these assertions are superset-based.
+    def test_builtin_policies_are_registered(self):
+        assert set(available_policies()) >= {
+            "adele", "adele_rr", "cda", "elevator_first", "minimal",
+        }
+        assert available_policies() == sorted(available_policies())
+        assert POLICY_REGISTRY.get("elevatorfirst") is POLICY_REGISTRY.get(
+            "elevator_first"
+        )
+        assert POLICY_REGISTRY.entry("adele").metadata["needs_design"] is True
+
+    def test_builtin_patterns_are_registered(self):
+        assert set(available_patterns()) >= {
+            "bit_complement", "hotspot", "neighbor", "shuffle", "transpose",
+            "uniform",
+        }
+        assert PATTERN_REGISTRY.get("neighbour") is PATTERN_REGISTRY.get("neighbor")
+
+    def test_builtin_applications_are_registered(self):
+        assert set(available_applications()) >= {
+            "canneal", "fft", "fluidanimate", "lu", "radix", "water",
+        }
+        # The paper's abbreviated Fig. 7 spelling resolves as an alias.
+        assert application_spec("fluid.").name == "fluidanimate"
+        assert APPLICATION_REGISTRY.entry("fluid.").name == "fluidanimate"
+
+    def test_builtin_placements_are_registered(self):
+        assert set(available_placements()) >= {"PM", "PS1", "PS2", "PS3"}
+        placement = PLACEMENT_REGISTRY.get("ps1")()
+        assert placement.name == "PS1"
+        assert placement.num_elevators == 3
+
+    def test_unknown_lookups_raise_value_error_everywhere(self):
+        mesh = Mesh3D(2, 2, 2)
+        placement = ElevatorPlacement(mesh, [(0, 0)], name="t")
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("nope", placement)
+        with pytest.raises(ValueError, match="unknown traffic pattern"):
+            make_pattern("nope", mesh)
+        with pytest.raises(ValueError, match="unknown application"):
+            application_spec("nope")
+        with pytest.raises(ValueError, match="unknown placement"):
+            PLACEMENT_REGISTRY.get("nope")
+
+    def test_register_placement_instance_roundtrip(self):
+        custom = ElevatorPlacement(Mesh3D(2, 2, 2), [(0, 1)], name="REG-TEST")
+        register_placement(custom)
+        try:
+            assert PLACEMENT_REGISTRY.get("reg-test")() is custom
+            assert "REG-TEST" in available_placements()
+        finally:
+            PLACEMENT_REGISTRY.unregister("REG-TEST")
+
+    def test_register_placement_factory_decorator(self):
+        @register_placement(name="RING4", description="four corner elevators")
+        def ring4() -> ElevatorPlacement:
+            return ElevatorPlacement(
+                Mesh3D(3, 3, 2), [(0, 0), (2, 0), (0, 2), (2, 2)], name="RING4"
+            )
+
+        try:
+            built = PLACEMENT_REGISTRY.get("ring4")()
+            assert built.num_elevators == 4
+            assert PLACEMENT_REGISTRY.entry("RING4").description == (
+                "four corner elevators"
+            )
+        finally:
+            PLACEMENT_REGISTRY.unregister("RING4")

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.routing.elevator_first import ElevatorFirstPolicy
-from repro.sim.flit import FlitType
 from repro.sim.network import Network
 from repro.sim.router import OPPOSITE_PORT, Port, Router
 from repro.topology.elevators import ElevatorPlacement

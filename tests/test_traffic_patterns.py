@@ -172,7 +172,7 @@ class TestFactory:
         assert isinstance(make_pattern("Uniform", mesh), UniformTraffic)
 
     def test_unknown_pattern(self, mesh):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown traffic pattern"):
             make_pattern("tornado", mesh)
 
     def test_pattern_specific_kwargs(self, mesh):
