@@ -1,0 +1,157 @@
+"""Cycles/second micro-benchmark: ``reference`` vs ``optimized`` kernels.
+
+Unlike the ``bench_fig*`` files (which reproduce paper figures through
+pytest), this is a standalone script establishing the repository's
+performance trajectory: it times both simulation kernels on the 4x4x3
+benchmark mesh at three injection rates, verifies their results are
+bit-identical while timing them, and writes the measurements to
+``benchmarks/results/BENCH_perf_kernel.json``.
+
+Run it directly (tiny windows for a CI smoke, defaults for a real number)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_kernel.py
+    PYTHONPATH=src python benchmarks/bench_perf_kernel.py \
+        --warmup 20 --measure 150 --drain 100 --repeats 1
+
+The ``elevator_first`` policy keeps the shared (non-kernel) per-packet cost
+minimal so the numbers isolate the cycle loop itself.  Expected shape: the
+optimized kernel is >= 2x faster at every rate at or below 0.006 (the
+low-to-mid region where active-set skipping pays the most).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Dict, List
+
+from repro.analysis.runner import run_experiment
+from repro.spec import ExperimentSpec, PlacementSpec, PolicySpec, SimSpec, TrafficSpec
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+RESULT_FILE = os.path.join(RESULTS_DIR, "BENCH_perf_kernel.json")
+
+MESH = (4, 4, 3)
+ELEVATOR_COLUMNS = ((0, 0), (3, 3))
+BACKENDS = ("reference", "optimized")
+
+
+def make_spec(backend: str, rate: float, args: argparse.Namespace) -> ExperimentSpec:
+    return ExperimentSpec(
+        placement=PlacementSpec(name="bench-4x4x3", mesh=MESH, columns=ELEVATOR_COLUMNS),
+        policy=PolicySpec(name="elevator_first"),
+        traffic=TrafficSpec(pattern="uniform", injection_rate=rate),
+        sim=SimSpec(
+            warmup_cycles=args.warmup,
+            measurement_cycles=args.measure,
+            drain_cycles=args.drain,
+            seed=args.seed,
+            backend=backend,
+        ),
+    )
+
+
+def time_backend(backend: str, rate: float, args: argparse.Namespace) -> Dict:
+    """Best-of-N wall-clock timing of one (backend, rate) cell."""
+    spec = make_spec(backend, rate, args)
+    best = float("inf")
+    result = None
+    for _ in range(args.repeats):
+        start = time.perf_counter()
+        result = run_experiment(spec)
+        best = min(best, time.perf_counter() - start)
+    cycles = args.warmup + args.measure + result.drain_cycles_used
+    return {
+        "backend": backend,
+        "injection_rate": rate,
+        "seconds": best,
+        "cycles": cycles,
+        "cycles_per_second": cycles / best if best > 0 else float("inf"),
+        "summary": result.summary(),
+        "drain_cycles_used": result.drain_cycles_used,
+    }
+
+
+def run_benchmark(args: argparse.Namespace) -> Dict:
+    rows: List[Dict] = []
+    speedups: Dict[str, float] = {}
+    for rate in args.rates:
+        cells = {b: time_backend(b, rate, args) for b in BACKENDS}
+        ref, opt = cells["reference"], cells["optimized"]
+        if ref["summary"] != opt["summary"]:
+            raise SystemExit(
+                f"backend results diverged at rate {rate}: "
+                f"{ref['summary']} != {opt['summary']}"
+            )
+        speedup = ref["seconds"] / opt["seconds"] if opt["seconds"] > 0 else float("inf")
+        speedups[f"{rate:g}"] = speedup
+        rows.extend(cells.values())
+        print(
+            f"rate={rate:<8g} reference {ref['cycles_per_second']:>10.0f} cyc/s   "
+            f"optimized {opt['cycles_per_second']:>10.0f} cyc/s   "
+            f"speedup {speedup:.2f}x"
+        )
+    return {
+        "benchmark": "perf_kernel",
+        "mesh": list(MESH),
+        "elevator_columns": [list(c) for c in ELEVATOR_COLUMNS],
+        "policy": "elevator_first",
+        "traffic": "uniform",
+        "warmup_cycles": args.warmup,
+        "measurement_cycles": args.measure,
+        "drain_cycles": args.drain,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "results": rows,
+        "speedup_by_rate": speedups,
+        "min_speedup": min(speedups.values()),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--warmup", type=int, default=300, help="warm-up cycles")
+    parser.add_argument("--measure", type=int, default=3000, help="measurement cycles")
+    parser.add_argument("--drain", type=int, default=800, help="max drain cycles")
+    parser.add_argument("--seed", type=int, default=3, help="traffic seed")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best-of)"
+    )
+    parser.add_argument(
+        "--rates", type=float, nargs="+", default=[0.002, 0.004, 0.006],
+        metavar="RATE", help="packet injection rates to time",
+    )
+    parser.add_argument(
+        "--out", default=RESULT_FILE, metavar="FILE",
+        help="where to write the JSON record",
+    )
+    parser.add_argument(
+        "--require-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero unless every rate reaches X-fold speedup",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if not args.rates:
+        parser.error("need at least one --rates value")
+
+    record = run_benchmark(args)
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"minimum speedup over rates: {record['min_speedup']:.2f}x -> {args.out}")
+
+    if args.require_speedup is not None and record["min_speedup"] < args.require_speedup:
+        print(
+            f"FAIL: minimum speedup {record['min_speedup']:.2f}x below required "
+            f"{args.require_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,14 +9,15 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-adele",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of AdEle: adaptive congestion- and energy-aware "
         "elevator selection for partially connected 3D NoCs (DAC 2021)"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
-    python_requires=">=3.9",
+    # 3.10+ for dataclass(slots=True) on the simulation hot-path objects.
+    python_requires=">=3.10",
     entry_points={
         "console_scripts": [
             "repro = repro.exec.cli:main",

@@ -476,5 +476,6 @@ def run_experiment(
         measurement_cycles=spec.sim.measurement_cycles,
         drain_cycles=spec.sim.drain_cycles,
         energy_model=energy_model if energy_model is not None else EnergyModel(),
+        backend=spec.sim.backend,
     )
     return simulator.run()

@@ -8,9 +8,10 @@
   validated on construction and round-tripping losslessly through
   ``to_dict()`` / ``from_dict()``.  The dictionary form is the canonical
   serialization shared by cache keys, derived seeds and ``--spec`` files.
-* **Registries** -- register a policy, traffic pattern, application model
-  or placement once (usually with a decorator) and it is usable *by name*
-  in specs, batches, benches and the ``python -m repro`` CLI.
+* **Registries** -- register a policy, traffic pattern, application model,
+  placement or simulation backend once (usually with a decorator) and it is
+  usable *by name* in specs, batches, benches and the ``python -m repro``
+  CLI.
 * **Execution** -- :func:`run` for a single spec,
   :func:`run_specs` / :class:`~repro.exec.batch.ExperimentBatch` for
   parallel, deterministically seeded, disk-cached grids.
@@ -66,6 +67,14 @@ from repro.registry import (
     UnknownComponentError,
 )
 from repro.routing.base import POLICY_REGISTRY, register_policy
+from repro.sim.backends import (
+    BACKEND_REGISTRY,
+    DEFAULT_BACKEND,
+    SimulatorBackend,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
 from repro.sim.engine import SimulationResult
 from repro.spec import (
     ExperimentSpec,
@@ -103,6 +112,7 @@ def available_components() -> Dict[str, List[str]]:
         "patterns": available_patterns(),
         "applications": available_applications(),
         "placements": available_placements(),
+        "backends": available_backends(),
     }
 
 
@@ -198,14 +208,20 @@ __all__ = [
     "PATTERN_REGISTRY",
     "APPLICATION_REGISTRY",
     "PLACEMENT_REGISTRY",
+    "BACKEND_REGISTRY",
+    "DEFAULT_BACKEND",
+    "SimulatorBackend",
     "register_policy",
     "register_pattern",
     "register_application",
     "register_placement",
+    "register_backend",
+    "resolve_backend",
     "available_policies",
     "available_patterns",
     "available_applications",
     "available_placements",
+    "available_backends",
     "available_components",
     # execution
     "run",

@@ -43,6 +43,7 @@ from repro.core.pipeline import AdEleDesign
 from repro.core.subset_search import ElevatorSubsetProblem, SubsetSolution
 from repro.registry import Registry
 from repro.routing.base import POLICY_REGISTRY
+from repro.sim.backends import BACKEND_REGISTRY, DEFAULT_BACKEND
 from repro.spec import ExperimentSpec
 from repro.topology.elevators import PLACEMENT_REGISTRY, ElevatorPlacement
 from repro.topology.mesh3d import Mesh3D
@@ -113,6 +114,17 @@ def canonical_config(config: ConfigLike) -> Dict[str, Any]:
         data["traffic"]["pattern"] = _canonical_name(
             PATTERN_REGISTRY, pattern, str.lower
         )
+    # Backends are result-equivalent, so the canonical form drops the key
+    # entirely when an alias resolves to the default kernel -- a spec that
+    # spells the default differently must not split the cache (and specs
+    # predating the backend field hash identically to default-backend ones).
+    backend = data["sim"].get("backend")
+    if backend is not None:
+        canonical_backend = _canonical_name(BACKEND_REGISTRY, backend, str.lower)
+        if canonical_backend == DEFAULT_BACKEND:
+            del data["sim"]["backend"]
+        else:
+            data["sim"]["backend"] = canonical_backend
     return data
 
 
@@ -157,10 +169,13 @@ def derive_seed(config: ConfigLike, base_seed: int = 0) -> int:
     before hashing, so the derived seed depends only on *what* is simulated
     plus the batch-level base seed -- two batches with the same base seed
     assign identical seeds to identical tasks regardless of process, worker
-    count or submission order.
+    count or submission order.  The simulation *backend* is excluded for
+    the same reason: backends are result-equivalent, so the same experiment
+    run on different kernels must draw the same traffic.
     """
     payload = canonical_config(config)
     payload["sim"] = dict(payload["sim"], seed=int(base_seed))
+    payload["sim"].pop("backend", None)
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     digest = hashlib.sha256(blob.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") % SEED_SPACE

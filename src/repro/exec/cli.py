@@ -17,9 +17,14 @@ every figure of the paper is built from, plus the component registries:
     through the batch engine and print one summary row per spec.
 
 ``list``
-    Show every registered policy, traffic pattern, application model and
-    placement with its aliases and description -- including components
-    registered by ``--plugin`` modules.
+    Show every registered policy, traffic pattern, application model,
+    placement and simulation backend with its aliases and description --
+    including components registered by ``--plugin`` modules.
+
+``sweep``/``compare``/``run`` also accept ``--backend NAME`` selecting the
+simulation kernel (``optimized`` by default; ``reference`` for the original
+full-scan loop).  Backends are result-equivalent -- the flag changes wall
+clock, never numbers.
 
 All subcommands accept ``--plugin MODULE`` (repeatable): the module is
 imported first, so its ``@register_policy`` / ``@register_pattern`` /
@@ -60,6 +65,7 @@ from repro.analysis.sweep import LatencyCurve, saturation_rate
 from repro.exec.batch import ExperimentBatch, summaries_by_policy
 from repro.exec.cache import DiskDesignCache, ResultCache
 from repro.routing.base import POLICY_REGISTRY
+from repro.sim.backends import BACKEND_REGISTRY, DEFAULT_BACKEND
 from repro.spec import ExperimentSpec, PlacementSpec, SimSpec, TrafficSpec
 from repro.topology.elevators import PLACEMENT_REGISTRY
 from repro.traffic.applications import APPLICATION_REGISTRY
@@ -132,7 +138,16 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--measure", type=int, default=1500, help="measurement cycles"
     )
     workload.add_argument("--drain", type=int, default=800, help="max drain cycles")
+    _add_backend_argument(workload)
     _add_engine_arguments(parser)
+
+
+def _add_backend_argument(target) -> None:
+    target.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="simulation kernel (see `repro list`; backends are "
+             f"result-equivalent, default: {DEFAULT_BACKEND})",
+    )
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -186,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--spec", required=True, metavar="FILE",
         help="JSON file with one ExperimentSpec document or a list of them",
     )
+    _add_backend_argument(run)
     _add_engine_arguments(run)
 
     listing = subparsers.add_parser(
@@ -215,6 +231,7 @@ def _base_spec(args: argparse.Namespace) -> ExperimentSpec:
             warmup_cycles=args.warmup,
             measurement_cycles=args.measure,
             drain_cycles=args.drain,
+            backend=args.backend or DEFAULT_BACKEND,
         ),
     )
 
@@ -332,6 +349,8 @@ def _load_spec_documents(path: str) -> List[ExperimentSpec]:
 
 def _run_specs(args: argparse.Namespace) -> int:
     specs = _load_spec_documents(args.spec)
+    if args.backend:
+        specs = [spec.with_(backend=args.backend) for spec in specs]
     batch = _make_batch(args, specs)
     outcomes = batch.run()
     _report_engine(batch)
@@ -364,6 +383,8 @@ def _run_list(args: argparse.Namespace) -> int:
     _print_registry("applications", APPLICATION_REGISTRY)
     print()
     _print_registry("placements", PLACEMENT_REGISTRY)
+    print()
+    _print_registry("simulation backends", BACKEND_REGISTRY)
     return 0
 
 

@@ -16,7 +16,7 @@ Two concerns are separated, mirroring the paper's architecture:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.registry import Registry
 from repro.sim.flit import Packet
@@ -151,16 +151,109 @@ def path_nodes(
     return nodes
 
 
-class RouteComputation:
-    """Callable route computation bound to a mesh (used by the network)."""
+#: Sentinel stored in a column table where the router sits *on* the column
+#: and the port (UP or DOWN) depends on the packet's destination layer.
+_AT_COLUMN = -1
+
+
+class PrecomputedRoutes:
+    """Flattened Elevator-First routing tables for one mesh.
+
+    :func:`compute_output_port` re-derives coordinates and compares them on
+    every call; on the simulation hot path that arithmetic dominates route
+    computation.  This class precomputes the same decisions into plain list
+    lookups.  XY decisions depend only on the ``(x, y)`` projection, so the
+    tables are sized per *column position* (``size_x * size_y`` entries,
+    shared by every layer), not per node:
+
+    * ``intra[xy(current)][xy(destination)]`` -- the XY port (or LOCAL)
+      used when current and destination share a layer;
+    * per elevator column, ``column[xy(current)]`` -- the XY port toward
+      the column, or :data:`_AT_COLUMN` when the router sits on it (the
+      vertical direction then depends on the destination layer);
+    * ``node_z[node]`` / ``node_xy[node]`` -- the layer and xy-projected
+      index of every node.
+
+    Column tables are built lazily, so any ``(x, y)`` column a policy
+    assigns -- including columns outside the placement the tables were
+    seeded with -- is supported.  :meth:`port_for` is equivalent to
+    :func:`compute_output_port` for every reachable input (enforced by an
+    exhaustive test), which is what lets the optimized simulation kernel
+    share results bit for bit with the reference kernel.
+    """
 
     def __init__(self, mesh: Mesh3D) -> None:
         self.mesh = mesh
+        per_layer = mesh.nodes_per_layer
+        n = mesh.num_nodes
+        self.node_z: List[int] = [node // per_layer for node in range(n)]
+        self.node_xy: List[int] = [node % per_layer for node in range(n)]
+        layer = [mesh.coordinate(node) for node in range(per_layer)]
+        self._layer_coords = layer
+        self.intra: List[List[Port]] = [
+            [
+                Port.LOCAL
+                if (cur.x, cur.y) == (dst.x, dst.y)
+                else _xy_port(cur.x, cur.y, dst.x, dst.y)
+                for dst in layer
+            ]
+            for cur in layer
+        ]
+        self._columns: Dict[Tuple[int, int], List[int]] = {}
+
+    def column_table(self, column: Tuple[int, int]) -> List[int]:
+        """The per-xy-position port table toward a column (lazily built)."""
+        table = self._columns.get(column)
+        if table is None:
+            ex, ey = column
+            table = [
+                _AT_COLUMN
+                if (cur.x, cur.y) == (ex, ey)
+                else _xy_port(cur.x, cur.y, ex, ey)
+                for cur in self._layer_coords
+            ]
+            self._columns[column] = table
+        return table
+
+    def port_for(
+        self,
+        current: int,
+        destination: int,
+        elevator_column: Optional[Tuple[int, int]],
+    ) -> Port:
+        """Next output port under Elevator-First routing (table lookup)."""
+        node_z = self.node_z
+        cur_z = node_z[current]
+        dst_z = node_z[destination]
+        node_xy = self.node_xy
+        if cur_z != dst_z:
+            if elevator_column is None:
+                raise ValueError(
+                    "inter-layer packet without an assigned elevator at node "
+                    f"{current} (destination {destination})"
+                )
+            port = self.column_table(elevator_column)[node_xy[current]]
+            if port == _AT_COLUMN:
+                return Port.UP if dst_z > cur_z else Port.DOWN
+            return port
+        return self.intra[node_xy[current]][node_xy[destination]]
+
+
+class RouteComputation:
+    """Callable route computation bound to a mesh (used by the network).
+
+    Routes through :class:`PrecomputedRoutes` tables, shared with the
+    optimized simulation kernel via :attr:`tables`.
+    """
+
+    def __init__(self, mesh: Mesh3D) -> None:
+        self.mesh = mesh
+        self.tables = PrecomputedRoutes(mesh)
 
     def __call__(self, current: int, packet: Packet) -> Port:
         """Output port for a packet at a given router."""
-        return compute_output_port(
-            self.mesh, current, packet.destination, packet.elevator_column
+        return self.tables.port_for(
+            current, packet.destination, packet.elevator_column
         )
 
 

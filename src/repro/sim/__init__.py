@@ -12,6 +12,9 @@ Main entry points:
   mesh + elevator placement + elevator-selection policy.
 * :class:`~repro.sim.engine.Simulator` -- drives a network with a packet
   source for a number of cycles and collects statistics.
+* :mod:`repro.sim.backends` -- the pluggable cycle kernels executing the
+  loop (``reference`` full scan vs the default ``optimized`` active-set
+  kernel; result-equivalent, registered in ``BACKEND_REGISTRY``).
 * :class:`~repro.sim.stats.SimulationStats` / ``SimulationResult`` -- the
   measurements (latency, throughput, per-router load, hop/energy counters).
 """
@@ -22,6 +25,14 @@ from repro.sim.router import Port, Router
 from repro.sim.network import Network
 from repro.sim.engine import SimulationResult, Simulator
 from repro.sim.stats import SimulationStats
+from repro.sim.backends import (
+    BACKEND_REGISTRY,
+    DEFAULT_BACKEND,
+    SimulatorBackend,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
 
 __all__ = [
     "Flit",
@@ -34,4 +45,10 @@ __all__ = [
     "Simulator",
     "SimulationResult",
     "SimulationStats",
+    "BACKEND_REGISTRY",
+    "DEFAULT_BACKEND",
+    "SimulatorBackend",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
 ]

@@ -1,0 +1,59 @@
+"""The reference simulation kernel: full per-router scans every cycle.
+
+This is the cycle loop that originally lived in
+:meth:`repro.sim.engine.Simulator.run` plus :meth:`repro.sim.network.Network.step`,
+verbatim: every cycle, every router computes routes, performs switch
+allocation/traversal, and commits staged arrivals, regardless of whether it
+holds any flit.  It stays the semantic baseline the ``optimized`` kernel is
+checked against -- slow, simple, and exercising exactly the per-router code
+paths the unit tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.backends import SimulatorBackend, register_backend
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Network
+    from repro.traffic.generator import PacketSource
+
+
+@register_backend(
+    "reference",
+    aliases=("naive", "full-scan"),
+    description="full per-router scan every cycle (semantic baseline)",
+)
+class ReferenceBackend(SimulatorBackend):
+    """Original full-scan cycle loop (see module docstring)."""
+
+    name = "reference"
+
+    def execute(
+        self,
+        network: "Network",
+        packet_source: "PacketSource",
+        *,
+        warmup_cycles: int,
+        measurement_cycles: int,
+        drain_cycles: int,
+    ) -> int:
+        injection_end = warmup_cycles + measurement_cycles
+        for cycle in range(injection_end):
+            for request in packet_source.requests(cycle):
+                network.create_packet(
+                    request.source, request.destination, request.length, cycle
+                )
+            network.inject(cycle)
+            network.step(cycle)
+
+        drain_used = 0
+        for drain in range(drain_cycles):
+            if network.is_idle():
+                break
+            cycle = injection_end + drain
+            network.inject(cycle)
+            network.step(cycle)
+            drain_used = drain + 1
+        return drain_used

@@ -28,6 +28,8 @@ class FlitBuffer:
         ValueError: If ``depth`` is not positive.
     """
 
+    __slots__ = ("depth", "_fifo", "_staged")
+
     def __init__(self, depth: int) -> None:
         if depth < 1:
             raise ValueError("buffer depth must be at least 1")
@@ -51,7 +53,7 @@ class FlitBuffer:
     @property
     def free_slots(self) -> int:
         """Slots available for new arrivals this cycle."""
-        return self.depth - self.total_occupancy
+        return self.depth - len(self._fifo) - len(self._staged)
 
     def is_empty(self) -> bool:
         """True when no flit is visible to the pipeline."""
@@ -59,7 +61,7 @@ class FlitBuffer:
 
     def is_full(self) -> bool:
         """True when no further arrival can be accepted this cycle."""
-        return self.free_slots <= 0
+        return len(self._fifo) + len(self._staged) >= self.depth
 
     # ------------------------------------------------------------------ #
     # Pipeline access
@@ -86,7 +88,7 @@ class FlitBuffer:
             OverflowError: If the buffer has no free slot (flow-control
                 violation -- the sender must check :attr:`free_slots`).
         """
-        if self.is_full():
+        if len(self._fifo) + len(self._staged) >= self.depth:
             raise OverflowError("flit arrived at a full buffer (flow-control bug)")
         self._staged.append(flit)
 

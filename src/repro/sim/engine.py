@@ -10,6 +10,12 @@ The :class:`Simulator` connects a :class:`~repro.sim.network.Network` with a
   network will not drain, which is expected at injection rates past the
   saturation point).
 
+The loop itself is executed by a pluggable kernel -- a
+:class:`~repro.sim.backends.SimulatorBackend` resolved by name through
+:data:`~repro.sim.backends.BACKEND_REGISTRY` (``optimized`` by default,
+``reference`` for the original full-scan loop).  All backends are
+bit-identical in their results; they differ only in speed.
+
 The result object bundles the statistics with derived, report-ready metrics
 (average latency, throughput, energy per flit when an energy model is
 supplied).
@@ -18,9 +24,10 @@ supplied).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.energy.model import EnergyModel
+from repro.sim.backends import SimulatorBackend, resolve_backend
 from repro.sim.network import Network
 from repro.sim.stats import SimulationStats
 from repro.traffic.generator import PacketSource
@@ -45,6 +52,9 @@ class SimulationResult:
             window (``None`` without an energy model).
         policy_name: Name of the elevator-selection policy that produced the
             run (for reporting).
+        backend_name: Name of the simulation kernel that executed the run
+            (for reporting only -- backends are result-equivalent, so this
+            never appears in :meth:`summary`).
     """
 
     stats: SimulationStats
@@ -57,6 +67,7 @@ class SimulationResult:
     energy_per_flit: Optional[float] = None
     total_energy: Optional[float] = None
     policy_name: str = ""
+    backend_name: str = ""
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -98,6 +109,9 @@ class Simulator:
         drain_cycles: Maximum extra cycles (with injection stopped) granted
             for in-flight packets to arrive.
         energy_model: Optional energy model used to derive energy metrics.
+        backend: Simulation kernel executing the cycle loop -- a registered
+            backend name/alias, a :class:`~repro.sim.backends.SimulatorBackend`
+            instance, or ``None`` for the default (``optimized``).
     """
 
     def __init__(
@@ -108,6 +122,7 @@ class Simulator:
         measurement_cycles: int = 2000,
         drain_cycles: int = 1000,
         energy_model: Optional[EnergyModel] = None,
+        backend: Union[str, SimulatorBackend, None] = None,
     ) -> None:
         if warmup_cycles < 0 or measurement_cycles <= 0 or drain_cycles < 0:
             raise ValueError("invalid cycle configuration")
@@ -117,30 +132,20 @@ class Simulator:
         self.measurement_cycles = measurement_cycles
         self.drain_cycles = drain_cycles
         self.energy_model = energy_model
+        self.backend = resolve_backend(backend)
 
     def run(self) -> SimulationResult:
         """Execute the simulation and return its result."""
         network = self.network
         network.stats.measurement_start = self.warmup_cycles
-        injection_end = self.warmup_cycles + self.measurement_cycles
 
-        cycle = 0
-        for cycle in range(injection_end):
-            for request in self.packet_source.requests(cycle):
-                network.create_packet(
-                    request.source, request.destination, request.length, cycle
-                )
-            network.inject(cycle)
-            network.step(cycle)
-
-        drain_used = 0
-        for drain in range(self.drain_cycles):
-            if network.is_idle():
-                break
-            cycle = injection_end + drain
-            network.inject(cycle)
-            network.step(cycle)
-            drain_used = drain + 1
+        drain_used = self.backend.execute(
+            network,
+            self.packet_source,
+            warmup_cycles=self.warmup_cycles,
+            measurement_cycles=self.measurement_cycles,
+            drain_cycles=self.drain_cycles,
+        )
 
         stats = network.stats
         result = SimulationResult(
@@ -154,6 +159,7 @@ class Simulator:
                 self.measurement_cycles, network.mesh.num_nodes
             ),
             policy_name=network.policy.name,
+            backend_name=self.backend.name,
         )
         if self.energy_model is not None:
             total = self.energy_model.total_energy(stats)
@@ -172,6 +178,7 @@ def run_simulation(
     measurement_cycles: int = 2000,
     drain_cycles: int = 1000,
     energy_model: Optional[EnergyModel] = None,
+    backend: Union[str, SimulatorBackend, None] = None,
 ) -> SimulationResult:
     """Convenience wrapper building and running a :class:`Simulator`."""
     simulator = Simulator(
@@ -181,5 +188,6 @@ def run_simulation(
         measurement_cycles=measurement_cycles,
         drain_cycles=drain_cycles,
         energy_model=energy_model,
+        backend=backend,
     )
     return simulator.run()

@@ -15,28 +15,29 @@ from typing import List, Optional
 
 
 class FlitType(enum.Enum):
-    """Role of a flit inside its packet."""
+    """Role of a flit inside its packet.
+
+    ``is_head`` / ``is_tail`` are plain member attributes (computed once at
+    class creation, not properties): they sit on the simulation kernel's
+    hottest path, where attribute loads beat descriptor dispatch.
+    """
 
     HEAD = "head"
     BODY = "body"
     TAIL = "tail"
     HEAD_TAIL = "head_tail"
 
-    @property
-    def is_head(self) -> bool:
-        """True for flits that open a wormhole (HEAD or HEAD_TAIL)."""
-        return self in (FlitType.HEAD, FlitType.HEAD_TAIL)
-
-    @property
-    def is_tail(self) -> bool:
-        """True for flits that close a wormhole (TAIL or HEAD_TAIL)."""
-        return self in (FlitType.TAIL, FlitType.HEAD_TAIL)
+    def __init__(self, label: str) -> None:
+        #: True for flits that open a wormhole (HEAD or HEAD_TAIL).
+        self.is_head = label in ("head", "head_tail")
+        #: True for flits that close a wormhole (TAIL or HEAD_TAIL).
+        self.is_tail = label in ("tail", "head_tail")
 
 
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A network packet.
 
@@ -129,7 +130,7 @@ class Packet:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
     """A single flit of a packet.
 

@@ -17,7 +17,7 @@ The per-cycle evaluation order is:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.routing.base import (
     ElevatorSelectionPolicy,
@@ -87,6 +87,23 @@ class Network:
         #: Packets currently in flight (injected but not fully delivered).
         self._in_flight: int = 0
 
+        # Active-set tracking (the basis of the ``optimized`` simulation
+        # backend and of O(active) idle checks).  Invariants:
+        #
+        # * every non-empty injection queue's key is in ``_live_queues``
+        #   (queues are only filled by ``create_packet``, which adds the
+        #   key, and only drained by ``inject``, which removes it once
+        #   empty);
+        # * every router holding at least one flit -- visible or staged --
+        #   is in ``_active_routers``.  Routers are added whenever a flit
+        #   is staged into them through the network (``inject`` /
+        #   ``deliver_flit``) and removed lazily, only after a scan
+        #   verifies they are empty (``is_idle`` and the optimized
+        #   kernel's end-of-cycle prune).  The set may therefore
+        #   over-approximate, never under-approximate, the busy routers.
+        self._active_routers: Set[int] = set()
+        self._live_queues: Set[Tuple[int, int]] = set()
+
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
@@ -144,13 +161,34 @@ class Network:
 
     def pending_injections(self) -> int:
         """Flits still waiting in source injection queues."""
-        return sum(len(queue) for queue in self._injection_queues.values())
+        return sum(
+            len(self._injection_queues[key]) for key in self._live_queues
+        )
+
+    def active_routers(self) -> Set[int]:
+        """Node ids of routers that may hold flits (over-approximation).
+
+        The live set behind the active-set invariants (see ``__init__``);
+        treat it as read-only unless you are a simulation backend pruning
+        verified-empty routers.
+        """
+        return self._active_routers
 
     def is_idle(self) -> bool:
-        """True when no flit remains anywhere in the network."""
-        if self.pending_injections() > 0:
+        """True when no flit remains anywhere in the network.
+
+        O(active): only routers in the active set are scanned, and routers
+        verified empty are pruned so repeated drain checks get cheaper as
+        the network empties.
+        """
+        if self._live_queues:
             return False
-        return all(not router.has_traffic() for router in self.routers)
+        active = self._active_routers
+        routers = self.routers
+        for node in list(active):
+            if not routers[node].has_traffic():
+                active.discard(node)
+        return not active
 
     # ------------------------------------------------------------------ #
     # Routing interface used by routers
@@ -180,15 +218,16 @@ class Network:
     ) -> None:
         """Move a granted flit out of a router (ejection or next-hop stage)."""
         packet = flit.packet
+        flit_type = flit.flit_type
         stats = self.stats
         stats.record_router_traversal(node_id, packet, cycle)
 
         # Source-side bookkeeping for AdEle's local latency estimate: the
         # flit is leaving its source router from the LOCAL input port.
         if node_id == packet.source and in_key[0] == Port.LOCAL:
-            if flit.is_head:
+            if flit_type.is_head:
                 packet.head_exit_cycle = cycle
-            if flit.is_tail:
+            if flit_type.is_tail:
                 packet.tail_exit_cycle = cycle
                 metric = packet.source_serialization_latency()
                 if metric is not None and packet.elevator_index is not None:
@@ -198,7 +237,7 @@ class Network:
 
         if out_port == Port.LOCAL:
             stats.record_flit_delivered(packet, cycle)
-            if flit.is_tail:
+            if flit_type.is_tail:
                 packet.delivery_cycle = cycle
                 stats.record_packet_delivered(packet, cycle)
                 self._in_flight -= 1
@@ -211,12 +250,13 @@ class Network:
             )
         vertical = out_port in VERTICAL_PORTS
         stats.record_link_traversal(vertical, packet, cycle)
-        if flit.is_head:
+        if flit_type.is_head:
             packet.hops += 1
             if vertical:
                 packet.vertical_hops += 1
         in_port = OPPOSITE_PORT[out_port]
         self.routers[neighbor].buffer(in_port, out_vc).stage(flit)
+        self._active_routers.add(neighbor)
 
     # ------------------------------------------------------------------ #
     # Injection
@@ -241,21 +281,34 @@ class Network:
         queue = self._injection_queues[(source, vn)]
         for flit in packet.make_flits():
             queue.append(flit)
+        self._live_queues.add((source, vn))
         self._in_flight += 1
         return packet
 
     def inject(self, cycle: int) -> None:
-        """Move pending flits from injection queues into LOCAL input buffers."""
-        for (node, vc), queue in self._injection_queues.items():
-            if not queue:
-                continue
+        """Move pending flits from injection queues into LOCAL input buffers.
+
+        O(active): only queues holding flits are visited, in the same
+        (node, vc) order a full scan would visit them.
+        """
+        if not self._live_queues:
+            return
+        for key in sorted(self._live_queues):
+            queue = self._injection_queues[key]
+            node, vc = key
             buf = self.routers[node].buffer(Port.LOCAL, vc)
+            staged = False
             while queue and not buf.is_full():
                 flit = queue.popleft()
                 if flit.is_head and flit.packet.injection_cycle is None:
                     flit.packet.injection_cycle = cycle
                 buf.stage(flit)
+                staged = True
                 self.stats.record_flit_injected(flit.packet, cycle)
+            if staged:
+                self._active_routers.add(node)
+            if not queue:
+                self._live_queues.discard(key)
 
     # ------------------------------------------------------------------ #
     # Per-cycle evaluation
@@ -276,6 +329,8 @@ class Network:
         for queue in self._injection_queues.values():
             queue.clear()
         self._in_flight = 0
+        self._active_routers.clear()
+        self._live_queues.clear()
         self.policy.reset()
         self.stats = SimulationStats()
 

@@ -16,10 +16,24 @@ load and traversal counters.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.sim.flit import Packet
+
+#: Number of individual latency samples kept exactly before the collector
+#: switches to fixed-size reservoir sampling (Algorithm R).  Headline
+#: metrics (average latency, throughput, ...) are streamed exactly
+#: regardless; only :meth:`SimulationStats.latency_percentile` becomes an
+#: estimate past this many delivered packets.
+DEFAULT_LATENCY_RESERVOIR_SIZE = 4096
+
+#: Fixed seed of the reservoir's replacement RNG.  Determinism matters more
+#: than independence here: two runs delivering the same packets in the same
+#: order (e.g. the reference and optimized simulation kernels) must keep
+#: bit-identical samples.
+_RESERVOIR_SEED = 0x5EED
 
 
 @dataclass
@@ -48,9 +62,14 @@ class SimulationStats:
         elevator_assignments: Packets assigned per elevator index.
         elevator_flit_load: Flits forwarded per router restricted to routers
             sitting on elevator columns (keyed by node id).
-        latencies: Individual packet latencies (kept for percentile /
-            distribution analysis; bounded by the number of delivered
-            packets which is small at the simulated scales).
+        latencies: Individual packet latencies kept for percentile /
+            distribution analysis.  Exact for the first
+            ``latency_reservoir_size`` delivered packets, then a fixed-size
+            uniform reservoir (Algorithm R) so memory stays bounded on
+            arbitrarily long runs.
+        latency_samples_seen: Total latencies offered to the reservoir
+            (``>= len(latencies)``; equality means the samples are exact).
+        latency_reservoir_size: Capacity of the latency reservoir.
     """
 
     measurement_start: int = 0
@@ -67,17 +86,29 @@ class SimulationStats:
     vertical_link_traversals: int = 0
     elevator_assignments: Dict[int, int] = field(default_factory=dict)
     latencies: List[float] = field(default_factory=list)
+    latency_samples_seen: int = 0
+    latency_reservoir_size: int = DEFAULT_LATENCY_RESERVOIR_SIZE
+    _reservoir_rng: random.Random = field(
+        default_factory=lambda: random.Random(_RESERVOIR_SEED),
+        repr=False,
+        compare=False,
+    )
 
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
     def in_window(self, cycle: int) -> bool:
-        """Whether a cycle falls inside the measurement window."""
+        """Whether a cycle falls inside the measurement window.
+
+        The ``record_*`` methods below inline this comparison (it sits on
+        the simulation hot path); keep any change to the window semantics
+        in sync with them.
+        """
         return cycle >= self.measurement_start
 
     def record_packet_created(self, packet: Packet, cycle: int) -> None:
         """A packet was created by the traffic source."""
-        if not self.in_window(cycle):
+        if cycle < self.measurement_start:
             return
         self.packets_created += 1
         if packet.elevator_index is not None:
@@ -87,18 +118,18 @@ class SimulationStats:
 
     def record_flit_injected(self, packet: Packet, cycle: int) -> None:
         """A flit entered its source router."""
-        if self.in_window(packet.creation_cycle):
+        if packet.creation_cycle >= self.measurement_start:
             self.flits_injected += 1
 
     def record_router_traversal(self, node_id: int, packet: Packet, cycle: int) -> None:
         """A flit was forwarded by (left) a router."""
-        if not self.in_window(cycle):
+        if cycle < self.measurement_start:
             return
         self.router_traversals[node_id] = self.router_traversals.get(node_id, 0) + 1
 
     def record_link_traversal(self, vertical: bool, packet: Packet, cycle: int) -> None:
         """A flit crossed a router-to-router link."""
-        if not self.in_window(cycle):
+        if cycle < self.measurement_start:
             return
         if vertical:
             self.vertical_link_traversals += 1
@@ -107,23 +138,40 @@ class SimulationStats:
 
     def record_flit_delivered(self, packet: Packet, cycle: int) -> None:
         """A flit was ejected at its destination."""
-        if self.in_window(packet.creation_cycle):
+        if packet.creation_cycle >= self.measurement_start:
             self.flits_delivered += 1
 
     def record_packet_delivered(self, packet: Packet, cycle: int) -> None:
         """A packet's tail flit was ejected at its destination."""
-        if not self.in_window(packet.creation_cycle):
+        if packet.creation_cycle < self.measurement_start:
             return
         self.packets_delivered += 1
         latency = packet.latency
         if latency is not None:
             self.total_latency += latency
-            self.latencies.append(float(latency))
+            self._observe_latency(float(latency))
         network_latency = packet.network_latency
         if network_latency is not None:
             self.total_network_latency += network_latency
         self.total_hops += packet.hops
         self.total_vertical_hops += packet.vertical_hops
+
+    def _observe_latency(self, value: float) -> None:
+        """Add one latency sample, switching to reservoir sampling at capacity.
+
+        Classic Algorithm R: the first ``latency_reservoir_size`` samples are
+        stored exactly; afterwards sample ``i`` replaces a uniformly random
+        stored slot with probability ``capacity / i``.  The replacement RNG
+        is seeded by a fixed constant, so identical delivery sequences keep
+        identical samples.
+        """
+        self.latency_samples_seen += 1
+        if len(self.latencies) < self.latency_reservoir_size:
+            self.latencies.append(value)
+            return
+        slot = self._reservoir_rng.randrange(self.latency_samples_seen)
+        if slot < self.latency_reservoir_size:
+            self.latencies[slot] = value
 
     # ------------------------------------------------------------------ #
     # Derived metrics
@@ -157,7 +205,12 @@ class SimulationStats:
         return self.packets_delivered / self.packets_created
 
     def latency_percentile(self, percentile: float) -> float:
-        """Latency percentile over delivered packets (e.g. 99.0)."""
+        """Latency percentile over delivered packets (e.g. 99.0).
+
+        Exact while fewer than ``latency_reservoir_size`` latencies have
+        been observed; a uniform-reservoir estimate afterwards (compare
+        ``latency_samples_seen`` with ``len(latencies)`` to tell).
+        """
         if not self.latencies:
             return float("inf")
         if not 0.0 <= percentile <= 100.0:
@@ -223,4 +276,18 @@ class SimulationStats:
             self.elevator_assignments[index] = (
                 self.elevator_assignments.get(index, 0) + count
             )
-        self.latencies.extend(other.latencies)
+        # Stored samples flow through the reservoir (so the bound holds).
+        # When the other side already down-sampled, each surviving sample
+        # stands for seen/len(stored) observations: the seen counter is
+        # advanced by that share *before* each offer, so replacement
+        # probabilities stay proportional to the true observation counts
+        # (an approximation of weighted reservoir merging, not an exact
+        # one).  Totals are preserved exactly either way.
+        stored = other.latencies
+        if stored:
+            base, remainder = divmod(
+                other.latency_samples_seen - len(stored), len(stored)
+            )
+            for i, value in enumerate(stored):
+                self.latency_samples_seen += base + (1 if i < remainder else 0)
+                self._observe_latency(value)

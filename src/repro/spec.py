@@ -37,6 +37,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.registry import UnknownComponentError
+from repro.sim.backends import DEFAULT_BACKEND
 from repro.topology.elevators import PLACEMENT_REGISTRY, ElevatorPlacement
 from repro.topology.mesh3d import Mesh3D
 from repro.traffic.applications import APPLICATION_REGISTRY, make_application_traffic
@@ -357,6 +358,12 @@ class SimSpec:
         drain_cycles: Maximum drain cycles after injection stops.
         buffer_depth: Input buffer depth in flits (Table I: 4).
         seed: Seed for traffic and policy randomness.
+        backend: Simulation kernel executing the cycle loop (a name in
+            :data:`repro.sim.backends.BACKEND_REGISTRY`).  Backends are
+            result-equivalent, so the canonical serialization *omits* this
+            field when it equals the default -- cache keys (and cached
+            results) predating the field stay valid, and picking the
+            default backend explicitly never splits the cache.
     """
 
     warmup_cycles: int = 300
@@ -364,6 +371,7 @@ class SimSpec:
     drain_cycles: int = 800
     buffer_depth: int = 4
     seed: int = 0
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         for name in ("warmup_cycles", "measurement_cycles", "drain_cycles"):
@@ -374,16 +382,28 @@ class SimSpec:
             raise ValueError(f"buffer_depth must be >= 1, got {self.buffer_depth!r}")
         if not isinstance(self.seed, int):
             raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        if not isinstance(self.backend, str) or not self.backend.strip():
+            raise ValueError(
+                f"backend must be a non-empty string, got {self.backend!r}"
+            )
+        object.__setattr__(self, "backend", self.backend.strip().lower())
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-native canonical form."""
-        return {
+        """JSON-native canonical form.
+
+        The ``backend`` key appears only when non-default (see the class
+        docstring for why).
+        """
+        data = {
             "warmup_cycles": self.warmup_cycles,
             "measurement_cycles": self.measurement_cycles,
             "drain_cycles": self.drain_cycles,
             "buffer_depth": self.buffer_depth,
             "seed": self.seed,
         }
+        if self.backend != DEFAULT_BACKEND:
+            data["backend"] = self.backend
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SimSpec":
@@ -394,6 +414,7 @@ class SimSpec:
             "drain_cycles",
             "buffer_depth",
             "seed",
+            "backend",
         )
         _reject_unknown_keys(data, allowed, "sim spec")
         defaults = cls()
@@ -415,6 +436,7 @@ _FLAT_FIELDS: Dict[str, Tuple[str, str]] = {
     "drain_cycles": ("sim", "drain_cycles"),
     "buffer_depth": ("sim", "buffer_depth"),
     "seed": ("sim", "seed"),
+    "backend": ("sim", "backend"),
 }
 
 
@@ -454,9 +476,9 @@ class ExperimentSpec:
         ``traffic``, ``sim`` -- as spec objects, or name strings for
         placement/policy/traffic, or an :class:`ElevatorPlacement` for
         placement) plus the flat convenience keys ``injection_rate``,
-        ``pattern``, ``seed``, ``warmup_cycles``, ``measurement_cycles``,
-        ``drain_cycles``, ``buffer_depth``, ``min_packet_length`` and
-        ``max_packet_length``.  Changing the policy *name* resets the policy
+        ``pattern``, ``seed``, ``backend``, ``warmup_cycles``,
+        ``measurement_cycles``, ``drain_cycles``, ``buffer_depth``,
+        ``min_packet_length`` and ``max_packet_length``.  Changing the policy *name* resets the policy
         options (options rarely transfer between policies); pass a full
         :class:`PolicySpec` to control them explicitly.
         """

@@ -134,6 +134,54 @@ class TestAdEleDeterminism:
         assert cold_rows == [o.summary for o in serial]
 
 
+class TestCrossBackendDeterminism:
+    """reference == optimized == warm cache, bit for bit, through the
+    batch engine -- and backend spelling never splits the cache."""
+
+    def test_backend_matrix_is_bit_identical(self, grid):
+        specs = [c.to_spec() for c in grid]
+        reference = run_batch([s.with_(backend="reference") for s in specs])
+        optimized = run_batch([s.with_(backend="optimized") for s in specs])
+        default = run_batch(specs)
+        assert [o.summary for o in reference] == [o.summary for o in optimized]
+        assert [o.summary for o in optimized] == [o.summary for o in default]
+
+    def test_warm_cache_matches_both_backends(self, grid, tmp_path):
+        specs = [c.to_spec() for c in grid]
+        cold = run_batch(
+            [s.with_(backend="reference") for s in specs],
+            result_cache=ResultCache(str(tmp_path)),
+        )
+        warm_batch = ExperimentBatch(
+            [s.with_(backend="reference") for s in specs],
+            result_cache=ResultCache(str(tmp_path)),
+        )
+        warm = warm_batch.run()
+        assert warm_batch.last_executed == 0
+        assert [o.summary for o in cold] == [o.summary for o in warm]
+        # The optimized runs reproduce the cached reference rows exactly.
+        live = run_batch(specs)
+        assert [o.summary for o in live] == [o.summary for o in warm]
+
+    def test_default_backend_spelling_shares_cache_keys(self, grid):
+        spec = grid[0].to_spec()
+        assert config_key(spec) == config_key(spec.with_(backend="optimized"))
+        assert config_key(spec) == config_key(spec.with_(backend="ACTIVE-SET"))
+        assert config_key(spec) != config_key(spec.with_(backend="reference"))
+
+    def test_derived_seed_ignores_backend(self, grid):
+        spec = grid[0].to_spec()
+        assert derive_seed(spec.with_(backend="reference"), 7) == derive_seed(
+            spec.with_(backend="optimized"), 7
+        )
+
+    def test_base_seeded_batches_agree_across_backends(self, grid):
+        specs = [c.to_spec() for c in grid]
+        ref = run_batch([s.with_(backend="reference") for s in specs], base_seed=9)
+        opt = run_batch([s.with_(backend="optimized") for s in specs], base_seed=9)
+        assert [o.summary for o in ref] == [o.summary for o in opt]
+
+
 class TestBaseSeedDerivation:
     def test_base_seed_replaces_config_seeds_deterministically(self, grid):
         batch_a = ExperimentBatch(grid, base_seed=7)
