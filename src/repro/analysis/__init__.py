@@ -19,6 +19,9 @@ from repro.analysis.runner import (
     build_policy,
     clear_design_cache,
     config_from_spec,
+    design_for,
+    design_for_placement,
+    design_key_for,
     get_design_cache,
     run_experiment,
     set_design_cache,
@@ -52,6 +55,9 @@ __all__ = [
     "build_packet_source",
     "run_experiment",
     "adele_design_for",
+    "design_for",
+    "design_for_placement",
+    "design_key_for",
     "clear_design_cache",
     "LatencyCurve",
     "latency_sweep",

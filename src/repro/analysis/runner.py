@@ -23,13 +23,21 @@ preserves the historical run-AMOSA-once-per-process behaviour.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import hashlib
+import json
 import warnings
-from dataclasses import astuple, dataclass, field, replace
-from typing import Dict, Iterator, Optional, Tuple, Union
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
 
-from repro.core.amosa import AmosaConfig
+from repro.core.amosa import AmosaConfig, ProgressCallback
+from repro.core.optimizers import (
+    DEFAULT_OFFLINE_AMOSA,
+    OPTIMIZER_REGISTRY,
+    canonical_optimizer_options,
+)
 from repro.core.pipeline import AdEleDesign, OfflineConfig, optimize_elevator_subsets
+from repro.core.selection import select_by_strategy
 from repro.energy.model import EnergyModel
 from repro.routing import make_policy
 from repro.routing.base import ElevatorSelectionPolicy
@@ -38,6 +46,7 @@ from repro.sim.network import Network
 from repro.spec import (
     DEFAULT_ADELE_LOW_TRAFFIC_THRESHOLD,
     DEFAULT_ADELE_MAX_SUBSET_SIZE,
+    DesignSpec,
     ExperimentSpec,
     PlacementSpec,
     PolicySpec,
@@ -46,7 +55,7 @@ from repro.spec import (
 )
 from repro.topology.elevators import ElevatorPlacement
 from repro.traffic.generator import BernoulliPacketSource, PacketSource
-from repro.traffic.patterns import TrafficPattern, UniformTraffic
+from repro.traffic.patterns import PATTERN_REGISTRY, TrafficPattern, UniformTraffic
 
 #: Key type of the offline-design cache (see :meth:`DesignCache.make_key`).
 DesignKey = Tuple
@@ -58,10 +67,13 @@ class DesignCache:
     Keys capture everything the offline stage depends on -- the placement
     *identity* (name, mesh shape and elevator columns, so two different
     custom placements sharing a name never collide), the assumed traffic
-    label, the subset-size cap and the AMOSA hyper-parameters.  Instances
-    are injectable into :func:`adele_design_for` / :func:`build_policy` and
-    clearable, so sweeps with different offline settings cannot share stale
-    designs and tests can isolate themselves cheaply.
+    label, the subset-size cap, the optimizer name and its fully resolved
+    (defaults-applied) options.  The selection strategy is deliberately
+    *not* part of the key: it only picks a point from the archive and is
+    re-applied after every cache fetch.  Instances are injectable into
+    :func:`adele_design_for` / :func:`build_policy` and clearable, so
+    sweeps with different offline settings cannot share stale designs and
+    tests can isolate themselves cheaply.
     """
 
     def __init__(self) -> None:
@@ -72,16 +84,37 @@ class DesignCache:
         placement: ElevatorPlacement,
         traffic_label: str,
         max_subset_size: Optional[int],
-        amosa_config: AmosaConfig,
+        amosa_config: Optional[AmosaConfig] = None,
+        optimizer: str = "amosa",
+        optimizer_options: Optional[Mapping[str, Any]] = None,
     ) -> DesignKey:
-        """The cache key of one offline-stage invocation."""
+        """The cache key of one offline-stage invocation.
+
+        ``optimizer_options`` should be the *fully resolved* options (see
+        :func:`repro.core.optimizers.canonical_optimizer_options`); when
+        omitted they are derived from ``amosa_config`` (legacy callers) or
+        the optimizer's defaults.
+        """
+        canonical = optimizer
+        if canonical in OPTIMIZER_REGISTRY:
+            canonical = OPTIMIZER_REGISTRY.entry(canonical).name
+        if optimizer_options is None:
+            if canonical == "amosa":
+                base = amosa_config if amosa_config is not None else DEFAULT_OFFLINE_AMOSA
+                optimizer_options = asdict(base)
+            else:
+                optimizer_options = canonical_optimizer_options(canonical, {})
+        options_blob = json.dumps(
+            dict(optimizer_options), sort_keys=True, separators=(",", ":")
+        )
         return (
             placement.name,
             tuple(placement.mesh.shape),
             tuple(placement.columns()),
             traffic_label,
             max_subset_size,
-            astuple(amosa_config),
+            canonical,
+            options_blob,
         )
 
     def get(self, key: DesignKey) -> Optional[AdEleDesign]:
@@ -115,18 +148,9 @@ def _traffic_matrix_digest(traffic_matrix) -> str:
     blob = repr(items).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()[:16]
 
-#: AMOSA settings small enough for the pure-Python search to stay fast while
-#: still converging to a well-spread front on the 4x4x4 / 8x8x4 meshes.
-DEFAULT_OFFLINE_AMOSA = AmosaConfig(
-    initial_temperature=50.0,
-    final_temperature=0.05,
-    cooling_rate=0.85,
-    iterations_per_temperature=40,
-    hard_limit=20,
-    soft_limit=40,
-    initial_solutions=10,
-    seed=1,
-)
+# DEFAULT_OFFLINE_AMOSA now lives in repro.core.optimizers (the optimizer
+# registry resolves amosa options against it); re-exported here for the
+# historical import path (tests monkeypatch this module attribute).
 
 
 #: Internal depth counter: while positive, constructing the deprecated
@@ -339,6 +363,11 @@ def adele_design_for(
     max_subset_size: Optional[int] = 4,
     amosa_config: Optional[AmosaConfig] = None,
     cache: Optional[DesignCache] = None,
+    optimizer: str = "amosa",
+    optimizer_options: Optional[Mapping[str, Any]] = None,
+    selection: str = "knee",
+    matrix_from_label: bool = False,
+    on_iteration: Optional[ProgressCallback] = None,
 ) -> AdEleDesign:
     """Run (or fetch from cache) AdEle's offline optimization for a placement.
 
@@ -349,25 +378,145 @@ def adele_design_for(
     Args:
         cache: Design cache to consult/populate; defaults to the process-wide
             cache (see :func:`get_design_cache`).
+        optimizer: Registered optimizer name running the search.
+        optimizer_options: Optimizer options; for ``amosa`` they override
+            ``amosa_config`` (which defaults to the offline defaults).
+        selection: Archive-selection strategy (``knee``/``latency``/
+            ``energy``); applied after every cache fetch, so it never
+            splits the cache.
+        matrix_from_label: The supplied ``traffic_matrix`` was derived
+            deterministically from ``traffic_label`` (seed 0), so the label
+            alone identifies it -- the design stays disk-persistable.
+            Without this flag an explicit matrix is keyed by content hash
+            and kept memory-only.
+        on_iteration: Optional optimizer progress callback.
+
+    Raises:
+        repro.registry.UnknownComponentError: Unknown optimizer name.
     """
+    canonical = OPTIMIZER_REGISTRY.entry(optimizer).name
     amosa = amosa_config if amosa_config is not None else DEFAULT_OFFLINE_AMOSA
+    if canonical == "amosa":
+        options = {**asdict(amosa), **dict(optimizer_options or {})}
+        options = canonical_optimizer_options(canonical, options)
+    else:
+        options = canonical_optimizer_options(canonical, optimizer_options or {})
     if cache is None:
         cache = _default_design_cache
-    if traffic_matrix is not None:
+    if traffic_matrix is not None and not matrix_from_label:
         # An explicit matrix must never alias the label-only entry (nor be
         # persisted as the canonical "uniform" design by disk caches): key
         # it by content.
         traffic_label = f"{traffic_label}#{_traffic_matrix_digest(traffic_matrix)}"
-    key = DesignCache.make_key(placement, traffic_label, max_subset_size, amosa)
+    key = DesignCache.make_key(
+        placement,
+        traffic_label,
+        max_subset_size,
+        optimizer=canonical,
+        optimizer_options=options,
+    )
     design = cache.get(key)
-    if design is not None:
-        return design
-    if traffic_matrix is None:
-        traffic_matrix = UniformTraffic(placement.mesh).traffic_matrix()
-    offline = OfflineConfig(amosa=amosa, max_subset_size=max_subset_size)
-    design = optimize_elevator_subsets(placement, traffic_matrix, offline)
-    cache.put(key, design)
+    if design is None:
+        if traffic_matrix is None:
+            traffic_matrix = UniformTraffic(placement.mesh).traffic_matrix()
+        offline = OfflineConfig(
+            amosa=amosa,
+            max_subset_size=max_subset_size,
+            optimizer=canonical,
+            optimizer_options={} if canonical == "amosa" and optimizer_options is None
+            else dict(optimizer_options or {}),
+            selection=selection,
+        )
+        design = optimize_elevator_subsets(
+            placement, traffic_matrix, offline, on_iteration=on_iteration
+        )
+        cache.put(key, design)
+    else:
+        # Cache entries are shared across selection strategies.  When this
+        # call's strategy picks a different archive entry, hand back a
+        # shallow copy carrying that selection instead of mutating the
+        # shared cached design underneath earlier callers.
+        chosen = select_by_strategy(selection, design.result.archive)
+        if chosen is not design.selected:
+            design = dataclasses.replace(design, selected=chosen)
     return design
+
+
+def design_key_for(
+    spec: DesignSpec, placement: Optional[ElevatorPlacement] = None
+) -> DesignKey:
+    """The design-cache key of a :class:`~repro.spec.DesignSpec`.
+
+    Raises:
+        repro.registry.UnknownComponentError: Unknown optimizer name.
+    """
+    if placement is None:
+        placement = spec.placement.resolve()
+    canonical = OPTIMIZER_REGISTRY.entry(spec.optimizer).name
+    return DesignCache.make_key(
+        placement,
+        _design_traffic_label(spec),
+        spec.max_subset_size,
+        optimizer=canonical,
+        optimizer_options=canonical_optimizer_options(canonical, spec.options),
+    )
+
+
+def _design_traffic_label(spec: DesignSpec) -> str:
+    """Canonical (registry-spelled) traffic label of a design spec."""
+    name = spec.traffic
+    if name in PATTERN_REGISTRY:
+        return PATTERN_REGISTRY.entry(name).name
+    return name.lower()
+
+
+def design_for_placement(
+    placement: ElevatorPlacement,
+    spec: DesignSpec,
+    cache: Optional[DesignCache] = None,
+    on_iteration: Optional[ProgressCallback] = None,
+) -> AdEleDesign:
+    """Run (or fetch) the offline stage a :class:`DesignSpec` describes,
+    against an already resolved placement (the spec's own placement field
+    is ignored -- the nested-in-experiment semantics)."""
+    label = _design_traffic_label(spec)
+    if label == "uniform":
+        matrix = None
+        matrix_from_label = False
+    else:
+        pattern = PATTERN_REGISTRY.create(label, placement.mesh, seed=0)
+        matrix = pattern.traffic_matrix()
+        matrix_from_label = True
+    return adele_design_for(
+        placement,
+        traffic_label=label,
+        traffic_matrix=matrix,
+        max_subset_size=spec.max_subset_size,
+        cache=cache,
+        optimizer=spec.optimizer,
+        optimizer_options=spec.options,
+        selection=spec.selection,
+        matrix_from_label=matrix_from_label,
+        on_iteration=on_iteration,
+    )
+
+
+def design_for(
+    spec: DesignSpec,
+    cache: Optional[DesignCache] = None,
+    on_iteration: Optional[ProgressCallback] = None,
+) -> AdEleDesign:
+    """Run (or fetch from cache) the offline stage a :class:`DesignSpec`
+    fully describes -- the ``python -m repro optimize`` entry point.
+
+    Raises:
+        repro.registry.UnknownComponentError: Unknown optimizer, pattern or
+            placement names (all ``ValueError`` with did-you-mean hints).
+    """
+    placement = spec.placement.resolve()
+    return design_for_placement(
+        placement, spec, cache=cache, on_iteration=on_iteration
+    )
 
 
 def get_design_cache() -> DesignCache:
@@ -396,19 +545,27 @@ def build_policy(
     """Build the elevator-selection policy named by a configuration.
 
     AdEle variants run (or fetch from cache) the offline optimization
-    first; every other registered policy is constructed directly with the
-    spec's policy options as keyword arguments.
+    first -- following the spec's nested :class:`~repro.spec.DesignSpec`
+    when one is set (optimizer, options, assumed traffic and selection),
+    the historical AMOSA defaults otherwise; every other registered policy
+    is constructed directly with the spec's policy options as keyword
+    arguments.
     """
     spec = as_spec(config)
     name = spec.policy.name.lower()
     if spec.policy.needs_design:
-        design = adele_design_for(
-            placement,
-            max_subset_size=spec.policy.option(
-                "max_subset_size", DEFAULT_ADELE_MAX_SUBSET_SIZE
-            ),
-            cache=design_cache,
-        )
+        if spec.design is not None:
+            design = design_for_placement(
+                placement, spec.design, cache=design_cache
+            )
+        else:
+            design = adele_design_for(
+                placement,
+                max_subset_size=spec.policy.option(
+                    "max_subset_size", DEFAULT_ADELE_MAX_SUBSET_SIZE
+                ),
+                cache=design_cache,
+            )
         if name == "adele":
             return design.to_policy(
                 low_traffic_threshold=spec.policy.option(

@@ -47,9 +47,19 @@ from repro.analysis.runner import (
     ExperimentConfig,
     as_spec,
     config_from_spec,
+    design_for,
+    design_key_for,
     run_experiment,
     spec_from_config,
 )
+from repro.core.optimizers import (
+    OPTIMIZER_REGISTRY,
+    SubsetOptimizer,
+    available_optimizers,
+    make_optimizer,
+    register_optimizer,
+)
+from repro.core.pipeline import AdEleDesign
 from repro.energy.model import EnergyModel
 from repro.exec.batch import ExperimentBatch, ExperimentOutcome
 from repro.exec.cache import (
@@ -77,6 +87,7 @@ from repro.sim.backends import (
 )
 from repro.sim.engine import SimulationResult
 from repro.spec import (
+    DesignSpec,
     ExperimentSpec,
     PlacementSpec,
     PolicySpec,
@@ -113,7 +124,31 @@ def available_components() -> Dict[str, List[str]]:
         "applications": available_applications(),
         "placements": available_placements(),
         "backends": available_backends(),
+        "optimizers": available_optimizers(),
     }
+
+
+def run_design(
+    spec: DesignSpec,
+    cache_dir: Optional[str] = None,
+    on_iteration=None,
+) -> AdEleDesign:
+    """Run (or fetch from the disk design cache) one offline design stage.
+
+    Args:
+        spec: Typed description of the offline stage -- placement, assumed
+            traffic, optimizer name/options and selection strategy.
+        cache_dir: Optional directory for the disk-backed design cache; a
+            warm directory skips the search entirely.
+        on_iteration: Optional ``(stage, archive_size, best)`` progress
+            callback forwarded to the optimizer.
+
+    Returns:
+        The :class:`~repro.core.pipeline.AdEleDesign` with the Pareto
+        archive, representatives and the strategy-selected solution.
+    """
+    cache = DiskDesignCache(cache_dir) if cache_dir else None
+    return design_for(spec, cache=cache, on_iteration=on_iteration)
 
 
 # ---------------------------------------------------------------------- #
@@ -189,6 +224,7 @@ __all__ = [
     "PolicySpec",
     "TrafficSpec",
     "SimSpec",
+    "DesignSpec",
     "ExperimentConfig",
     "as_spec",
     "spec_from_config",
@@ -209,23 +245,32 @@ __all__ = [
     "APPLICATION_REGISTRY",
     "PLACEMENT_REGISTRY",
     "BACKEND_REGISTRY",
+    "OPTIMIZER_REGISTRY",
     "DEFAULT_BACKEND",
     "SimulatorBackend",
+    "SubsetOptimizer",
     "register_policy",
     "register_pattern",
     "register_application",
     "register_placement",
     "register_backend",
+    "register_optimizer",
     "resolve_backend",
+    "make_optimizer",
     "available_policies",
     "available_patterns",
     "available_applications",
     "available_placements",
     "available_backends",
+    "available_optimizers",
     "available_components",
     # execution
     "run",
     "run_specs",
+    "run_design",
+    "design_for",
+    "design_key_for",
+    "AdEleDesign",
     "ExperimentBatch",
     "ExperimentOutcome",
     "ResultCache",

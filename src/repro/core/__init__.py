@@ -17,16 +17,35 @@ subsets parameterize the online policy
 """
 
 from repro.core.objectives import (
+    DeltaObjectiveEvaluator,
+    ExactSum,
     ObjectiveEvaluator,
     average_distance,
     elevator_utilization,
     utilization_variance,
+    variance_of,
 )
 from repro.core.pareto import ParetoArchive, dominates, pareto_front
 from repro.core.subset_search import ElevatorSubsetProblem, SubsetSolution
 from repro.core.amosa import AmosaConfig, AmosaOptimizer, ArchiveEntry
+from repro.core.optimizers import (
+    DEFAULT_OFFLINE_AMOSA,
+    OPTIMIZER_REGISTRY,
+    AmosaSearch,
+    GreedySwap,
+    GreedySwapConfig,
+    RandomSearch,
+    RandomSearchConfig,
+    SubsetOptimizer,
+    available_optimizers,
+    canonical_optimizer_options,
+    make_optimizer,
+    register_optimizer,
+)
 from repro.core.selection import (
+    SELECTION_STRATEGIES,
     knee_point,
+    select_by_strategy,
     select_energy_leaning,
     select_latency_leaning,
     spread_selection,
@@ -35,6 +54,9 @@ from repro.core.pipeline import AdEleDesign, OfflineConfig, optimize_elevator_su
 
 __all__ = [
     "ObjectiveEvaluator",
+    "DeltaObjectiveEvaluator",
+    "ExactSum",
+    "variance_of",
     "elevator_utilization",
     "utilization_variance",
     "average_distance",
@@ -46,6 +68,20 @@ __all__ = [
     "AmosaConfig",
     "AmosaOptimizer",
     "ArchiveEntry",
+    "OPTIMIZER_REGISTRY",
+    "register_optimizer",
+    "available_optimizers",
+    "make_optimizer",
+    "canonical_optimizer_options",
+    "DEFAULT_OFFLINE_AMOSA",
+    "SubsetOptimizer",
+    "AmosaSearch",
+    "RandomSearch",
+    "RandomSearchConfig",
+    "GreedySwap",
+    "GreedySwapConfig",
+    "SELECTION_STRATEGIES",
+    "select_by_strategy",
     "spread_selection",
     "knee_point",
     "select_latency_leaning",

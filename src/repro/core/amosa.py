@@ -27,8 +27,18 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Generic, List, Optional, Protocol, Sequence, Tuple, TypeVar
+from typing import (
+    Callable,
+    Generic,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.core.pareto import ParetoArchive, dominates
 
@@ -46,6 +56,12 @@ class AnnealingProblem(Protocol[SolutionT]):
 
     def evaluate(self, solution: SolutionT) -> Tuple[float, ...]:
         """The (minimized) objective vector of a solution."""
+
+
+#: Progress callback signature: ``on_iteration(temperature, archive_size,
+#: best)`` -- invoked once per temperature level with the current
+#: temperature, the archive size and the current point's objective vector.
+ProgressCallback = Callable[[float, int, Tuple[float, ...]], None]
 
 
 @dataclass(frozen=True)
@@ -160,9 +176,20 @@ class AmosaOptimizer(Generic[SolutionT]):
     # Main loop
     # ------------------------------------------------------------------ #
     def run(
-        self, seeds: Optional[Sequence[SolutionT]] = None
+        self,
+        seeds: Optional[Sequence[SolutionT]] = None,
+        on_iteration: Optional[ProgressCallback] = None,
     ) -> AmosaResult[SolutionT]:
-        """Execute the annealing schedule and return the final archive."""
+        """Execute the annealing schedule and return the final archive.
+
+        Args:
+            seeds: Solutions used (before random ones) to seed the archive.
+            on_iteration: Optional progress callback invoked once per
+                temperature level as ``on_iteration(temperature,
+                archive_size, best)``, where ``best`` is the current
+                point's objective vector -- lets paper-scale offline runs
+                report progress (the CLI's ``optimize --progress``).
+        """
         config = self.config
         archive: ParetoArchive[SolutionT] = ParetoArchive(
             hard_limit=config.hard_limit, soft_limit=config.soft_limit
@@ -184,16 +211,22 @@ class AmosaOptimizer(Generic[SolutionT]):
         current_objectives = tuple(self.problem.evaluate(current))
         evaluations += 1
 
+        rng = self.rng
+        perturb = self.problem.perturb
+        evaluate = self.problem.evaluate
+        decide = self._decide
+        sample_rate = self.explored_sample_rate
+
         temperature = config.initial_temperature
         while temperature > config.final_temperature:
             for _ in range(config.iterations_per_temperature):
-                candidate = self.problem.perturb(current, self.rng)
-                candidate_objectives = tuple(self.problem.evaluate(candidate))
+                candidate = perturb(current, rng)
+                candidate_objectives = tuple(evaluate(candidate))
                 evaluations += 1
-                if self.rng.random() < self.explored_sample_rate:
+                if rng.random() < sample_rate:
                     explored.append(candidate_objectives)
 
-                accept = self._decide(
+                accept = decide(
                     current_objectives, candidate_objectives, archive, temperature
                 )
                 if accept:
@@ -201,6 +234,8 @@ class AmosaOptimizer(Generic[SolutionT]):
                     current_objectives = candidate_objectives
                     accepted += 1
                     archive.add(candidate, candidate_objectives)
+            if on_iteration is not None:
+                on_iteration(temperature, len(archive), current_objectives)
             temperature *= config.cooling_rate
 
         return AmosaResult(
@@ -224,6 +259,8 @@ class AmosaOptimizer(Generic[SolutionT]):
         temperature: float,
     ) -> bool:
         """AMOSA's three-case acceptance decision."""
+        if len(candidate) == 2:
+            return self._decide_2d(current, candidate, archive, temperature)
         ranges = self._objective_ranges(archive, current, candidate)
 
         if dominates(current, candidate):
@@ -232,7 +269,7 @@ class AmosaOptimizer(Generic[SolutionT]):
             # the average amount of domination.
             dominating = [current] + [
                 vector
-                for vector in archive.objective_vectors()
+                for vector in archive.vectors()
                 if dominates(vector, candidate)
             ]
             average_domination = sum(
@@ -249,7 +286,7 @@ class AmosaOptimizer(Generic[SolutionT]):
             # probability driven by the *minimum* amount of domination.
             dominating = [
                 vector
-                for vector in archive.objective_vectors()
+                for vector in archive.vectors()
                 if dominates(vector, candidate)
             ]
             if not dominating:
@@ -266,7 +303,7 @@ class AmosaOptimizer(Generic[SolutionT]):
         # the archive.
         dominating = [
             vector
-            for vector in archive.objective_vectors()
+            for vector in archive.vectors()
             if dominates(vector, candidate)
         ]
         if not dominating:
@@ -277,6 +314,119 @@ class AmosaOptimizer(Generic[SolutionT]):
         ) / len(dominating)
         return self.rng.random() < self._acceptance_probability(
             average_domination, temperature
+        )
+
+    def _decide_2d(
+        self,
+        current: Tuple[float, ...],
+        candidate: Tuple[float, ...],
+        archive: ParetoArchive[SolutionT],
+        temperature: float,
+    ) -> bool:
+        """The two-objective specialization of :meth:`_decide`.
+
+        Same acceptance semantics; the archive members dominating the
+        candidate form one contiguous slice of the sorted front (first
+        objective strictly increasing, second strictly decreasing), so two
+        binary searches replace the generic per-vector dominance scan --
+        and the overwhelmingly common "nothing dominates the candidate"
+        outcome costs O(log archive).
+        """
+        c0, c1 = candidate
+        u0, u1 = current
+        v0s, v1s = archive.sorted_2d()
+        rng_random = self.rng.random
+        acceptance = self._acceptance_probability
+
+        # Per-objective ranges over archive + current + candidate.
+        bounds = archive.bounds()
+        if bounds is None:
+            range0 = max(abs(u0 - c0), 1e-12)
+            range1 = max(abs(u1 - c1), 1e-12)
+        else:
+            (min0, min1), (max0, max1) = bounds
+            range0 = max(max0, u0, c0) - min(min0, u0, c0)
+            range1 = max(max1, u1, c1) - min(min1, u1, c1)
+            if range0 < 1e-12:
+                range0 = 1e-12
+            if range1 < 1e-12:
+                range1 = 1e-12
+
+        # Slice of archive members with v0 <= c0 and v1 <= c1 (their
+        # amounts of domination still exclude an exact duplicate of c).
+        hi = bisect_right(v0s, c0)
+        lo = 0
+        upper = hi
+        while lo < upper:
+            mid = (lo + upper) >> 1
+            if v1s[mid] <= c1:
+                upper = mid
+            else:
+                lo = mid + 1
+
+        if u0 <= c0 and u1 <= c1 and (u0 < c0 or u1 < c1):
+            # Case 1: average amount of domination over current + archive.
+            product = 1.0
+            if u0 != c0:
+                product *= (c0 - u0) / range0
+            if u1 != c1:
+                product *= (c1 - u1) / range1
+            total = product
+            count = 1
+            for index in range(lo, hi):
+                v0 = v0s[index]
+                v1 = v1s[index]
+                if v0 == c0 and v1 == c1:
+                    continue
+                product = 1.0
+                if v0 != c0:
+                    product *= (c0 - v0) / range0
+                if v1 != c1:
+                    product *= (c1 - v1) / range1
+                total += product
+                count += 1
+            return rng_random() < acceptance(total / count, temperature)
+
+        if c0 <= u0 and c1 <= u1 and (c0 < u0 or c1 < u1):
+            # Case 3: minimum amount of domination over the archive.
+            minimum = None
+            for index in range(lo, hi):
+                v0 = v0s[index]
+                v1 = v1s[index]
+                if v0 == c0 and v1 == c1:
+                    continue
+                product = 1.0
+                if v0 != c0:
+                    product *= (c0 - v0) / range0
+                if v1 != c1:
+                    product *= (c1 - v1) / range1
+                if minimum is None or product < minimum:
+                    minimum = product
+            if minimum is None:
+                return True
+            return rng_random() < acceptance(minimum, temperature)
+
+        # Case 2: mutually non-dominating; defer to the archive.
+        if lo >= hi:
+            return True
+        total = 0.0
+        count = 0
+        for index in range(lo, hi):
+            v0 = v0s[index]
+            v1 = v1s[index]
+            if v0 == c0 and v1 == c1:
+                continue
+            product = 1.0
+            if v0 != c0:
+                product *= (c0 - v0) / range0
+            if v1 != c1:
+                product *= (c1 - v1) / range1
+            total += product
+            count += 1
+        if count == 0:
+            return True
+        return self.rng.random() < self._acceptance_probability(
+            total / count, temperature
         )
 
     def _acceptance_probability(self, domination: float, temperature: float) -> float:
@@ -292,12 +442,17 @@ class AmosaOptimizer(Generic[SolutionT]):
         candidate: Tuple[float, ...],
     ) -> List[float]:
         """Per-objective ranges used to normalize the amount of domination."""
-        vectors = archive.objective_vectors() + [current, candidate]
-        dimensions = len(candidate)
+        bounds = archive.bounds()
         ranges: List[float] = []
-        for d in range(dimensions):
-            values = [vector[d] for vector in vectors]
-            ranges.append(max(max(values) - min(values), 1e-12))
+        if bounds is None:
+            for x, y in zip(current, candidate):
+                ranges.append(max(abs(x - y), 1e-12))
+            return ranges
+        mins, maxs = bounds
+        for d in range(len(candidate)):
+            low = min(mins[d], current[d], candidate[d])
+            high = max(maxs[d], current[d], candidate[d])
+            ranges.append(max(high - low, 1e-12))
         return ranges
 
     @staticmethod

@@ -10,6 +10,7 @@ the spread of the front.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
@@ -66,6 +67,9 @@ class ParetoArchive(Generic[SolutionT]):
         self.hard_limit = hard_limit
         self.soft_limit = soft_limit
         self._points: List[ArchivePoint[SolutionT]] = []
+        self._vectors: Optional[List[Objectives]] = None
+        self._bounds: Optional[Tuple[List[float], List[float]]] = None
+        self._sorted2d: Optional[Tuple[List[float], List[float]]] = None
 
     # ------------------------------------------------------------------ #
     # Content
@@ -77,9 +81,64 @@ class ParetoArchive(Generic[SolutionT]):
         """Snapshot of the archive content."""
         return list(self._points)
 
+    def _invalidate(self) -> None:
+        self._vectors = None
+        self._bounds = None
+        self._sorted2d = None
+
+    def vectors(self) -> List[Objectives]:
+        """Objective vectors of all archived points (cached; do not mutate).
+
+        The returned list is reused until the archive changes -- the hot
+        acceptance loop of AMOSA reads it several times per iteration.
+        """
+        if self._vectors is None:
+            self._vectors = [point.objectives for point in self._points]
+        return self._vectors
+
     def objective_vectors(self) -> List[Objectives]:
-        """Objective vectors of all archived points."""
-        return [point.objectives for point in self._points]
+        """Objective vectors of all archived points (fresh copy)."""
+        return list(self.vectors())
+
+    def sorted_2d(self) -> Tuple[List[float], List[float]]:
+        """Cached parallel ``(first, second)`` objective lists, sorted.
+
+        Only meaningful for two-objective archives.  A mutually
+        non-dominated 2-objective set is *strictly* increasing in the first
+        objective and strictly decreasing in the second once sorted, so the
+        members dominating any query point form one contiguous slice --
+        AMOSA's acceptance test exploits this with two binary searches
+        instead of a full scan.
+        """
+        if self._sorted2d is None:
+            ordered = sorted(self.vectors())
+            self._sorted2d = (
+                [vector[0] for vector in ordered],
+                [vector[1] for vector in ordered],
+            )
+        return self._sorted2d
+
+    def bounds(self) -> Optional[Tuple[List[float], List[float]]]:
+        """Cached per-objective ``(mins, maxs)`` over the archive.
+
+        ``None`` for an empty archive.
+        """
+        if self._bounds is None:
+            vectors = self.vectors()
+            if not vectors:
+                return None
+            if len(vectors[0]) == 2:
+                # The sorted front is monotone: first objective increasing,
+                # second decreasing -- bounds are its end points.
+                v0s, v1s = self.sorted_2d()
+                self._bounds = ([v0s[0], v1s[-1]], [v0s[-1], v1s[0]])
+            else:
+                dimensions = len(vectors[0])
+                self._bounds = (
+                    [min(v[d] for v in vectors) for d in range(dimensions)],
+                    [max(v[d] for v in vectors) for d in range(dimensions)],
+                )
+        return self._bounds
 
     def solutions(self) -> List[SolutionT]:
         """Solutions of all archived points."""
@@ -103,14 +162,68 @@ class ParetoArchive(Generic[SolutionT]):
         when the solution entered the archive.
         """
         vector = tuple(float(v) for v in objectives)
+        if len(vector) == 2:
+            return self._add_2d(solution, vector)
         if self.dominated_by_archive(vector) > 0:
             return False
-        self._points = [
+        survivors = [
             point for point in self._points if not dominates(vector, point.objectives)
         ]
-        if any(point.objectives == vector for point in self._points):
+        if any(point.objectives == vector for point in survivors):
+            if len(survivors) != len(self._points):
+                self._points = survivors
+                self._invalidate()
             return False
+        self._points = survivors
         self._points.append(ArchivePoint(solution=solution, objectives=vector))
+        self._invalidate()
+        if len(self._points) > self.soft_limit:
+            self._thin()
+        return True
+
+    def _add_2d(self, solution: SolutionT, vector: Objectives) -> bool:
+        """Two-objective :meth:`add` over the sorted front (same semantics).
+
+        A non-dominated 2-objective front is strictly increasing in the
+        first objective and strictly decreasing in the second, so both the
+        is-dominated test and the set of members the new point dominates
+        reduce to binary searches instead of full dominance scans.
+        """
+        c0, c1 = vector
+        v0s, v1s = self.sorted_2d()
+        hi = bisect_right(v0s, c0)
+        if hi:
+            # The prefix member with the smallest second objective decides
+            # both the dominated test and the duplicate test.
+            m0 = v0s[hi - 1]
+            m1 = v1s[hi - 1]
+            if m0 == c0 and m1 == c1:
+                return False  # exact duplicate
+            if m1 < c1 or (m1 == c1 and m0 < c0):
+                return False  # dominated by the archive
+        # Members dominated by the new point: first objectives >= c0 form a
+        # suffix; within it, second objectives >= c1 form a prefix.
+        start = bisect_left(v0s, c0)
+        end = start
+        size = len(v0s)
+        while end < size and v1s[end] >= c1:
+            end += 1
+        if end > start:
+            doomed = set(zip(v0s[start:end], v1s[start:end]))
+            self._points = [
+                point for point in self._points if point.objectives not in doomed
+            ]
+        self._points.append(ArchivePoint(solution=solution, objectives=vector))
+        # Maintain the sorted arrays (and their monotone bounds) in place --
+        # the acceptance test reads them every iteration, a full rebuild per
+        # accepted move would dominate the archive cost.
+        if end > start:
+            del v0s[start:end]
+            del v1s[start:end]
+        v0s.insert(start, c0)
+        v1s.insert(start, c1)
+        self._vectors = None
+        self._bounds = ([v0s[0], v1s[-1]], [v0s[-1], v1s[0]])
         if len(self._points) > self.soft_limit:
             self._thin()
         return True
@@ -131,28 +244,46 @@ class ParetoArchive(Generic[SolutionT]):
         normalized = [normalize(v) for v in vectors]
 
         # Always keep the per-objective extremes, then farthest-point sample.
+        # The minimum distance of every candidate to the kept set is
+        # maintained incrementally (each round only measures against the
+        # newest kept point), which keeps thinning O(n * hard_limit).
         keep: List[int] = []
         for d in range(dimensions):
             best = min(range(len(vectors)), key=lambda i: vectors[i][d])
             if best not in keep:
                 keep.append(best)
-        while len(keep) < min(self.hard_limit, len(self._points)):
+
+        count = len(self._points)
+
+        def distance_to(i: int, k: int) -> float:
+            return sum(
+                (normalized[i][d] - normalized[k][d]) ** 2 for d in range(dimensions)
+            )
+
+        min_distance = [
+            min(distance_to(i, k) for k in keep) for i in range(count)
+        ]
+        kept = set(keep)
+        while len(keep) < min(self.hard_limit, count):
             best_index = None
             best_distance = -1.0
-            for i in range(len(self._points)):
-                if i in keep:
+            for i in range(count):
+                if i in kept:
                     continue
-                distance = min(
-                    sum((normalized[i][d] - normalized[k][d]) ** 2 for d in range(dimensions))
-                    for k in keep
-                )
-                if distance > best_distance:
-                    best_distance = distance
+                if min_distance[i] > best_distance:
+                    best_distance = min_distance[i]
                     best_index = i
             if best_index is None:
                 break
             keep.append(best_index)
+            kept.add(best_index)
+            for i in range(count):
+                if i not in kept:
+                    candidate = distance_to(i, best_index)
+                    if candidate < min_distance[i]:
+                        min_distance[i] = candidate
         self._points = [self._points[i] for i in sorted(keep)]
+        self._invalidate()
 
     def invariant_holds(self) -> bool:
         """True when no archive point dominates another (test helper)."""

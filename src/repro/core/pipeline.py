@@ -4,7 +4,9 @@
 Fig. 1 describes the offline stage:
 
     elevator configuration + assumed traffic pattern
-        -> AMOSA search over per-router elevator subsets
+        -> multi-objective search over per-router elevator subsets
+           (a registered optimizer -- AMOSA by default; see
+           :mod:`repro.core.optimizers`)
         -> Pareto archive of (utilization variance, average distance) points
         -> representative solutions (S0 ... S_k)
         -> chosen solution -> AdEle online policy configuration
@@ -16,12 +18,15 @@ and benches can plot the front (Fig. 3), simulate several selected solutions
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from repro.core.amosa import AmosaConfig, AmosaOptimizer, AmosaResult, ArchiveEntry
+from repro.core.amosa import AmosaConfig, AmosaResult, ArchiveEntry, ProgressCallback
+from repro.core.optimizers import OPTIMIZER_REGISTRY, AmosaSearch, make_optimizer
 from repro.core.selection import (
+    SELECTION_STRATEGIES,
     knee_point,
+    select_by_strategy,
     select_energy_leaning,
     select_latency_leaning,
     spread_selection,
@@ -37,23 +42,45 @@ class OfflineConfig:
     """Configuration of the offline optimization stage.
 
     Attributes:
-        amosa: AMOSA hyper-parameters.
+        amosa: AMOSA hyper-parameters (the base configuration of the
+            default ``amosa`` optimizer; ``optimizer_options`` entries
+            override individual fields).
         max_subset_size: Cap on each router's subset size (hardware budget of
             the per-elevator cost registers); ``None`` = unlimited.
         weight_distance_by_traffic: Weight the distance objective by the
             traffic matrix instead of counting inter-layer pairs equally.
         num_representatives: How many spread solutions to expose (S0-S5 in
             the paper corresponds to 6).
+        optimizer: Registered optimizer name (see
+            :data:`repro.core.optimizers.OPTIMIZER_REGISTRY`).
+        optimizer_options: Options forwarded to the optimizer (for
+            ``amosa``: overrides applied over :attr:`amosa`).
+        selection: Archive-selection strategy for the deployed solution
+            (``knee`` -- the default balanced trade-off -- ``latency`` or
+            ``energy``).
     """
 
     amosa: AmosaConfig = field(default_factory=AmosaConfig)
     max_subset_size: Optional[int] = None
     weight_distance_by_traffic: bool = False
     num_representatives: int = 6
+    optimizer: str = "amosa"
+    optimizer_options: Mapping[str, Any] = field(default_factory=dict)
+    selection: str = "knee"
 
     def __post_init__(self) -> None:
         if self.num_representatives < 1:
             raise ValueError("num_representatives must be >= 1")
+        if not isinstance(self.optimizer, str) or not self.optimizer.strip():
+            raise ValueError(f"optimizer must be a non-empty string, got {self.optimizer!r}")
+        object.__setattr__(self, "optimizer", self.optimizer.strip().lower())
+        object.__setattr__(self, "optimizer_options", dict(self.optimizer_options))
+        if str(self.selection).lower() not in SELECTION_STRATEGIES:
+            raise ValueError(
+                f"unknown selection strategy {self.selection!r}; "
+                f"expected one of {sorted(SELECTION_STRATEGIES)}"
+            )
+        object.__setattr__(self, "selection", str(self.selection).lower())
 
 
 @dataclass
@@ -160,6 +187,7 @@ def optimize_elevator_subsets(
     placement: ElevatorPlacement,
     traffic: Optional[TrafficMatrix] = None,
     config: Optional[OfflineConfig] = None,
+    on_iteration: Optional[ProgressCallback] = None,
 ) -> AdEleDesign:
     """Run AdEle's offline optimization for a placement.
 
@@ -167,11 +195,18 @@ def optimize_elevator_subsets(
         placement: Elevator placement of the target PC-3DNoC.
         traffic: Traffic matrix assumed during optimization.  Defaults to the
             uniform matrix -- the paper's "most pessimistic assumption".
-        config: Offline-stage configuration.
+        config: Offline-stage configuration (including which registered
+            optimizer runs the search).
+        on_iteration: Optional progress callback forwarded to the optimizer
+            (``on_iteration(stage, archive_size, best)``).
 
     Returns:
         An :class:`AdEleDesign` with the Pareto archive, representative
-        solutions and a default (latency-leaning) selection.
+        solutions and the configured (knee by default) selection.
+
+    Raises:
+        repro.registry.UnknownComponentError: Unknown optimizer name (a
+            ``ValueError`` with registered names and close matches).
     """
     if config is None:
         config = OfflineConfig()
@@ -184,7 +219,16 @@ def optimize_elevator_subsets(
         max_subset_size=config.max_subset_size,
         weight_distance_by_traffic=config.weight_distance_by_traffic,
     )
-    optimizer = AmosaOptimizer(problem, config=config.amosa)
+    canonical = OPTIMIZER_REGISTRY.entry(config.optimizer).name
+    if canonical == "amosa":
+        # The amosa optimizer resolves its options over config.amosa, so
+        # legacy OfflineConfig(amosa=...) callers keep exact behaviour and
+        # unknown option names raise a ValueError.
+        optimizer = AmosaSearch(
+            **{**asdict(config.amosa), **dict(config.optimizer_options)}
+        )
+    else:
+        optimizer = make_optimizer(canonical, config.optimizer_options)
     # Seed the search with the Elevator-First assignment, the maximally
     # redundant assignment and the nearest-k heuristics in between, so the
     # archive spans the whole trade-off even when the annealing budget is
@@ -192,12 +236,12 @@ def optimize_elevator_subsets(
     seeds = [problem.nearest_elevator_solution(), problem.full_subset_solution()]
     for k in range(2, min(problem.max_subset_size, problem.num_elevators) + 1):
         seeds.append(problem.nearest_k_solution(k))
-    result = optimizer.run(seeds=seeds)
+    result = optimizer.search(problem, seeds=seeds, on_iteration=on_iteration)
     if not result.archive:
-        raise RuntimeError("AMOSA produced an empty archive")
+        raise RuntimeError(f"optimizer {canonical!r} produced an empty archive")
 
     representatives = spread_selection(result.archive, config.num_representatives)
-    selected = knee_point(result.archive)
+    selected = select_by_strategy(config.selection, result.archive)
     baseline = problem.evaluate(problem.nearest_elevator_solution())
 
     return AdEleDesign(

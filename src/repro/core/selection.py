@@ -16,7 +16,7 @@ These helpers reproduce that workflow programmatically:
 
 from __future__ import annotations
 
-from typing import List, Sequence, TypeVar
+from typing import Callable, Dict, List, Sequence, TypeVar
 
 from repro.core.amosa import ArchiveEntry
 
@@ -108,3 +108,31 @@ def knee_point(entries: Sequence[ArchiveEntry[SolutionT]]) -> ArchiveEntry[Solut
             best_distance = distance
             best = entry
     return best
+
+
+#: Named archive-selection strategies (the ``selection`` field of
+#: :class:`~repro.spec.DesignSpec` / :class:`~repro.core.pipeline.OfflineConfig`).
+SELECTION_STRATEGIES: Dict[
+    str, Callable[[Sequence[ArchiveEntry]], ArchiveEntry]
+] = {
+    "knee": knee_point,
+    "latency": select_latency_leaning,
+    "energy": select_energy_leaning,
+}
+
+
+def select_by_strategy(
+    name: str, entries: Sequence[ArchiveEntry[SolutionT]]
+) -> ArchiveEntry[SolutionT]:
+    """Apply a named selection strategy to archive entries.
+
+    Raises:
+        ValueError: Unknown strategy name, or an empty archive.
+    """
+    strategy = SELECTION_STRATEGIES.get(str(name).lower())
+    if strategy is None:
+        raise ValueError(
+            f"unknown selection strategy {name!r}; "
+            f"expected one of {sorted(SELECTION_STRATEGIES)}"
+        )
+    return strategy(entries)

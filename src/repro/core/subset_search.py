@@ -11,10 +11,10 @@ objective evaluation through :class:`~repro.core.objectives.ObjectiveEvaluator`.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
-from repro.core.objectives import ObjectiveEvaluator
+from repro.core.objectives import DeltaObjectiveEvaluator, ObjectiveEvaluator
 from repro.topology.elevators import ElevatorPlacement
 from repro.traffic.patterns import TrafficMatrix
 
@@ -25,9 +25,37 @@ class SubsetSolution:
 
     Attributes:
         assignment: Mapping of router id to a frozen set of elevator indices.
+        parent: The solution this one was derived from via
+            :meth:`with_subset` (excluded from equality/hash; a transient
+            derivation record the incremental evaluator consumes and then
+            releases -- see
+            :meth:`~repro.core.objectives.DeltaObjectiveEvaluator.evaluate_solution`).
+        changed_node: The single router :meth:`with_subset` re-assigned
+            relative to ``parent``.
     """
 
     assignment: Dict[int, FrozenSet[int]]
+    parent: Optional["SubsetSolution"] = field(
+        default=None, compare=False, repr=False
+    )
+    changed_node: Optional[int] = field(default=None, compare=False, repr=False)
+
+    def with_subset(self, node: int, subset: Iterable[int]) -> "SubsetSolution":
+        """A derived solution with one router's subset replaced.
+
+        The returned solution records its derivation (``parent`` /
+        ``changed_node``) so incremental evaluation can sync in
+        O(changed-router) instead of scanning the assignment.
+        """
+        assignment = dict(self.assignment)
+        assignment[node] = frozenset(subset)
+        return SubsetSolution(assignment=assignment, parent=self, changed_node=node)
+
+    def _release_derivation(self) -> None:
+        """Drop the derivation record (keeps accept chains collectable)."""
+        if self.parent is not None:
+            object.__setattr__(self, "parent", None)
+            object.__setattr__(self, "changed_node", None)
 
     def subsets(self) -> Dict[int, Tuple[int, ...]]:
         """The assignment with sorted tuples (stable ordering for policies)."""
@@ -63,6 +91,11 @@ class ElevatorSubsetProblem:
             full elevator set.  A small cap models the hardware budget of the
             per-elevator cost registers in the AdEle router.
         weight_distance_by_traffic: Forwarded to the objective evaluator.
+        incremental: Evaluate candidates through the incremental
+            :class:`~repro.core.objectives.DeltaObjectiveEvaluator` (the
+            default).  Bit-identical to full recomputation by contract;
+            ``False`` forces the full evaluator (used by benchmarks and the
+            bit-identity property tests).
     """
 
     def __init__(
@@ -71,6 +104,7 @@ class ElevatorSubsetProblem:
         traffic: TrafficMatrix,
         max_subset_size: Optional[int] = None,
         weight_distance_by_traffic: bool = False,
+        incremental: bool = True,
     ) -> None:
         if placement.num_elevators < 1:
             raise ValueError("the placement must contain at least one elevator")
@@ -87,6 +121,20 @@ class ElevatorSubsetProblem:
         self.evaluator = ObjectiveEvaluator(
             placement, traffic, weight_distance_by_traffic=weight_distance_by_traffic
         )
+        self.incremental = bool(incremental)
+        self._delta: Optional[DeltaObjectiveEvaluator] = (
+            DeltaObjectiveEvaluator(placement, traffic, base=self.evaluator)
+            if self.incremental
+            else None
+        )
+        if self._delta is not None:
+            # Shadow the class method with the delta evaluator's bound
+            # method: same signature, one Python frame less on the
+            # annealing hot path (evaluate runs a thousand times per
+            # temperature level).
+            self.evaluate = self._delta.evaluate_solution  # type: ignore[method-assign]
+        self._nodes = list(self.mesh.nodes())
+        self._all_elevators = tuple(range(self.num_elevators))
 
     # ------------------------------------------------------------------ #
     # Solution generation
@@ -148,36 +196,51 @@ class ElevatorSubsetProblem:
     # ------------------------------------------------------------------ #
     def perturb(self, solution: SubsetSolution, rng: random.Random) -> SubsetSolution:
         """A random neighbour of a solution (one router's subset modified)."""
-        assignment = dict(solution.assignment)
-        node = rng.choice(list(assignment.keys()))
+        assignment = solution.assignment
+        nodes = self._nodes
+        if len(assignment) == len(nodes):
+            node = rng.choice(nodes)
+        else:
+            node = rng.choice(list(assignment.keys()))
         subset = set(assignment[node])
         move = rng.random()
+        all_elevators = self._all_elevators
         if move < 0.1:
             # Occasionally re-randomize the router completely to escape
             # local structure.
             size = rng.randint(1, self.max_subset_size)
-            subset = set(rng.sample(range(self.num_elevators), size))
+            subset = set(rng.sample(all_elevators, size))
         elif move < 0.45 and len(subset) < self.max_subset_size:
-            candidates = [e for e in range(self.num_elevators) if e not in subset]
+            candidates = [e for e in all_elevators if e not in subset]
             if candidates:
                 subset.add(rng.choice(candidates))
         elif move < 0.75 and len(subset) > 1:
             subset.remove(rng.choice(sorted(subset)))
         else:
-            candidates = [e for e in range(self.num_elevators) if e not in subset]
+            candidates = [e for e in all_elevators if e not in subset]
             if candidates and subset:
                 subset.remove(rng.choice(sorted(subset)))
                 subset.add(rng.choice(candidates))
         if not subset:
             subset = {rng.randrange(self.num_elevators)}
-        assignment[node] = frozenset(subset)
-        return SubsetSolution(assignment=assignment)
+        return solution.with_subset(node, subset)
 
     # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
     def evaluate(self, solution: SubsetSolution) -> Tuple[float, float]:
-        """Objective vector ``(utilization variance, average distance)``."""
+        """Objective vector ``(utilization variance, average distance)``.
+
+        With ``incremental=True`` (the default) this method is shadowed in
+        ``__init__`` by the delta evaluator's
+        :meth:`~repro.core.objectives.DeltaObjectiveEvaluator.evaluate_solution`,
+        which reuses every per-router term unchanged since the previous
+        call -- an annealing/local-search perturbation therefore costs
+        O(changed routers), not O(N).  Results are bit-identical to the
+        full evaluator either way.
+        """
+        if self._delta is not None:
+            return self._delta.evaluate_solution(solution)
         return self.evaluator.evaluate(solution.subsets())
 
     def is_feasible(self, solution: SubsetSolution) -> bool:

@@ -39,6 +39,7 @@ from repro.analysis.runner import (
     as_spec,
     build_network,
     config_from_spec,
+    design_for_placement,
     resolve_placement,
     run_experiment,
 )
@@ -210,13 +211,18 @@ class ExperimentBatch:
         subsets = None
         if spec.policy.needs_design:
             placement = resolve_placement(spec)
-            design = adele_design_for(
-                placement,
-                max_subset_size=spec.policy.option(
-                    "max_subset_size", DEFAULT_ADELE_MAX_SUBSET_SIZE
-                ),
-                cache=self.design_cache,
-            )
+            if spec.design is not None:
+                design = design_for_placement(
+                    placement, spec.design, cache=self.design_cache
+                )
+            else:
+                design = adele_design_for(
+                    placement,
+                    max_subset_size=spec.policy.option(
+                        "max_subset_size", DEFAULT_ADELE_MAX_SUBSET_SIZE
+                    ),
+                    cache=self.design_cache,
+                )
             subsets = design.selected_subsets()
         return _Task(
             spec=spec,

@@ -39,12 +39,13 @@ from repro.analysis.runner import (
     as_spec,
 )
 from repro.core.amosa import AmosaResult, ArchiveEntry
+from repro.core.optimizers import OPTIMIZER_REGISTRY, canonical_optimizer_options
 from repro.core.pipeline import AdEleDesign
 from repro.core.subset_search import ElevatorSubsetProblem, SubsetSolution
 from repro.registry import Registry
 from repro.routing.base import POLICY_REGISTRY
 from repro.sim.backends import BACKEND_REGISTRY, DEFAULT_BACKEND
-from repro.spec import ExperimentSpec
+from repro.spec import ADELE_POLICY_NAMES, DesignSpec, ExperimentSpec
 from repro.topology.elevators import PLACEMENT_REGISTRY, ElevatorPlacement
 from repro.topology.mesh3d import Mesh3D
 from repro.traffic.applications import APPLICATION_REGISTRY
@@ -125,7 +126,53 @@ def canonical_config(config: ConfigLike) -> Dict[str, Any]:
             del data["sim"]["backend"]
         else:
             data["sim"]["backend"] = canonical_backend
+    # A nested design spec (present only when explicitly set) normalizes its
+    # optimizer name/options and traffic label the same way: aliases and
+    # explicitly spelled defaults never split the cache.
+    design = data.get("design")
+    if design is not None:
+        optimizer = _canonical_name(
+            OPTIMIZER_REGISTRY, design.get("optimizer", "amosa"), str.lower
+        )
+        design["optimizer"] = optimizer
+        design["traffic"] = _canonical_name(
+            PATTERN_REGISTRY, design.get("traffic", "uniform"), str.lower
+        )
+        if optimizer in OPTIMIZER_REGISTRY:
+            try:
+                design["options"] = canonical_optimizer_options(
+                    optimizer, design.get("options") or {}
+                )
+            except ValueError:
+                # Unknown option names for this optimizer: keep them verbatim
+                # (validation happens at run time, not hash time).
+                pass
+        if _design_is_redundant(design, data["policy"]):
+            del data["design"]
     return data
+
+
+def _design_is_redundant(design: Dict[str, Any], policy: Dict[str, Any]) -> bool:
+    """Whether a (canonicalized) nested design cannot affect the run.
+
+    Two cases collapse onto the design-free serialization so that spelling
+    the implicit behaviour explicitly never splits the cache:
+
+    * the policy does not use an offline design at all (non-AdEle policies
+      ignore the field entirely);
+    * the design spells out exactly the defaults the design-free path would
+      use -- same assumed traffic, optimizer, resolved options, cap and
+      selection -- *and* the policy options do not carry their own
+      ``max_subset_size`` (with no design, that option would win; with one,
+      the design's cap wins, so the two forms only coincide without it).
+    """
+    if str(policy.get("name", "")).lower() not in ADELE_POLICY_NAMES:
+        return True
+    if "max_subset_size" in (policy.get("options") or {}):
+        return False
+    defaults = DesignSpec().to_dict(include_placement=False)
+    defaults["options"] = canonical_optimizer_options("amosa", {})
+    return design == defaults
 
 
 def canonical_json(config: ConfigLike) -> str:
@@ -287,9 +334,10 @@ def design_to_record(key: DesignKey, design: AdEleDesign) -> Dict[str, Any]:
     """Serialize an AdEle offline design to a JSON-native record.
 
     The record keeps the final Pareto archive (per-router subsets +
-    objectives), the representative/selected indices and the baseline point
-    -- everything policies, figures and tables read from a design.  The raw
-    annealing trajectory (`explored` samples) is not persisted.
+    objectives), the representative/selected indices, the baseline point
+    and the assumed-traffic label -- everything policies, figures and
+    tables read from a design.  The raw annealing trajectory (`explored`
+    samples) is not persisted.
     """
     archive: List[Dict[str, Any]] = []
     entry_index = {id(entry): i for i, entry in enumerate(design.result.archive)}
@@ -313,10 +361,13 @@ def design_to_record(key: DesignKey, design: AdEleDesign) -> Dict[str, Any]:
             return 0
         return index
 
+    # make_key layout: (name, shape, columns, traffic_label, cap, ...).
+    traffic_label = key[3] if len(key) > 3 and isinstance(key[3], str) else "uniform"
     return {
-        "format": 1,
+        "format": 2,
         "key": list(_jsonify(key)),
         "placement": _canonical_placement(design.placement),
+        "traffic": traffic_label,
         "max_subset_size": design.problem.max_subset_size,
         "archive": archive,
         "representatives": [_index_of(e) for e in design.representatives],
@@ -330,10 +381,12 @@ def design_to_record(key: DesignKey, design: AdEleDesign) -> Dict[str, Any]:
 def design_from_record(record: Dict[str, Any]) -> AdEleDesign:
     """Rebuild a functional :class:`AdEleDesign` from a persisted record.
 
-    The subset problem is reconstructed against the uniform traffic matrix --
-    the offline stage's default and the paper's "most pessimistic assumption"
-    (designs optimized against an explicit non-uniform matrix are never
-    persisted; see :meth:`DiskDesignCache.put`).
+    The subset problem is reconstructed against the traffic matrix of the
+    record's assumed-traffic label -- the registered pattern built with
+    seed 0, exactly what :func:`repro.analysis.runner.design_for` optimized
+    against (a missing label defaults to uniform).  Designs optimized
+    against an explicit content-hashed matrix are never persisted; see
+    :meth:`DiskDesignCache.put`.
     """
     placement_data = record["placement"]
     mesh = Mesh3D(*placement_data["mesh"])
@@ -342,7 +395,11 @@ def design_from_record(record: Dict[str, Any]) -> AdEleDesign:
         [tuple(column) for column in placement_data["columns"]],
         name=placement_data["name"],
     )
-    traffic = UniformTraffic(mesh).traffic_matrix()
+    label = record.get("traffic", "uniform")
+    if label == "uniform":
+        traffic = UniformTraffic(mesh).traffic_matrix()
+    else:
+        traffic = PATTERN_REGISTRY.create(label, mesh, seed=0).traffic_matrix()
     problem = ElevatorSubsetProblem(
         placement, traffic, max_subset_size=record["max_subset_size"]
     )
@@ -391,10 +448,12 @@ class DiskDesignCache(DesignCache):
 
     Completed designs are written to ``<cache_dir>/design-<hash>.json`` and
     reloaded lazily, so a warm cache directory lets new processes (parallel
-    workers, repeated CLI invocations) skip the expensive AMOSA stage
-    entirely.  Only designs optimized against the default uniform traffic
-    assumption are persisted; anything else stays memory-only because the
-    traffic matrix cannot be reconstructed from its label alone.
+    workers, repeated CLI invocations) skip the expensive offline search
+    entirely.  Designs optimized against any *registered pattern* label
+    (uniform included) are persisted -- the record stores the label and the
+    matrix rebuilds deterministically from it (seed 0).  Designs keyed by
+    an explicit content-hashed matrix (``label#digest``) stay memory-only,
+    because such a matrix cannot be reconstructed from its label.
     """
 
     def __init__(self, cache_dir: str) -> None:
@@ -407,8 +466,16 @@ class DiskDesignCache(DesignCache):
 
     @staticmethod
     def _persistable(key: DesignKey) -> bool:
-        # make_key layout: (name, shape, columns, traffic_label, cap, amosa).
-        return len(key) >= 4 and key[3] == "uniform"
+        # make_key layout: (name, shape, columns, traffic_label, cap,
+        # optimizer, options).  Labels containing '#' are content-hashed
+        # explicit matrices -- not reconstructible, so memory-only; plain
+        # registered-pattern labels (uniform included) rebuild from seed 0.
+        return (
+            len(key) >= 4
+            and isinstance(key[3], str)
+            and "#" not in key[3]
+            and (key[3] == "uniform" or key[3] in PATTERN_REGISTRY)
+        )
 
     def get(self, key: DesignKey) -> Optional[AdEleDesign]:
         design = super().get(key)
@@ -417,7 +484,10 @@ class DiskDesignCache(DesignCache):
         if not self._persistable(key):
             return None
         record = _read_json(self._path(key))
-        if not isinstance(record, dict) or record.get("format") != 1:
+        # Only format-2 records are reachable: the key layout (and hence
+        # the file name hash) changed together with the format bump, so
+        # pre-format-2 files can never resolve here.
+        if not isinstance(record, dict) or record.get("format") != 2:
             return None
         design = design_from_record(record)
         super().put(key, design)

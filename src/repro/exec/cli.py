@@ -16,10 +16,21 @@ every figure of the paper is built from, plus the component registries:
     :meth:`repro.spec.ExperimentSpec.to_dict` document or a list of them)
     through the batch engine and print one summary row per spec.
 
+``optimize``
+    Run (or fetch from the disk design cache) the paper's offline stage for
+    one placement: a registered optimizer (``amosa`` by default;
+    ``random-search`` / ``greedy-swap`` as baselines) searches the
+    per-router elevator-subset space, prints the Pareto front, the
+    representative (S0...) points and the strategy-selected solution.
+    ``--spec FILE`` reads a ``DesignSpec`` JSON document; flags override
+    its fields, ``--progress`` streams per-iteration progress, and a warm
+    ``--cache-dir`` serves the whole design from disk.
+
 ``list``
     Show every registered policy, traffic pattern, application model,
-    placement and simulation backend with its aliases and description --
-    including components registered by ``--plugin`` modules.
+    placement, simulation backend and offline optimizer with its aliases
+    and description -- including components registered by ``--plugin``
+    modules.
 
 ``sweep``/``compare``/``run`` also accept ``--backend NAME`` selecting the
 simulation kernel (``optimized`` by default; ``reference`` for the original
@@ -60,13 +71,15 @@ import sys
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.comparison import format_table, policy_comparison_from_summaries
-from repro.analysis.runner import DesignCache
+from repro.analysis.runner import DesignCache, design_for, design_key_for
 from repro.analysis.sweep import LatencyCurve, saturation_rate
+from repro.core.optimizers import OPTIMIZER_REGISTRY
+from repro.core.selection import SELECTION_STRATEGIES
 from repro.exec.batch import ExperimentBatch, summaries_by_policy
 from repro.exec.cache import DiskDesignCache, ResultCache
 from repro.routing.base import POLICY_REGISTRY
 from repro.sim.backends import BACKEND_REGISTRY, DEFAULT_BACKEND
-from repro.spec import ExperimentSpec, PlacementSpec, SimSpec, TrafficSpec
+from repro.spec import DesignSpec, ExperimentSpec, PlacementSpec, SimSpec, TrafficSpec
 from repro.topology.elevators import PLACEMENT_REGISTRY
 from repro.traffic.applications import APPLICATION_REGISTRY
 from repro.traffic.patterns import PATTERN_REGISTRY
@@ -203,6 +216,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_argument(run)
     _add_engine_arguments(run)
+
+    optimize = subparsers.add_parser(
+        "optimize",
+        help="run the offline elevator-subset optimization (Fig. 3 front)",
+    )
+    _add_plugin_argument(optimize)
+    optimize.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="JSON file with one DesignSpec document (flags below override "
+             "its fields)",
+    )
+    optimize.add_argument(
+        "--optimizer", default=None, metavar="NAME",
+        help="registered optimizer (see `repro list`; default: amosa)",
+    )
+    target = optimize.add_argument_group("target")
+    target.add_argument(
+        "--placement", default=None,
+        help="registered placement name; ignored when --mesh is given",
+    )
+    target.add_argument(
+        "--mesh", nargs=3, type=int, metavar=("X", "Y", "Z"), default=None,
+        help="ad-hoc mesh dimensions for a custom placement",
+    )
+    target.add_argument(
+        "--elevators", default=None, metavar="X,Y;X,Y",
+        help='elevator columns of the ad-hoc placement, e.g. "0,0;1,1"',
+    )
+    optimize.add_argument(
+        "--traffic", default=None,
+        help="assumed traffic pattern of the offline objectives "
+             "(default: uniform)",
+    )
+    optimize.add_argument(
+        "--max-subset-size", type=int, default=None, metavar="N",
+        help="cap on each router's elevator subset size",
+    )
+    optimize.add_argument(
+        "--selection", default=None, choices=sorted(SELECTION_STRATEGIES),
+        help="archive-selection strategy for the deployed solution",
+    )
+    optimize.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the disk-backed design cache",
+    )
+    optimize.add_argument(
+        "--progress", action="store_true",
+        help="print optimizer progress (temperature/stage, archive size, "
+             "current objectives) to stderr",
+    )
 
     listing = subparsers.add_parser(
         "list", help="list registered policies, traffic, applications, placements"
@@ -367,6 +430,109 @@ def _run_specs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_design_spec(path: str) -> DesignSpec:
+    try:
+        with open(path, "r") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise SystemExit(f"cannot read --spec file {path!r}: {error}")
+    except ValueError as error:
+        raise SystemExit(f"--spec file {path!r} is not valid JSON: {error}")
+    try:
+        return DesignSpec.from_dict(data)
+    except ValueError as error:
+        raise SystemExit(f"--spec file {path!r}: {error}")
+
+
+def _run_optimize(args: argparse.Namespace) -> int:
+    spec = _load_design_spec(args.spec) if args.spec else DesignSpec()
+    changes = {}
+    if args.mesh is not None:
+        if not args.elevators:
+            raise SystemExit("--mesh requires --elevators")
+        changes["placement"] = PlacementSpec(
+            name="cli-custom",
+            mesh=tuple(args.mesh),
+            columns=tuple(_parse_columns(args.elevators)),
+        )
+    elif args.elevators:
+        raise SystemExit("--elevators requires --mesh")
+    elif args.placement:
+        changes["placement"] = PlacementSpec(name=args.placement)
+    if args.optimizer:
+        changes["optimizer"] = args.optimizer
+
+        def _canonical(name: str) -> str:
+            return (
+                OPTIMIZER_REGISTRY.entry(name).name
+                if name in OPTIMIZER_REGISTRY
+                else name.strip().lower()
+            )
+
+        if _canonical(args.optimizer) != _canonical(spec.optimizer):
+            # Options rarely transfer between optimizers (same rule as
+            # policy names in ExperimentSpec.with_).
+            changes["options"] = {}
+    if args.traffic:
+        changes["traffic"] = args.traffic
+    if args.max_subset_size is not None:
+        changes["max_subset_size"] = args.max_subset_size
+    if args.selection:
+        changes["selection"] = args.selection
+    if changes:
+        spec = spec.with_(**changes)
+
+    # Resolve the optimizer name eagerly so typos surface as the registry's
+    # did-you-mean ValueError before any work happens.
+    OPTIMIZER_REGISTRY.entry(spec.optimizer)
+
+    cache = DiskDesignCache(args.cache_dir) if args.cache_dir else None
+    placement = spec.placement.resolve()
+    was_cached = (
+        cache is not None and cache.get(design_key_for(spec, placement)) is not None
+    )
+
+    on_iteration = None
+    if args.progress:
+        def on_iteration(stage, archive_size, best):
+            print(
+                f"[optimize] stage={stage:g} archive={archive_size} "
+                f"objectives=({best[0]:.6g}, {best[1]:.6g})",
+                file=sys.stderr,
+            )
+
+    design = design_for(spec, cache=cache, on_iteration=on_iteration)
+
+    result = design.result
+    print(
+        f"placement={placement.name} mesh={'x'.join(map(str, placement.mesh.shape))} "
+        f"elevators={placement.num_elevators} traffic={spec.traffic} "
+        f"optimizer={spec.optimizer} selection={spec.selection}"
+    )
+    print(
+        f"evaluations={result.evaluations} accepted={result.accepted_moves} "
+        f"archive={len(result.archive)}"
+    )
+    baseline = design.baseline_objectives
+    print(f"{'elevator-first baseline':28s} variance={baseline[0]:.6g} distance={baseline[1]:.6g}")
+    for index, entry in enumerate(design.representatives):
+        marker = " *" if entry is design.selected else ""
+        print(
+            f"{f'S{index}':28s} variance={entry.objectives[0]:.6g} "
+            f"distance={entry.objectives[1]:.6g}{marker}"
+        )
+    selected = design.selected
+    print(
+        f"{'selected':28s} variance={selected.objectives[0]:.6g} "
+        f"distance={selected.objectives[1]:.6g} "
+        f"avg_subset={selected.solution.average_subset_size():.2f}"
+    )
+    print(
+        f"[repro.exec] design {'served from cache' if was_cached else 'optimized'}"
+    )
+    return 0
+
+
 def _print_registry(title: str, registry) -> None:
     print(f"{title}:")
     for entry in registry.entries():
@@ -385,6 +551,8 @@ def _run_list(args: argparse.Namespace) -> int:
     _print_registry("placements", PLACEMENT_REGISTRY)
     print()
     _print_registry("simulation backends", BACKEND_REGISTRY)
+    print()
+    _print_registry("optimizers", OPTIMIZER_REGISTRY)
     return 0
 
 
@@ -398,6 +566,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_compare(args)
     if args.command == "run":
         return _run_specs(args)
+    if args.command == "optimize":
+        return _run_optimize(args)
     if args.command == "list":
         return _run_list(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

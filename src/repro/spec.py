@@ -422,6 +422,120 @@ class SimSpec:
 
 
 # ---------------------------------------------------------------------- #
+# Offline design
+# ---------------------------------------------------------------------- #
+#: Selection strategies accepted by :class:`DesignSpec` (mirrors
+#: :data:`repro.core.selection.SELECTION_STRATEGIES`; duplicated as a plain
+#: tuple so the spec layer stays import-light).
+DESIGN_SELECTIONS = ("knee", "latency", "energy")
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """The offline design-space-exploration stage, declaratively.
+
+    Describes one invocation of the paper's offline stage (Fig. 1): which
+    placement is optimized, which assumed traffic pattern drives the
+    objectives, which registered optimizer searches the subset space with
+    which options, and which archive-selection strategy picks the deployed
+    solution.  The canonical ``to_dict`` form keys the disk design cache
+    (:class:`repro.exec.cache.DiskDesignCache`), and nested into an
+    :class:`ExperimentSpec` it overrides how AdEle policies obtain their
+    offline design.
+
+    Attributes:
+        placement: Placement to optimize (ignored when the spec is nested
+            in an :class:`ExperimentSpec` -- the experiment's placement
+            wins, and the nested serialization omits this field).
+        traffic: Registered traffic-pattern name assumed by the offline
+            objectives (``uniform`` -- the paper's pessimistic default --
+            or any registered synthetic pattern; built with seed 0).
+        optimizer: Registered optimizer name (``amosa``, ``random-search``,
+            ``greedy-swap``, or anything added via
+            :func:`repro.core.optimizers.register_optimizer`).
+        options: Optimizer options (for ``amosa``: overrides applied over
+            the offline defaults).
+        max_subset_size: Cap on each router's subset size; ``None`` =
+            unlimited.
+        selection: Archive-selection strategy for the deployed solution
+            (``knee``, ``latency`` or ``energy``).
+    """
+
+    placement: PlacementSpec = field(default_factory=PlacementSpec)
+    traffic: str = "uniform"
+    optimizer: str = "amosa"
+    options: Dict[str, Any] = field(default_factory=dict)
+    max_subset_size: Optional[int] = DEFAULT_ADELE_MAX_SUBSET_SIZE
+    selection: str = "knee"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.placement, PlacementSpec):
+            raise ValueError(f"placement must be a PlacementSpec, got {self.placement!r}")
+        _require_name(self.traffic, "design traffic pattern")
+        _require_name(self.optimizer, "optimizer name")
+        object.__setattr__(self, "optimizer", self.optimizer.strip().lower())
+        object.__setattr__(self, "options", _options_dict(self.options, "optimizer options"))
+        if self.max_subset_size is not None:
+            if not isinstance(self.max_subset_size, int) or self.max_subset_size < 1:
+                raise ValueError(
+                    f"max_subset_size must be a positive integer or None, "
+                    f"got {self.max_subset_size!r}"
+                )
+        selection = str(self.selection).lower()
+        if selection not in DESIGN_SELECTIONS:
+            raise ValueError(
+                f"unknown selection strategy {self.selection!r}; "
+                f"expected one of {sorted(DESIGN_SELECTIONS)}"
+            )
+        object.__setattr__(self, "selection", selection)
+
+    def with_(self, **changes: Any) -> "DesignSpec":
+        """A copy with some fields replaced (same validation)."""
+        from dataclasses import replace as _replace
+
+        return _replace(self, **changes)
+
+    def to_dict(self, include_placement: bool = True) -> Dict[str, Any]:
+        """JSON-native canonical form.
+
+        Args:
+            include_placement: ``False`` when nesting inside an
+                :class:`ExperimentSpec`, whose placement is authoritative.
+        """
+        data: Dict[str, Any] = {
+            "traffic": self.traffic,
+            "optimizer": self.optimizer,
+            "options": dict(self.options),
+            "max_subset_size": self.max_subset_size,
+            "selection": self.selection,
+        }
+        if include_placement:
+            data["placement"] = self.placement.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DesignSpec":
+        """Rebuild from the canonical form (unknown keys rejected)."""
+        _reject_unknown_keys(
+            data,
+            ("placement", "traffic", "optimizer", "options", "max_subset_size", "selection"),
+            "design spec",
+        )
+        defaults = cls()
+        placement_data = data.get("placement")
+        return cls(
+            placement=PlacementSpec.from_dict(placement_data)
+            if placement_data is not None
+            else PlacementSpec(),
+            traffic=data.get("traffic", defaults.traffic),
+            optimizer=data.get("optimizer", defaults.optimizer),
+            options=dict(data.get("options") or {}),
+            max_subset_size=data.get("max_subset_size", defaults.max_subset_size),
+            selection=data.get("selection", defaults.selection),
+        )
+
+
+# ---------------------------------------------------------------------- #
 # The experiment spec
 # ---------------------------------------------------------------------- #
 #: Flat convenience keys accepted by :meth:`ExperimentSpec.with_`, mapped to
@@ -449,12 +563,21 @@ class ExperimentSpec:
     (:class:`repro.exec.batch.ExperimentBatch`), cache keys and the CLI all
     consume this type.  Instances are immutable; derive variants with
     :meth:`with_`.
+
+    The optional ``design`` field pins the offline stage of AdEle policies
+    to an explicit :class:`DesignSpec` (optimizer, options, assumed
+    traffic, selection); its placement field is ignored -- the experiment's
+    placement is authoritative.  It enters the canonical serialization (and
+    therefore cache keys and derived seeds) **only when set**, so every
+    pre-existing cache entry stays valid and default-design experiments
+    hash exactly as before.
     """
 
     placement: PlacementSpec = field(default_factory=PlacementSpec)
     policy: PolicySpec = field(default_factory=PolicySpec)
     traffic: TrafficSpec = field(default_factory=TrafficSpec)
     sim: SimSpec = field(default_factory=SimSpec)
+    design: Optional[DesignSpec] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.placement, PlacementSpec):
@@ -465,6 +588,8 @@ class ExperimentSpec:
             raise ValueError(f"traffic must be a TrafficSpec, got {self.traffic!r}")
         if not isinstance(self.sim, SimSpec):
             raise ValueError(f"sim must be a SimSpec, got {self.sim!r}")
+        if self.design is not None and not isinstance(self.design, DesignSpec):
+            raise ValueError(f"design must be a DesignSpec or None, got {self.design!r}")
 
     # ------------------------------------------------------------------ #
     # Derivation
@@ -482,11 +607,12 @@ class ExperimentSpec:
         options (options rarely transfer between policies); pass a full
         :class:`PolicySpec` to control them explicitly.
         """
-        placement, policy, traffic, sim = (
+        placement, policy, traffic, sim, design = (
             self.placement,
             self.policy,
             self.traffic,
             self.sim,
+            self.design,
         )
         for key, value in changes.items():
             if key == "placement":
@@ -519,6 +645,10 @@ class ExperimentSpec:
                 if not isinstance(value, SimSpec):
                     raise ValueError(f"sim must be a SimSpec, got {value!r}")
                 sim = value
+            elif key == "design":
+                if value is not None and not isinstance(value, DesignSpec):
+                    raise ValueError(f"design must be a DesignSpec or None, got {value!r}")
+                design = value
             elif key in _FLAT_FIELDS:
                 holder, attr = _FLAT_FIELDS[key]
                 if holder == "traffic":
@@ -527,7 +657,9 @@ class ExperimentSpec:
                     sim = replace(sim, **{attr: value})
             else:
                 raise ValueError(f"unknown ExperimentSpec field {key!r}")
-        return ExperimentSpec(placement=placement, policy=policy, traffic=traffic, sim=sim)
+        return ExperimentSpec(
+            placement=placement, policy=policy, traffic=traffic, sim=sim, design=design
+        )
 
     # ------------------------------------------------------------------ #
     # Serialization
@@ -537,15 +669,21 @@ class ExperimentSpec:
 
         This is the serialization cache keys, derived seeds and ``--spec``
         files are built from; it round-trips losslessly through
-        :meth:`from_dict`.
+        :meth:`from_dict`.  The ``design`` key appears only when an
+        explicit :class:`DesignSpec` is set (and without its placement --
+        the experiment's placement is authoritative), so pre-existing cache
+        entries stay valid.
         """
-        return {
+        data = {
             "format": SPEC_FORMAT,
             "placement": self.placement.to_dict(),
             "policy": self.policy.to_dict(),
             "traffic": self.traffic.to_dict(),
             "sim": self.sim.to_dict(),
         }
+        if self.design is not None:
+            data["design"] = self.design.to_dict(include_placement=False)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
@@ -556,7 +694,9 @@ class ExperimentSpec:
                 value failing sub-spec validation.
         """
         _reject_unknown_keys(
-            data, ("format", "placement", "policy", "traffic", "sim"), "experiment spec"
+            data,
+            ("format", "placement", "policy", "traffic", "sim", "design"),
+            "experiment spec",
         )
         version = data.get("format", SPEC_FORMAT)
         if version != SPEC_FORMAT:
@@ -564,11 +704,13 @@ class ExperimentSpec:
                 f"unsupported experiment spec format {version!r} "
                 f"(this version reads format {SPEC_FORMAT})"
             )
+        design_data = data.get("design")
         return cls(
             placement=PlacementSpec.from_dict(data.get("placement") or {}),
             policy=PolicySpec.from_dict(data.get("policy") or {}),
             traffic=TrafficSpec.from_dict(data.get("traffic") or {}),
             sim=SimSpec.from_dict(data.get("sim") or {}),
+            design=None if design_data is None else DesignSpec.from_dict(design_data),
         )
 
     def to_json(self) -> str:

@@ -1,0 +1,110 @@
+"""Edge cases of the archive-selection helpers (``repro.core.selection``)."""
+
+import pytest
+
+from repro.core.amosa import ArchiveEntry
+from repro.core.selection import (
+    SELECTION_STRATEGIES,
+    knee_point,
+    select_by_strategy,
+    select_energy_leaning,
+    select_latency_leaning,
+    spread_selection,
+)
+
+
+def entries(*objectives):
+    return [
+        ArchiveEntry(solution=index, objectives=tuple(vector))
+        for index, vector in enumerate(objectives)
+    ]
+
+
+class TestEmptyArchives:
+    @pytest.mark.parametrize(
+        "select",
+        [select_latency_leaning, select_energy_leaning, knee_point],
+    )
+    def test_selectors_raise_on_empty(self, select):
+        with pytest.raises(ValueError):
+            select([])
+
+    def test_spread_selection_raises_on_empty(self):
+        with pytest.raises(ValueError):
+            spread_selection([], 3)
+
+    def test_spread_selection_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            spread_selection(entries((1.0, 2.0)), 0)
+
+    def test_select_by_strategy_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown selection strategy"):
+            select_by_strategy("balanced", entries((1.0, 2.0)))
+
+    def test_select_by_strategy_empty_archive(self):
+        with pytest.raises(ValueError):
+            select_by_strategy("knee", [])
+
+
+class TestSingleEntry:
+    def test_all_selectors_return_the_only_entry(self):
+        archive = entries((0.5, 3.0))
+        only = archive[0]
+        assert select_latency_leaning(archive) is only
+        assert select_energy_leaning(archive) is only
+        assert knee_point(archive) is only
+        for name in SELECTION_STRATEGIES:
+            assert select_by_strategy(name, archive) is only
+
+    def test_spread_selection_single_entry(self):
+        archive = entries((0.5, 3.0))
+        assert spread_selection(archive, 1) == archive
+        assert spread_selection(archive, 6) == archive
+
+    def test_two_entries_knee_falls_back_to_latency_extreme(self):
+        archive = entries((0.0, 5.0), (2.0, 1.0))
+        assert knee_point(archive) is archive[0]
+
+
+class TestDuplicatePoints:
+    def test_all_identical_points(self):
+        archive = entries((1.0, 1.0), (1.0, 1.0), (1.0, 1.0))
+        # Degenerate front (zero span): a deterministic member is returned.
+        assert knee_point(archive).objectives == (1.0, 1.0)
+        assert select_latency_leaning(archive).objectives == (1.0, 1.0)
+        assert select_energy_leaning(archive).objectives == (1.0, 1.0)
+        spread = spread_selection(archive, 2)
+        assert 1 <= len(spread) <= 2
+
+    def test_duplicates_mixed_with_distinct_points(self):
+        archive = entries((0.0, 4.0), (0.0, 4.0), (1.0, 1.0), (4.0, 0.0), (4.0, 0.0))
+        assert select_latency_leaning(archive).objectives == (0.0, 4.0)
+        assert select_energy_leaning(archive).objectives == (4.0, 0.0)
+        # The knee of this symmetric front is the middle point.
+        assert knee_point(archive).objectives == (1.0, 1.0)
+
+    def test_spread_selection_deduplicates_indices(self):
+        archive = entries((0.0, 4.0), (1.0, 3.0), (4.0, 0.0))
+        spread = spread_selection(archive, 5)
+        # count >= archive size: everything, exactly once each.
+        assert [e.objectives for e in spread] == [
+            (0.0, 4.0),
+            (1.0, 3.0),
+            (4.0, 0.0),
+        ]
+
+    def test_spread_selection_keeps_extremes(self):
+        archive = entries(
+            (0.0, 9.0), (1.0, 6.0), (2.0, 4.0), (3.0, 3.0), (6.0, 1.0), (9.0, 0.0)
+        )
+        spread = spread_selection(archive, 3)
+        assert spread[0].objectives == (0.0, 9.0)
+        assert spread[-1].objectives == (9.0, 0.0)
+        assert len(spread) == 3
+
+    def test_selector_tie_breaking_is_stable(self):
+        # Equal first objectives: the second objective breaks the tie.
+        archive = entries((0.0, 4.0), (0.0, 2.0))
+        assert select_latency_leaning(archive).objectives == (0.0, 2.0)
+        archive = entries((3.0, 0.0), (1.0, 0.0))
+        assert select_energy_leaning(archive).objectives == (1.0, 0.0)
