@@ -19,6 +19,9 @@ complete system described in the paper:
 * the parallel experiment engine -- batched, deterministically seeded,
   disk-cached execution of whole experiment grids, also exposed as the
   ``python -m repro`` CLI (:mod:`repro.exec`);
+* event-driven dynamic scenarios -- typed timelines of traffic phases,
+  injection-rate ramps and runtime elevator faults/repairs with per-phase
+  measurement windows (:mod:`repro.scenario`, paper Section V);
 * the public API -- typed :class:`~repro.spec.ExperimentSpec` experiment
   descriptions over pluggable component registries (:mod:`repro.api`,
   :mod:`repro.spec`, :mod:`repro.registry`).

@@ -37,7 +37,7 @@ from repro.core.optimizers import (
     canonical_optimizer_options,
 )
 from repro.core.pipeline import AdEleDesign, OfflineConfig, optimize_elevator_subsets
-from repro.core.selection import select_by_strategy
+from repro.core.selection import select_by_strategy, spread_selection
 from repro.energy.model import EnergyModel
 from repro.routing import make_policy
 from repro.routing.base import ElevatorSelectionPolicy
@@ -46,6 +46,7 @@ from repro.sim.network import Network
 from repro.spec import (
     DEFAULT_ADELE_LOW_TRAFFIC_THRESHOLD,
     DEFAULT_ADELE_MAX_SUBSET_SIZE,
+    DEFAULT_NUM_REPRESENTATIVES,
     DesignSpec,
     ExperimentSpec,
     PlacementSpec,
@@ -87,13 +88,18 @@ class DesignCache:
         amosa_config: Optional[AmosaConfig] = None,
         optimizer: str = "amosa",
         optimizer_options: Optional[Mapping[str, Any]] = None,
+        weight_distance_by_traffic: bool = False,
     ) -> DesignKey:
         """The cache key of one offline-stage invocation.
 
         ``optimizer_options`` should be the *fully resolved* options (see
         :func:`repro.core.optimizers.canonical_optimizer_options`); when
         omitted they are derived from ``amosa_config`` (legacy callers) or
-        the optimizer's defaults.
+        the optimizer's defaults.  ``weight_distance_by_traffic`` extends
+        the key only when enabled, so every key minted before the knob
+        existed stays byte-identical.  ``num_representatives`` is
+        deliberately *not* part of the key: like the selection strategy it
+        only reads the archive and is re-applied after every cache fetch.
         """
         canonical = optimizer
         if canonical in OPTIMIZER_REGISTRY:
@@ -107,7 +113,7 @@ class DesignCache:
         options_blob = json.dumps(
             dict(optimizer_options), sort_keys=True, separators=(",", ":")
         )
-        return (
+        key: DesignKey = (
             placement.name,
             tuple(placement.mesh.shape),
             tuple(placement.columns()),
@@ -116,6 +122,9 @@ class DesignCache:
             canonical,
             options_blob,
         )
+        if weight_distance_by_traffic:
+            key += (("weight_distance_by_traffic", True),)
+        return key
 
     def get(self, key: DesignKey) -> Optional[AdEleDesign]:
         """The cached design for a key, or ``None``."""
@@ -367,6 +376,8 @@ def adele_design_for(
     optimizer_options: Optional[Mapping[str, Any]] = None,
     selection: str = "knee",
     matrix_from_label: bool = False,
+    weight_distance_by_traffic: bool = False,
+    num_representatives: int = DEFAULT_NUM_REPRESENTATIVES,
     on_iteration: Optional[ProgressCallback] = None,
 ) -> AdEleDesign:
     """Run (or fetch from cache) AdEle's offline optimization for a placement.
@@ -389,6 +400,10 @@ def adele_design_for(
             alone identifies it -- the design stays disk-persistable.
             Without this flag an explicit matrix is keyed by content hash
             and kept memory-only.
+        weight_distance_by_traffic: Weight the distance objective by the
+            traffic matrix (enters the cache key only when enabled).
+        num_representatives: How many spread (S0...) solutions to expose;
+            like ``selection``, re-applied after every cache fetch.
         on_iteration: Optional optimizer progress callback.
 
     Raises:
@@ -414,6 +429,7 @@ def adele_design_for(
         max_subset_size,
         optimizer=canonical,
         optimizer_options=options,
+        weight_distance_by_traffic=weight_distance_by_traffic,
     )
     design = cache.get(key)
     if design is None:
@@ -422,6 +438,8 @@ def adele_design_for(
         offline = OfflineConfig(
             amosa=amosa,
             max_subset_size=max_subset_size,
+            weight_distance_by_traffic=weight_distance_by_traffic,
+            num_representatives=num_representatives,
             optimizer=canonical,
             optimizer_options={} if canonical == "amosa" and optimizer_options is None
             else dict(optimizer_options or {}),
@@ -432,13 +450,24 @@ def adele_design_for(
         )
         cache.put(key, design)
     else:
-        # Cache entries are shared across selection strategies.  When this
-        # call's strategy picks a different archive entry, hand back a
-        # shallow copy carrying that selection instead of mutating the
-        # shared cached design underneath earlier callers.
+        # Cache entries are shared across selection strategies and
+        # representative counts.  When this call's strategy picks a
+        # different archive entry (or asks for a different number of
+        # representatives), hand back a shallow copy carrying them instead
+        # of mutating the shared cached design underneath earlier callers.
         chosen = select_by_strategy(selection, design.result.archive)
-        if chosen is not design.selected:
-            design = dataclasses.replace(design, selected=chosen)
+        representatives = design.representatives
+        if num_representatives != len(representatives):
+            # The stored count can legitimately undershoot the request when
+            # the archive is small (spread_selection returns every entry);
+            # only hand back a copy when the spread actually changes.
+            recomputed = spread_selection(design.result.archive, num_representatives)
+            if recomputed != representatives:
+                representatives = recomputed
+        if chosen is not design.selected or representatives is not design.representatives:
+            design = dataclasses.replace(
+                design, selected=chosen, representatives=representatives
+            )
     return design
 
 
@@ -459,6 +488,7 @@ def design_key_for(
         spec.max_subset_size,
         optimizer=canonical,
         optimizer_options=canonical_optimizer_options(canonical, spec.options),
+        weight_distance_by_traffic=spec.weight_distance_by_traffic,
     )
 
 
@@ -497,6 +527,8 @@ def design_for_placement(
         optimizer_options=spec.options,
         selection=spec.selection,
         matrix_from_label=matrix_from_label,
+        weight_distance_by_traffic=spec.weight_distance_by_traffic,
+        num_representatives=spec.num_representatives,
         on_iteration=on_iteration,
     )
 
@@ -566,14 +598,18 @@ def build_policy(
                 ),
                 cache=design_cache,
             )
+        # Bind the policy to the *experiment's* placement object, not the
+        # (possibly cache-shared) design's equal-but-distinct one, so
+        # runtime fault state on the network's placement stays visible.
         if name == "adele":
             return design.to_policy(
                 low_traffic_threshold=spec.policy.option(
                     "low_traffic_threshold", DEFAULT_ADELE_LOW_TRAFFIC_THRESHOLD
                 ),
                 seed=spec.sim.seed,
+                placement=placement,
             )
-        return design.to_round_robin_policy(seed=spec.sim.seed)
+        return design.to_round_robin_policy(seed=spec.sim.seed, placement=placement)
     return make_policy(name, placement, **spec.policy.options)
 
 
@@ -634,5 +670,7 @@ def run_experiment(
         drain_cycles=spec.sim.drain_cycles,
         energy_model=energy_model if energy_model is not None else EnergyModel(),
         backend=spec.sim.backend,
+        scenario=spec.scenario,
+        scenario_seed=spec.sim.seed,
     )
     return simulator.run()

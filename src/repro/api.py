@@ -77,6 +77,18 @@ from repro.registry import (
     UnknownComponentError,
 )
 from repro.routing.base import POLICY_REGISTRY, register_policy
+from repro.scenario import (
+    SCENARIO_EVENT_REGISTRY,
+    ElevatorFault,
+    ElevatorRepair,
+    RateRamp,
+    ScenarioEvent,
+    ScenarioSpec,
+    StatsMarker,
+    TrafficPhase,
+    available_scenario_events,
+    register_scenario_event,
+)
 from repro.sim.backends import (
     BACKEND_REGISTRY,
     DEFAULT_BACKEND,
@@ -125,6 +137,7 @@ def available_components() -> Dict[str, List[str]]:
         "placements": available_placements(),
         "backends": available_backends(),
         "optimizers": available_optimizers(),
+        "scenario_events": available_scenario_events(),
     }
 
 
@@ -160,6 +173,39 @@ def run(
 ) -> SimulationResult:
     """Run one experiment spec end to end and return its full result."""
     return run_experiment(as_spec(spec), energy_model=energy_model)
+
+
+def run_scenario(
+    spec: Union[ExperimentSpec, ExperimentConfig],
+    scenario: Optional[ScenarioSpec] = None,
+    energy_model: Optional[EnergyModel] = None,
+) -> SimulationResult:
+    """Run one experiment under a dynamic scenario timeline.
+
+    Args:
+        spec: The experiment; its own ``scenario`` field is used when the
+            ``scenario`` argument is omitted.
+        scenario: Event timeline overriding (or supplying) the spec's.
+        energy_model: Optional energy model (per-phase energy included).
+
+    Returns:
+        The :class:`~repro.sim.engine.SimulationResult`; per-phase
+        measurement windows are on ``result.stats.phases`` (and in
+        ``result.summary()['phases']``).
+
+    Raises:
+        ValueError: When neither the spec nor the argument carries a
+            scenario.
+    """
+    resolved = as_spec(spec)
+    if scenario is not None:
+        resolved = resolved.with_(scenario=scenario)
+    if resolved.scenario is None:
+        raise ValueError(
+            "run_scenario needs a scenario: set ExperimentSpec.scenario or "
+            "pass the scenario argument"
+        )
+    return run_experiment(resolved, energy_model=energy_model)
 
 
 def run_specs(
@@ -225,6 +271,13 @@ __all__ = [
     "TrafficSpec",
     "SimSpec",
     "DesignSpec",
+    "ScenarioSpec",
+    "ScenarioEvent",
+    "TrafficPhase",
+    "RateRamp",
+    "ElevatorFault",
+    "ElevatorRepair",
+    "StatsMarker",
     "ExperimentConfig",
     "as_spec",
     "spec_from_config",
@@ -246,6 +299,7 @@ __all__ = [
     "PLACEMENT_REGISTRY",
     "BACKEND_REGISTRY",
     "OPTIMIZER_REGISTRY",
+    "SCENARIO_EVENT_REGISTRY",
     "DEFAULT_BACKEND",
     "SimulatorBackend",
     "SubsetOptimizer",
@@ -255,6 +309,7 @@ __all__ = [
     "register_placement",
     "register_backend",
     "register_optimizer",
+    "register_scenario_event",
     "resolve_backend",
     "make_optimizer",
     "available_policies",
@@ -263,9 +318,11 @@ __all__ = [
     "available_placements",
     "available_backends",
     "available_optimizers",
+    "available_scenario_events",
     "available_components",
     # execution
     "run",
+    "run_scenario",
     "run_specs",
     "run_design",
     "design_for",

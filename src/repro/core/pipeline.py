@@ -158,6 +158,7 @@ class AdEleDesign:
         entry: Optional[ArchiveEntry[SubsetSolution]] = None,
         low_traffic_threshold: Optional[float] = None,
         seed: int = 0,
+        placement: Optional[ElevatorPlacement] = None,
     ) -> AdElePolicy:
         """Build the AdEle online policy for an archive entry.
 
@@ -166,20 +167,35 @@ class AdEleDesign:
             low_traffic_threshold: Override of the minimal-path-override
                 threshold (the paper tunes it per configuration).
             seed: RNG seed of the online policy.
+            placement: Placement object to bind the policy to; defaults to
+                the design's own.  Callers simulating against a *different
+                but equal* placement object (cached designs are shared
+                across runs that each resolve a fresh placement) pass
+                theirs, so runtime fault state stays visible to the policy.
         """
         chosen = entry if entry is not None else self.selected
         kwargs = {"subsets": chosen.solution.subsets(), "seed": seed}
         if low_traffic_threshold is not None:
             kwargs["low_traffic_threshold"] = low_traffic_threshold
-        return AdElePolicy(self.placement, **kwargs)
+        return AdElePolicy(
+            placement if placement is not None else self.placement, **kwargs
+        )
 
     def to_round_robin_policy(
-        self, entry: Optional[ArchiveEntry[SubsetSolution]] = None, seed: int = 0
+        self,
+        entry: Optional[ArchiveEntry[SubsetSolution]] = None,
+        seed: int = 0,
+        placement: Optional[ElevatorPlacement] = None,
     ) -> AdEleRoundRobinPolicy:
-        """Build the AdEle-RR ablation policy for an archive entry."""
+        """Build the AdEle-RR ablation policy for an archive entry.
+
+        See :meth:`to_policy` for the ``placement`` parameter.
+        """
         chosen = entry if entry is not None else self.selected
         return AdEleRoundRobinPolicy(
-            self.placement, subsets=chosen.solution.subsets(), seed=seed
+            placement if placement is not None else self.placement,
+            subsets=chosen.solution.subsets(),
+            seed=seed,
         )
 
 

@@ -113,6 +113,19 @@ class EnergyModel:
         """Total network energy (J) over the measurement window."""
         return self.breakdown(stats).total
 
+    def phase_energy(self, phase) -> float:
+        """Total energy (J) of one scenario measurement window.
+
+        Accepts any object carrying scalar ``router_traversals`` /
+        ``horizontal_link_traversals`` / ``vertical_link_traversals``
+        counters (:class:`repro.sim.stats.PhaseStats`).
+        """
+        return (
+            phase.router_traversals * self.router_energy_per_flit
+            + phase.horizontal_link_traversals * self.link_energy_per_flit
+            + phase.vertical_link_traversals * self.tsv_energy_per_flit
+        )
+
     def energy_per_flit(self, stats: SimulationStats) -> float:
         """Mean energy per delivered flit (J); 0 when nothing was delivered."""
         if stats.flits_delivered == 0:

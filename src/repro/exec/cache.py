@@ -149,6 +149,26 @@ def canonical_config(config: ConfigLike) -> Dict[str, Any]:
                 pass
         if _design_is_redundant(design, data["policy"]):
             del data["design"]
+    # Scenario events naming a traffic pattern (traffic-phase) normalize it
+    # like the experiment's own traffic field: aliases and case variants
+    # never split the cache.  The scenario key itself exists only when a
+    # timeline is attached, so plain specs keep their historical hash.
+    scenario = data.get("scenario")
+    if scenario is not None:
+        for event in scenario.get("events", ()):
+            if not isinstance(event, dict) or event.get("kind") != "traffic-phase":
+                # Only the bundled traffic-phase kind is known to carry a
+                # registry pattern name; a custom kind's 'pattern' field may
+                # mean something else entirely and must hash verbatim.
+                continue
+            pattern = event.get("pattern")
+            if isinstance(pattern, str):
+                if pattern in APPLICATION_REGISTRY:
+                    event["pattern"] = APPLICATION_REGISTRY.entry(pattern).name
+                else:
+                    event["pattern"] = _canonical_name(
+                        PATTERN_REGISTRY, pattern, str.lower
+                    )
     return data
 
 
@@ -363,7 +383,7 @@ def design_to_record(key: DesignKey, design: AdEleDesign) -> Dict[str, Any]:
 
     # make_key layout: (name, shape, columns, traffic_label, cap, ...).
     traffic_label = key[3] if len(key) > 3 and isinstance(key[3], str) else "uniform"
-    return {
+    record = {
         "format": 2,
         "key": list(_jsonify(key)),
         "placement": _canonical_placement(design.placement),
@@ -376,6 +396,11 @@ def design_to_record(key: DesignKey, design: AdEleDesign) -> Dict[str, Any]:
         "evaluations": design.result.evaluations,
         "accepted_moves": design.result.accepted_moves,
     }
+    # Additive optional key (format stays 2): records without it rebuild
+    # with the historical unweighted distance objective.
+    if design.problem.evaluator.weight_distance_by_traffic:
+        record["weight_distance_by_traffic"] = True
+    return record
 
 
 def design_from_record(record: Dict[str, Any]) -> AdEleDesign:
@@ -401,7 +426,10 @@ def design_from_record(record: Dict[str, Any]) -> AdEleDesign:
     else:
         traffic = PATTERN_REGISTRY.create(label, mesh, seed=0).traffic_matrix()
     problem = ElevatorSubsetProblem(
-        placement, traffic, max_subset_size=record["max_subset_size"]
+        placement,
+        traffic,
+        max_subset_size=record["max_subset_size"],
+        weight_distance_by_traffic=record.get("weight_distance_by_traffic", False),
     )
     entries: List[ArchiveEntry[SubsetSolution]] = []
     for item in record["archive"]:

@@ -26,11 +26,18 @@ every figure of the paper is built from, plus the component registries:
     its fields, ``--progress`` streams per-iteration progress, and a warm
     ``--cache-dir`` serves the whole design from disk.
 
+``scenario``
+    Run event-driven dynamic scenarios from a ``--spec`` JSON file: each
+    spec carries a ``scenario`` timeline (traffic phases, rate ramps,
+    elevator faults/repairs, markers) and the report shows one row per
+    spec plus its per-phase measurement windows.  Shares the engine flags,
+    so scenario grids fan out over workers and cache like any other runs.
+
 ``list``
     Show every registered policy, traffic pattern, application model,
-    placement, simulation backend and offline optimizer with its aliases
-    and description -- including components registered by ``--plugin``
-    modules.
+    placement, simulation backend, offline optimizer and scenario event
+    kind with its aliases and description -- including components
+    registered by ``--plugin`` modules.
 
 ``sweep``/``compare``/``run`` also accept ``--backend NAME`` selecting the
 simulation kernel (``optimized`` by default; ``reference`` for the original
@@ -78,6 +85,7 @@ from repro.core.selection import SELECTION_STRATEGIES
 from repro.exec.batch import ExperimentBatch, summaries_by_policy
 from repro.exec.cache import DiskDesignCache, ResultCache
 from repro.routing.base import POLICY_REGISTRY
+from repro.scenario.events import SCENARIO_EVENT_REGISTRY
 from repro.sim.backends import BACKEND_REGISTRY, DEFAULT_BACKEND
 from repro.spec import DesignSpec, ExperimentSpec, PlacementSpec, SimSpec, TrafficSpec
 from repro.topology.elevators import PLACEMENT_REGISTRY
@@ -217,6 +225,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_argument(run)
     _add_engine_arguments(run)
 
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="run event-driven dynamic scenarios from a --spec JSON file",
+    )
+    _add_plugin_argument(scenario)
+    scenario.add_argument(
+        "--spec", required=True, metavar="FILE",
+        help="JSON file with one ExperimentSpec document (or a list); each "
+             "should carry a 'scenario' event timeline",
+    )
+    _add_backend_argument(scenario)
+    _add_engine_arguments(scenario)
+
     optimize = subparsers.add_parser(
         "optimize",
         help="run the offline elevator-subset optimization (Fig. 3 front)",
@@ -256,6 +277,14 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "--selection", default=None, choices=sorted(SELECTION_STRATEGIES),
         help="archive-selection strategy for the deployed solution",
+    )
+    optimize.add_argument(
+        "--weight-by-traffic", action="store_true",
+        help="weight the distance objective by the assumed traffic matrix",
+    )
+    optimize.add_argument(
+        "--representatives", type=int, default=None, metavar="N",
+        help="how many spread (S0...) solutions to print (default: 6)",
     )
     optimize.add_argument(
         "--cache-dir", default=None,
@@ -430,6 +459,45 @@ def _run_specs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_scenario(args: argparse.Namespace) -> int:
+    specs = _load_spec_documents(args.spec)
+    without = sum(1 for spec in specs if spec.scenario is None)
+    if without:
+        print(
+            f"[repro.exec] warning: {without} spec(s) carry no scenario "
+            "timeline; they run as plain static experiments",
+            file=sys.stderr,
+        )
+    if args.backend:
+        specs = [spec.with_(backend=args.backend) for spec in specs]
+    batch = _make_batch(args, specs)
+    outcomes = batch.run()
+    _report_engine(batch)
+    for outcome in outcomes:
+        spec = outcome.spec
+        events = len(spec.scenario.events) if spec.scenario is not None else 0
+        print(
+            f"{spec.placement.name} policy={spec.policy.name} "
+            f"traffic={spec.traffic.pattern} rate={spec.traffic.injection_rate:g} "
+            f"events={events} avg_latency={outcome.summary['average_latency']:.2f} "
+            f"delivery={outcome.summary['delivery_ratio'] * 100:.1f}%"
+        )
+        for phase in outcome.summary.get("phases", []):
+            end = phase["end_cycle"]
+            window = f"[{phase['start_cycle']},{'...' if end is None else end})"
+            latency = phase["average_latency"]
+            latency_text = f"{latency:9.2f}" if latency != float("inf") else "      inf"
+            energy = phase.get("energy_j")
+            energy_text = f"  energy={energy * 1e9:8.2f} nJ" if energy is not None else ""
+            print(
+                f"  {phase['label']:24s} {window:>14s} "
+                f"created={phase['packets_created']:5d} "
+                f"delivered={phase['packets_delivered']:5d} "
+                f"avg_latency={latency_text}{energy_text}"
+            )
+    return 0
+
+
 def _load_design_spec(path: str) -> DesignSpec:
     try:
         with open(path, "r") as handle:
@@ -479,6 +547,10 @@ def _run_optimize(args: argparse.Namespace) -> int:
         changes["max_subset_size"] = args.max_subset_size
     if args.selection:
         changes["selection"] = args.selection
+    if args.weight_by_traffic:
+        changes["weight_distance_by_traffic"] = True
+    if args.representatives is not None:
+        changes["num_representatives"] = args.representatives
     if changes:
         spec = spec.with_(**changes)
 
@@ -553,6 +625,8 @@ def _run_list(args: argparse.Namespace) -> int:
     _print_registry("simulation backends", BACKEND_REGISTRY)
     print()
     _print_registry("optimizers", OPTIMIZER_REGISTRY)
+    print()
+    _print_registry("scenario events", SCENARIO_EVENT_REGISTRY)
     return 0
 
 
@@ -566,6 +640,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_compare(args)
     if args.command == "run":
         return _run_specs(args)
+    if args.command == "scenario":
+        return _run_scenario(args)
     if args.command == "optimize":
         return _run_optimize(args)
     if args.command == "list":

@@ -1,0 +1,43 @@
+"""JSON-native value validation shared by the spec layers.
+
+Both :mod:`repro.spec` (experiment/policy/traffic options) and
+:mod:`repro.scenario.events` (scenario event options) must keep their
+free-form option mappings JSON-native, because the canonical dictionary
+serialization feeds cache keys, derived seeds and ``--spec`` files.  This
+leaf module holds the one validator so the two layers cannot drift --
+``repro.spec`` imports ``repro.scenario``, so the scenario package cannot
+import the validator from it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+
+def check_json_native(value: Any, where: str) -> Any:
+    """Validate (and normalize tuples in) a JSON-native value.
+
+    Args:
+        value: The value to validate; mappings and sequences are walked
+            recursively, tuples normalize to lists.
+        where: Human-readable location used in error messages.
+
+    Raises:
+        ValueError: For non-string mapping keys or any value outside
+            ``str``/``int``/``float``/``bool``/``None``/list/dict.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [check_json_native(item, where) for item in value]
+    if isinstance(value, Mapping):
+        result = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ValueError(f"{where} keys must be strings, got {key!r}")
+            result[key] = check_json_native(item, where)
+        return result
+    raise ValueError(
+        f"{where} values must be JSON-native (str/int/float/bool/None/"
+        f"list/dict), got {type(value).__name__}: {value!r}"
+    )

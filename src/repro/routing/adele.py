@@ -154,6 +154,32 @@ class AdElePolicy(ElevatorSelectionPolicy):
         self.rng = random.Random(self._seed)
         self._build_states()
 
+    def on_topology_change(self) -> None:
+        """Re-derive every router's subset table after a fault/repair.
+
+        The offline subsets (``_subset_spec``) are re-filtered against the
+        placement's current healthy set -- a router whose subset became
+        empty falls back to the full healthy set, as at construction.  The
+        learned EWMA costs and selection counts of elevators surviving the
+        change carry over, so the online adaptation resumes instead of
+        restarting from scratch; round-robin pointers restart at 0 (their
+        old positions index the old subset lists).  The selection RNG keeps
+        its stream.
+        """
+        previous = self.states
+        self._build_states()
+        for node, state in self.states.items():
+            before = previous.get(node)
+            if before is None:
+                continue
+            for elevator in state.subset:
+                if elevator.index in before.costs:
+                    state.costs[elevator.index] = before.costs[elevator.index]
+                if elevator.index in before.selections:
+                    state.selections[elevator.index] = before.selections[
+                        elevator.index
+                    ]
+
     # ------------------------------------------------------------------ #
     # Selection
     # ------------------------------------------------------------------ #

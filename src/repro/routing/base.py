@@ -312,6 +312,15 @@ class ElevatorSelectionPolicy:
         slack normalized by packet length.  Non-adaptive policies ignore it.
         """
 
+    def on_topology_change(self) -> None:
+        """The placement's fault set changed mid-run (scenario events).
+
+        Policies that *precompute* state from the healthy elevator set
+        (AdEle's per-router subset tables) re-derive it here; policies that
+        consult :meth:`ElevatorPlacement.healthy_elevators` live at every
+        selection (Elevator-First, CDA, minimal) need nothing.
+        """
+
     def reset(self) -> None:
         """Reset any online state (called between independent simulations)."""
 

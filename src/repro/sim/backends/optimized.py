@@ -62,7 +62,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.sim.backends import SimulatorBackend, register_backend
-from repro.sim.router import OPPOSITE_PORT, Port
+from repro.sim.router import OPPOSITE_PORT, Port, VERTICAL_PORTS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.buffer import FlitBuffer
@@ -160,6 +160,41 @@ class _ActiveSetKernel:
         self.total_flits = sum(self.count)
         self.active = {node for node, flits in enumerate(self.count) if flits}
         self.staged_buffers: List["FlitBuffer"] = []
+
+        # Scenario topology events (elevator fault/repair) change vertical
+        # links mid-run; the network notifies this kernel so the flattened
+        # downstream tables are rebuilt incrementally -- only the affected
+        # routers, only their vertical ports.
+        network.add_topology_listener(self._on_topology_change)
+
+    def close(self) -> None:
+        """Detach from the network (end of run)."""
+        self.network.remove_topology_listener(self._on_topology_change)
+
+    def _on_topology_change(self, nodes) -> None:
+        """Rebuild the cached vertical-link structure of changed routers.
+
+        Only ``down`` (downstream input buffers per output port/VC) and
+        ``neighbor_id`` depend on link existence; allocation state, routes
+        and occupancy counters describe flits, which a topology event never
+        touches -- flits cut off from their path simply stall until a
+        repair, exactly as under the reference kernel.
+        """
+        network = self.network
+        num_vcs = self.num_vcs
+        routers = network.routers
+        for node in nodes:
+            for port in VERTICAL_PORTS:
+                neighbor = network.neighbor(node, port)
+                self.neighbor_id[node][port] = neighbor
+                if neighbor is None:
+                    self.down[node][port] = [None] * num_vcs
+                else:
+                    in_port = OPPOSITE_PORT[port]
+                    self.down[node][port] = [
+                        routers[neighbor].buffer(in_port, vc)
+                        for vc in range(num_vcs)
+                    ]
 
     # ------------------------------------------------------------------ #
     def inject(self, cycle: int) -> None:
@@ -418,4 +453,5 @@ class OptimizedBackend(SimulatorBackend):
                 drain_used = drain + 1
         finally:
             kernel.sync_back()
+            kernel.close()
         return drain_used

@@ -24,9 +24,11 @@ supplied).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.energy.model import EnergyModel
+from repro.scenario.runtime import ScenarioRuntime
+from repro.scenario.spec import ScenarioSpec
 from repro.sim.backends import SimulatorBackend, resolve_backend
 from repro.sim.network import Network
 from repro.sim.stats import SimulationStats
@@ -80,9 +82,20 @@ class SimulationResult:
         """Heuristic saturation flag: most measured packets never arrived."""
         return self.stats.delivery_ratio < 0.5
 
-    def summary(self) -> Dict[str, float]:
-        """A flat dictionary of headline metrics (for tables and benches)."""
-        summary = {
+    @property
+    def phases(self):
+        """Per-phase measurement windows of a scenario run (may be empty)."""
+        return self.stats.phases
+
+    def summary(self) -> Dict[str, Any]:
+        """A flat dictionary of headline metrics (for tables and benches).
+
+        Scenario runs additionally carry a ``"phases"`` key holding one
+        JSON-native row per measurement window
+        (:meth:`repro.sim.stats.PhaseStats.to_summary`); scenario-free runs
+        keep the exact historical shape, so cached rows stay comparable.
+        """
+        summary: Dict[str, Any] = {
             "average_latency": self.average_latency,
             "throughput": self.throughput,
             "packets_delivered": float(self.stats.packets_delivered),
@@ -95,6 +108,10 @@ class SimulationResult:
         if self.total_energy is not None:
             summary["total_energy"] = self.total_energy
         summary.update(self.extra)
+        if self.stats.phases:
+            summary["phases"] = [
+                phase.to_summary() for phase in self.stats.phases
+            ]
         return summary
 
 
@@ -112,6 +129,13 @@ class Simulator:
         backend: Simulation kernel executing the cycle loop -- a registered
             backend name/alias, a :class:`~repro.sim.backends.SimulatorBackend`
             instance, or ``None`` for the default (``optimized``).
+        scenario: Optional event timeline executed against the run (traffic
+            phases, rate ramps, elevator faults/repairs, markers).  The
+            dispatcher threads through *every* backend via the packet
+            source, so scenario runs stay bit-identical across kernels; the
+            statistics gain per-phase measurement windows.
+        scenario_seed: Seed that phase traffic patterns derive theirs from
+            (the experiment seed, for spec-driven runs).
     """
 
     def __init__(
@@ -123,6 +147,8 @@ class Simulator:
         drain_cycles: int = 1000,
         energy_model: Optional[EnergyModel] = None,
         backend: Union[str, SimulatorBackend, None] = None,
+        scenario: Optional[ScenarioSpec] = None,
+        scenario_seed: int = 0,
     ) -> None:
         if warmup_cycles < 0 or measurement_cycles <= 0 or drain_cycles < 0:
             raise ValueError("invalid cycle configuration")
@@ -133,19 +159,42 @@ class Simulator:
         self.drain_cycles = drain_cycles
         self.energy_model = energy_model
         self.backend = resolve_backend(backend)
+        self.scenario = scenario
+        self.scenario_seed = scenario_seed
 
     def run(self) -> SimulationResult:
         """Execute the simulation and return its result."""
         network = self.network
         network.stats.measurement_start = self.warmup_cycles
+        injection_end = self.warmup_cycles + self.measurement_cycles
 
-        drain_used = self.backend.execute(
-            network,
-            self.packet_source,
-            warmup_cycles=self.warmup_cycles,
-            measurement_cycles=self.measurement_cycles,
-            drain_cycles=self.drain_cycles,
-        )
+        source: PacketSource = self.packet_source
+        runtime: Optional[ScenarioRuntime] = None
+        if self.scenario is not None:
+            runtime = ScenarioRuntime(
+                self.scenario,
+                network=network,
+                source=source,
+                base_seed=self.scenario_seed,
+                injection_end=injection_end,
+            )
+            runtime.begin()
+            source = runtime.packet_source
+
+        drain_used = 0
+        try:
+            drain_used = self.backend.execute(
+                network,
+                source,
+                warmup_cycles=self.warmup_cycles,
+                measurement_cycles=self.measurement_cycles,
+                drain_cycles=self.drain_cycles,
+            )
+        finally:
+            # Close the final phase window and undo scenario mutations on
+            # every exit path, so shared placements never leak fault state.
+            if runtime is not None:
+                runtime.finalize(injection_end + drain_used)
 
         stats = network.stats
         result = SimulationResult(
@@ -168,6 +217,8 @@ class Simulator:
                 result.energy_per_flit = total / stats.flits_delivered
             else:
                 result.energy_per_flit = 0.0
+            for phase in stats.phases:
+                phase.energy_j = self.energy_model.phase_energy(phase)
         return result
 
 
@@ -179,6 +230,8 @@ def run_simulation(
     drain_cycles: int = 1000,
     energy_model: Optional[EnergyModel] = None,
     backend: Union[str, SimulatorBackend, None] = None,
+    scenario: Optional[ScenarioSpec] = None,
+    scenario_seed: int = 0,
 ) -> SimulationResult:
     """Convenience wrapper building and running a :class:`Simulator`."""
     simulator = Simulator(
@@ -189,5 +242,7 @@ def run_simulation(
         drain_cycles=drain_cycles,
         energy_model=energy_model,
         backend=backend,
+        scenario=scenario,
+        scenario_seed=scenario_seed,
     )
     return simulator.run()

@@ -17,7 +17,7 @@ The per-cycle evaluation order is:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.routing.base import (
     ElevatorSelectionPolicy,
@@ -104,6 +104,14 @@ class Network:
         self._active_routers: Set[int] = set()
         self._live_queues: Set[Tuple[int, int]] = set()
 
+        # Runtime topology state (scenario fault injection).  Severed
+        # elevators have their vertical links removed from ``_neighbor``;
+        # listeners (registered by simulation kernels caching link
+        # structure) are notified with the affected node ids so they can
+        # rebuild incrementally.
+        self._severed_elevators: Set[int] = set()
+        self._topology_listeners: List[Callable[[Iterable[int]], None]] = []
+
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
@@ -189,6 +197,96 @@ class Network:
             if not routers[node].has_traffic():
                 active.discard(node)
         return not active
+
+    # ------------------------------------------------------------------ #
+    # Runtime topology events (scenario fault injection)
+    # ------------------------------------------------------------------ #
+    def add_topology_listener(
+        self, listener: Callable[[Iterable[int]], None]
+    ) -> None:
+        """Register a callback fired with the node ids of changed links.
+
+        Simulation kernels caching link structure (the optimized kernel's
+        downstream-buffer tables) register here so topology events rebuild
+        exactly the affected routers.
+        """
+        self._topology_listeners.append(listener)
+
+    def remove_topology_listener(
+        self, listener: Callable[[Iterable[int]], None]
+    ) -> None:
+        """Unregister a topology listener (no-op when absent)."""
+        if listener in self._topology_listeners:
+            self._topology_listeners.remove(listener)
+
+    def fail_elevator(self, elevator_index: int) -> None:
+        """Fail an elevator mid-run: exclude it from selection, sever TSVs.
+
+        The placement marks the elevator faulty (all policies consult the
+        healthy set; AdEle additionally re-derives its subset tables via
+        :meth:`~repro.routing.base.ElevatorSelectionPolicy.on_topology_change`)
+        and the column's vertical links are removed, so flits already
+        assigned to the elevator stall at the column until a repair.
+
+        Raises:
+            ValueError: When the failure would leave a multi-layer mesh
+                with no healthy elevator at all -- inter-layer packets
+                could not even be assigned, so the degenerate network
+                cannot be simulated.
+        """
+        elevator = self.placement.elevator_by_index(elevator_index)
+        if not self.placement.is_faulty(elevator_index):
+            remaining = [
+                e for e in self.placement.healthy_elevators()
+                if e.index != elevator_index
+            ]
+            if not remaining and self.mesh.num_layers > 1:
+                raise ValueError(
+                    f"failing elevator {elevator_index} would leave "
+                    f"placement {self.placement.name!r} with no healthy "
+                    "elevator; inter-layer traffic could not be routed"
+                )
+            self.placement.mark_faulty(elevator_index)
+        self._set_vertical_links(elevator, enabled=False)
+        self.policy.on_topology_change()
+
+    def repair_elevator(self, elevator_index: int) -> None:
+        """Repair a failed elevator: selection and vertical links restored."""
+        elevator = self.placement.elevator_by_index(elevator_index)
+        if self.placement.is_faulty(elevator_index):
+            self.placement.clear_fault(elevator_index)
+        self._set_vertical_links(elevator, enabled=True)
+        self.policy.on_topology_change()
+
+    def restore_all_links(self) -> None:
+        """Reconnect every severed elevator column (fault marks untouched)."""
+        for index in sorted(self._severed_elevators):
+            self._set_vertical_links(
+                self.placement.elevator_by_index(index), enabled=True
+            )
+
+    def severed_elevators(self) -> Set[int]:
+        """Indices of elevators whose vertical links are currently severed."""
+        return set(self._severed_elevators)
+
+    def _set_vertical_links(self, elevator, enabled: bool) -> None:
+        mesh = self.mesh
+        nodes = self.placement.elevator_nodes(elevator)
+        for node in nodes:
+            coord = mesh.coordinate(node)
+            for port in VERTICAL_PORTS:
+                dz = 1 if port == Port.UP else -1
+                z = coord.z + dz
+                neighbor: Optional[int] = None
+                if enabled and 0 <= z < mesh.size_z:
+                    neighbor = mesh.node_id_xyz(coord.x, coord.y, z)
+                self._neighbor[(node, port)] = neighbor
+        if enabled:
+            self._severed_elevators.discard(elevator.index)
+        else:
+            self._severed_elevators.add(elevator.index)
+        for listener in self._topology_listeners:
+            listener(nodes)
 
     # ------------------------------------------------------------------ #
     # Routing interface used by routers
@@ -324,6 +422,7 @@ class Network:
 
     def reset(self) -> None:
         """Clear all buffers, queues and policy state for a fresh run."""
+        self.restore_all_links()
         for router in self.routers:
             router.reset()
         for queue in self._injection_queues.values():

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.sim.flit import Packet
 
@@ -34,6 +34,195 @@ DEFAULT_LATENCY_RESERVOIR_SIZE = 4096
 #: order (e.g. the reference and optimized simulation kernels) must keep
 #: bit-identical samples.
 _RESERVOIR_SEED = 0x5EED
+
+
+def _reservoir_observe(stats, value: float) -> None:
+    """Add one latency sample to a bounded reservoir (Algorithm R).
+
+    Shared by :class:`SimulationStats` and :class:`PhaseStats`, which carry
+    identically named ``latencies`` / ``latency_samples_seen`` /
+    ``latency_reservoir_size`` / ``_reservoir_rng`` attributes.  The first
+    ``latency_reservoir_size`` samples are stored exactly; afterwards sample
+    ``i`` replaces a uniformly random stored slot with probability
+    ``capacity / i``.  The replacement RNG is seeded by a fixed constant, so
+    identical delivery sequences keep identical samples.
+    """
+    stats.latency_samples_seen += 1
+    if len(stats.latencies) < stats.latency_reservoir_size:
+        stats.latencies.append(value)
+        return
+    slot = stats._reservoir_rng.randrange(stats.latency_samples_seen)
+    if slot < stats.latency_reservoir_size:
+        stats.latencies[slot] = value
+
+
+def _reservoir_merge(stats, stored: List[float], samples_seen: int) -> None:
+    """Merge another collector's (possibly down-sampled) latencies in.
+
+    Stored samples flow through the reservoir (so the bound holds).  When
+    the other side already down-sampled, each surviving sample stands for
+    ``seen / len(stored)`` observations: the seen counter is advanced by
+    that share *before* each offer, so replacement probabilities stay
+    proportional to the true observation counts (an approximation of
+    weighted reservoir merging, not an exact one).
+    """
+    if not stored:
+        return
+    base, remainder = divmod(samples_seen - len(stored), len(stored))
+    for i, value in enumerate(stored):
+        stats.latency_samples_seen += base + (1 if i < remainder else 0)
+        _reservoir_observe(stats, value)
+
+
+def _latency_percentile(stats, percentile: float) -> float:
+    """Latency percentile over a collector's (possibly sampled) latencies."""
+    if not stats.latencies:
+        return float("inf")
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError("percentile must be within [0, 100]")
+    ordered = sorted(stats.latencies)
+    index = int(round((percentile / 100.0) * (len(ordered) - 1)))
+    return ordered[index]
+
+
+@dataclass
+class PhaseStats:
+    """Event counters of one scenario measurement window.
+
+    A *phase* is a half-open cycle window ``[start_cycle, end_cycle)`` opened
+    by a scenario event (or the implicit ``baseline`` window).  Every
+    measured simulation event is attributed to the phase active at the cycle
+    it happens -- so a packet created in one phase but delivered in the next
+    counts its creation in the first and its delivery (and latency) in the
+    second.  All counters respect the parent collector's measurement window:
+    warm-up traffic never pollutes a phase.
+
+    Merging (:meth:`merge`) is index-aligned and reservoir-safe, so the
+    batch engine can aggregate the phases of repeated scenario runs exactly
+    like it aggregates whole-run statistics.
+
+    Attributes:
+        label: Human-readable window name (from the opening event).
+        start_cycle: First cycle of the window.
+        end_cycle: First cycle *past* the window (``None`` while open).
+        packets_created: Measured packets created during the window.
+        packets_delivered: Measured packets delivered during the window.
+        flits_injected: Measured flits entering source routers.
+        flits_delivered: Measured flits ejected at destinations.
+        total_latency: Sum of latencies of packets delivered in the window.
+        total_hops: Sum of hop counts of packets delivered in the window.
+        router_traversals: Flits forwarded by any router during the window.
+        horizontal_link_traversals: Flits crossing horizontal links.
+        vertical_link_traversals: Flits crossing vertical (TSV) links.
+        latencies: Reservoir-bounded individual latencies (Algorithm R,
+            fixed seed -- the same discipline as
+            :attr:`SimulationStats.latencies`).
+        latency_samples_seen: Latencies offered to the reservoir.
+        latency_reservoir_size: Capacity of the reservoir.
+        energy_j: Optional per-phase energy in Joules, filled in by the
+            simulation driver when an energy model is configured.
+    """
+
+    label: str
+    start_cycle: int
+    end_cycle: Optional[int] = None
+    packets_created: int = 0
+    packets_delivered: int = 0
+    flits_injected: int = 0
+    flits_delivered: int = 0
+    total_latency: float = 0.0
+    total_hops: int = 0
+    router_traversals: int = 0
+    horizontal_link_traversals: int = 0
+    vertical_link_traversals: int = 0
+    latencies: List[float] = field(default_factory=list)
+    latency_samples_seen: int = 0
+    latency_reservoir_size: int = DEFAULT_LATENCY_RESERVOIR_SIZE
+    energy_j: Optional[float] = None
+    _reservoir_rng: random.Random = field(
+        default_factory=lambda: random.Random(_RESERVOIR_SEED),
+        repr=False,
+        compare=False,
+    )
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def average_latency(self) -> float:
+        """Mean latency of packets delivered in the window (inf if none)."""
+        if self.packets_delivered == 0:
+            return float("inf")
+        return self.total_latency / self.packets_delivered
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / created packets within the window (1.0 when empty)."""
+        if self.packets_created == 0:
+            return 1.0
+        return self.packets_delivered / self.packets_created
+
+    @property
+    def cycles(self) -> Optional[int]:
+        """Window length in cycles (``None`` while the window is open)."""
+        if self.end_cycle is None:
+            return None
+        return self.end_cycle - self.start_cycle
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile over the window's delivered packets."""
+        return _latency_percentile(self, percentile)
+
+    def _observe_latency(self, value: float) -> None:
+        _reservoir_observe(self, value)
+
+    # ------------------------------------------------------------------ #
+    # Aggregation and reporting
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "PhaseStats") -> None:
+        """Accumulate another phase window into this one (index-aligned)."""
+        self.start_cycle = min(self.start_cycle, other.start_cycle)
+        if self.end_cycle is None or other.end_cycle is None:
+            self.end_cycle = None
+        else:
+            self.end_cycle = max(self.end_cycle, other.end_cycle)
+        self.packets_created += other.packets_created
+        self.packets_delivered += other.packets_delivered
+        self.flits_injected += other.flits_injected
+        self.flits_delivered += other.flits_delivered
+        self.total_latency += other.total_latency
+        self.total_hops += other.total_hops
+        self.router_traversals += other.router_traversals
+        self.horizontal_link_traversals += other.horizontal_link_traversals
+        self.vertical_link_traversals += other.vertical_link_traversals
+        if self.energy_j is not None and other.energy_j is not None:
+            self.energy_j += other.energy_j
+        else:
+            self.energy_j = None
+        _reservoir_merge(self, other.latencies, other.latency_samples_seen)
+
+    def to_summary(self) -> Dict[str, object]:
+        """JSON-native summary row of the window (for caches and tables)."""
+        summary: Dict[str, object] = {
+            "label": self.label,
+            "start_cycle": self.start_cycle,
+            "end_cycle": self.end_cycle,
+            "packets_created": self.packets_created,
+            "packets_delivered": self.packets_delivered,
+            "flits_injected": self.flits_injected,
+            "flits_delivered": self.flits_delivered,
+            "total_latency": self.total_latency,
+            "total_hops": self.total_hops,
+            "router_traversals": self.router_traversals,
+            "horizontal_link_traversals": self.horizontal_link_traversals,
+            "vertical_link_traversals": self.vertical_link_traversals,
+            "average_latency": self.average_latency,
+            "delivery_ratio": self.delivery_ratio,
+            "latency_samples_seen": self.latency_samples_seen,
+        }
+        if self.energy_j is not None:
+            summary["energy_j"] = self.energy_j
+        return summary
 
 
 @dataclass
@@ -88,11 +277,38 @@ class SimulationStats:
     latencies: List[float] = field(default_factory=list)
     latency_samples_seen: int = 0
     latency_reservoir_size: int = DEFAULT_LATENCY_RESERVOIR_SIZE
+    phases: List[PhaseStats] = field(default_factory=list)
     _reservoir_rng: random.Random = field(
         default_factory=lambda: random.Random(_RESERVOIR_SEED),
         repr=False,
         compare=False,
     )
+    _phase: Optional[PhaseStats] = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------ #
+    # Phase windows (scenario runs)
+    # ------------------------------------------------------------------ #
+    def begin_phase(self, label: str, cycle: int) -> None:
+        """Open a new measurement window, closing the current one at ``cycle``.
+
+        Subsequent measured events are attributed to the new window (in
+        addition to the whole-run counters) until the next ``begin_phase``
+        or :meth:`end_phase`.  Scenario runs open an implicit ``baseline``
+        window at cycle 0, so a boundary at any later cycle always closes a
+        well-defined predecessor -- possibly an empty one, e.g. when the
+        first event fires exactly at the end of warm-up.
+        """
+        if self._phase is not None:
+            self._phase.end_cycle = cycle
+        phase = PhaseStats(label=label, start_cycle=cycle)
+        self.phases.append(phase)
+        self._phase = phase
+
+    def end_phase(self, cycle: int) -> None:
+        """Close the current measurement window at ``cycle`` (if any)."""
+        if self._phase is not None:
+            self._phase.end_cycle = cycle
+            self._phase = None
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -115,31 +331,48 @@ class SimulationStats:
             self.elevator_assignments[packet.elevator_index] = (
                 self.elevator_assignments.get(packet.elevator_index, 0) + 1
             )
+        phase = self._phase
+        if phase is not None:
+            phase.packets_created += 1
 
     def record_flit_injected(self, packet: Packet, cycle: int) -> None:
         """A flit entered its source router."""
         if packet.creation_cycle >= self.measurement_start:
             self.flits_injected += 1
+            phase = self._phase
+            if phase is not None:
+                phase.flits_injected += 1
 
     def record_router_traversal(self, node_id: int, packet: Packet, cycle: int) -> None:
         """A flit was forwarded by (left) a router."""
         if cycle < self.measurement_start:
             return
         self.router_traversals[node_id] = self.router_traversals.get(node_id, 0) + 1
+        phase = self._phase
+        if phase is not None:
+            phase.router_traversals += 1
 
     def record_link_traversal(self, vertical: bool, packet: Packet, cycle: int) -> None:
         """A flit crossed a router-to-router link."""
         if cycle < self.measurement_start:
             return
+        phase = self._phase
         if vertical:
             self.vertical_link_traversals += 1
+            if phase is not None:
+                phase.vertical_link_traversals += 1
         else:
             self.horizontal_link_traversals += 1
+            if phase is not None:
+                phase.horizontal_link_traversals += 1
 
     def record_flit_delivered(self, packet: Packet, cycle: int) -> None:
         """A flit was ejected at its destination."""
         if packet.creation_cycle >= self.measurement_start:
             self.flits_delivered += 1
+            phase = self._phase
+            if phase is not None:
+                phase.flits_delivered += 1
 
     def record_packet_delivered(self, packet: Packet, cycle: int) -> None:
         """A packet's tail flit was ejected at its destination."""
@@ -155,6 +388,13 @@ class SimulationStats:
             self.total_network_latency += network_latency
         self.total_hops += packet.hops
         self.total_vertical_hops += packet.vertical_hops
+        phase = self._phase
+        if phase is not None:
+            phase.packets_delivered += 1
+            if latency is not None:
+                phase.total_latency += latency
+                phase._observe_latency(float(latency))
+            phase.total_hops += packet.hops
 
     def _observe_latency(self, value: float) -> None:
         """Add one latency sample, switching to reservoir sampling at capacity.
@@ -165,13 +405,7 @@ class SimulationStats:
         is seeded by a fixed constant, so identical delivery sequences keep
         identical samples.
         """
-        self.latency_samples_seen += 1
-        if len(self.latencies) < self.latency_reservoir_size:
-            self.latencies.append(value)
-            return
-        slot = self._reservoir_rng.randrange(self.latency_samples_seen)
-        if slot < self.latency_reservoir_size:
-            self.latencies[slot] = value
+        _reservoir_observe(self, value)
 
     # ------------------------------------------------------------------ #
     # Derived metrics
@@ -211,13 +445,7 @@ class SimulationStats:
         been observed; a uniform-reservoir estimate afterwards (compare
         ``latency_samples_seen`` with ``len(latencies)`` to tell).
         """
-        if not self.latencies:
-            return float("inf")
-        if not 0.0 <= percentile <= 100.0:
-            raise ValueError("percentile must be within [0, 100]")
-        ordered = sorted(self.latencies)
-        index = int(round((percentile / 100.0) * (len(ordered) - 1)))
-        return ordered[index]
+        return _latency_percentile(self, percentile)
 
     def throughput(self, measurement_cycles: int, num_nodes: int) -> float:
         """Accepted traffic in flits per node per cycle."""
@@ -276,18 +504,22 @@ class SimulationStats:
             self.elevator_assignments[index] = (
                 self.elevator_assignments.get(index, 0) + count
             )
-        # Stored samples flow through the reservoir (so the bound holds).
-        # When the other side already down-sampled, each surviving sample
-        # stands for seen/len(stored) observations: the seen counter is
-        # advanced by that share *before* each offer, so replacement
-        # probabilities stay proportional to the true observation counts
-        # (an approximation of weighted reservoir merging, not an exact
-        # one).  Totals are preserved exactly either way.
-        stored = other.latencies
-        if stored:
-            base, remainder = divmod(
-                other.latency_samples_seen - len(stored), len(stored)
-            )
-            for i, value in enumerate(stored):
-                self.latency_samples_seen += base + (1 if i < remainder else 0)
-                self._observe_latency(value)
+        # Stored samples flow through the reservoir (so the bound holds);
+        # totals are preserved exactly either way.  See _reservoir_merge
+        # for the weighting of already-down-sampled inputs.
+        _reservoir_merge(self, other.latencies, other.latency_samples_seen)
+        # Phase windows align by index (repeats of one scenario produce the
+        # same timeline); phases the other side has and this side lacks are
+        # absorbed through a fresh window so reservoir bounds hold.
+        for i, other_phase in enumerate(other.phases):
+            if i < len(self.phases):
+                self.phases[i].merge(other_phase)
+            else:
+                absorbed = PhaseStats(
+                    label=other_phase.label,
+                    start_cycle=other_phase.start_cycle,
+                    end_cycle=other_phase.end_cycle,
+                )
+                absorbed.merge(other_phase)
+                absorbed.energy_j = other_phase.energy_j
+                self.phases.append(absorbed)

@@ -36,12 +36,13 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from repro.registry import UnknownComponentError
+from repro.jsonutil import check_json_native as _check_json_native
+from repro.scenario.spec import ScenarioSpec
 from repro.sim.backends import DEFAULT_BACKEND
 from repro.topology.elevators import PLACEMENT_REGISTRY, ElevatorPlacement
 from repro.topology.mesh3d import Mesh3D
-from repro.traffic.applications import APPLICATION_REGISTRY, make_application_traffic
-from repro.traffic.patterns import PATTERN_REGISTRY, TrafficPattern
+from repro.traffic.applications import APPLICATION_REGISTRY
+from repro.traffic.patterns import TrafficPattern
 
 #: Version tag of the canonical dictionary serialization.
 SPEC_FORMAT = 1
@@ -59,25 +60,6 @@ ADELE_POLICY_NAMES = ("adele", "adele_rr")
 # ---------------------------------------------------------------------- #
 # Validation helpers
 # ---------------------------------------------------------------------- #
-def _check_json_native(value: Any, where: str) -> Any:
-    """Validate that ``value`` is JSON-native (for options dictionaries)."""
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    if isinstance(value, (list, tuple)):
-        return [_check_json_native(item, where) for item in value]
-    if isinstance(value, Mapping):
-        result = {}
-        for key, item in value.items():
-            if not isinstance(key, str):
-                raise ValueError(f"{where} keys must be strings, got {key!r}")
-            result[key] = _check_json_native(item, where)
-        return result
-    raise ValueError(
-        f"{where} values must be JSON-native (str/int/float/bool/None/"
-        f"list/dict), got {type(value).__name__}: {value!r}"
-    )
-
-
 def _options_dict(options: Optional[Mapping[str, Any]], where: str) -> Dict[str, Any]:
     if options is None:
         return {}
@@ -294,21 +276,10 @@ class TrafficSpec:
             repro.registry.UnknownComponentError: When the name is neither a
                 registered pattern nor a registered application.
         """
-        if self.is_application:
-            if self.options:
-                raise ValueError(
-                    f"application traffic {self.pattern!r} accepts no options, "
-                    f"got {sorted(self.options)}"
-                )
-            return make_application_traffic(self.pattern, placement.mesh, seed=seed)
-        if self.pattern in PATTERN_REGISTRY:
-            return PATTERN_REGISTRY.create(
-                self.pattern, placement.mesh, seed=seed, **self.options
-            )
-        raise UnknownComponentError(
-            "traffic pattern or application",
-            self.pattern,
-            sorted(set(PATTERN_REGISTRY.names()) | set(APPLICATION_REGISTRY.names())),
+        from repro.traffic import build_traffic_pattern
+
+        return build_traffic_pattern(
+            self.pattern, placement.mesh, seed=seed, options=self.options
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -429,6 +400,11 @@ class SimSpec:
 #: tuple so the spec layer stays import-light).
 DESIGN_SELECTIONS = ("knee", "latency", "energy")
 
+#: Default number of representative (S0...) solutions exposed from the
+#: archive (S0-S5 in the paper corresponds to 6; mirrors
+#: ``OfflineConfig.num_representatives``).
+DEFAULT_NUM_REPRESENTATIVES = 6
+
 
 @dataclass(frozen=True)
 class DesignSpec:
@@ -459,6 +435,16 @@ class DesignSpec:
             unlimited.
         selection: Archive-selection strategy for the deployed solution
             (``knee``, ``latency`` or ``energy``).
+        weight_distance_by_traffic: Weight the distance objective by the
+            assumed traffic matrix instead of counting inter-layer pairs
+            equally.  Omitted from the canonical serialization at its
+            default (``False``), so pre-existing design-cache keys stay
+            valid.
+        num_representatives: How many spread (S0...) solutions to expose
+            from the archive.  Like ``selection``, this only *reads* the
+            archive: it is re-applied after every cache fetch and never
+            splits the cache; omitted from the canonical serialization at
+            its default.
     """
 
     placement: PlacementSpec = field(default_factory=PlacementSpec)
@@ -467,6 +453,8 @@ class DesignSpec:
     options: Dict[str, Any] = field(default_factory=dict)
     max_subset_size: Optional[int] = DEFAULT_ADELE_MAX_SUBSET_SIZE
     selection: str = "knee"
+    weight_distance_by_traffic: bool = False
+    num_representatives: int = DEFAULT_NUM_REPRESENTATIVES
 
     def __post_init__(self) -> None:
         if not isinstance(self.placement, PlacementSpec):
@@ -488,6 +476,20 @@ class DesignSpec:
                 f"expected one of {sorted(DESIGN_SELECTIONS)}"
             )
         object.__setattr__(self, "selection", selection)
+        if not isinstance(self.weight_distance_by_traffic, bool):
+            raise ValueError(
+                f"weight_distance_by_traffic must be a boolean, "
+                f"got {self.weight_distance_by_traffic!r}"
+            )
+        if (
+            isinstance(self.num_representatives, bool)
+            or not isinstance(self.num_representatives, int)
+            or self.num_representatives < 1
+        ):
+            raise ValueError(
+                f"num_representatives must be a positive integer, "
+                f"got {self.num_representatives!r}"
+            )
 
     def with_(self, **changes: Any) -> "DesignSpec":
         """A copy with some fields replaced (same validation)."""
@@ -509,6 +511,13 @@ class DesignSpec:
             "max_subset_size": self.max_subset_size,
             "selection": self.selection,
         }
+        # Both knobs predate no one: they entered the spec after the disk
+        # caches existed, so they appear only when non-default -- keys of
+        # every previously cached design stay byte-identical.
+        if self.weight_distance_by_traffic:
+            data["weight_distance_by_traffic"] = True
+        if self.num_representatives != DEFAULT_NUM_REPRESENTATIVES:
+            data["num_representatives"] = self.num_representatives
         if include_placement:
             data["placement"] = self.placement.to_dict()
         return data
@@ -518,7 +527,16 @@ class DesignSpec:
         """Rebuild from the canonical form (unknown keys rejected)."""
         _reject_unknown_keys(
             data,
-            ("placement", "traffic", "optimizer", "options", "max_subset_size", "selection"),
+            (
+                "placement",
+                "traffic",
+                "optimizer",
+                "options",
+                "max_subset_size",
+                "selection",
+                "weight_distance_by_traffic",
+                "num_representatives",
+            ),
             "design spec",
         )
         defaults = cls()
@@ -532,6 +550,12 @@ class DesignSpec:
             options=dict(data.get("options") or {}),
             max_subset_size=data.get("max_subset_size", defaults.max_subset_size),
             selection=data.get("selection", defaults.selection),
+            weight_distance_by_traffic=data.get(
+                "weight_distance_by_traffic", defaults.weight_distance_by_traffic
+            ),
+            num_representatives=data.get(
+                "num_representatives", defaults.num_representatives
+            ),
         )
 
 
@@ -567,10 +591,13 @@ class ExperimentSpec:
     The optional ``design`` field pins the offline stage of AdEle policies
     to an explicit :class:`DesignSpec` (optimizer, options, assumed
     traffic, selection); its placement field is ignored -- the experiment's
-    placement is authoritative.  It enters the canonical serialization (and
-    therefore cache keys and derived seeds) **only when set**, so every
-    pre-existing cache entry stays valid and default-design experiments
-    hash exactly as before.
+    placement is authoritative.  The optional ``scenario`` field attaches a
+    :class:`~repro.scenario.spec.ScenarioSpec` event timeline (traffic
+    phases, rate ramps, elevator faults/repairs, measurement markers)
+    executed while the simulation runs.  Both enter the canonical
+    serialization (and therefore cache keys and derived seeds) **only when
+    set**, so every pre-existing cache entry stays valid and plain
+    experiments hash exactly as before.
     """
 
     placement: PlacementSpec = field(default_factory=PlacementSpec)
@@ -578,6 +605,7 @@ class ExperimentSpec:
     traffic: TrafficSpec = field(default_factory=TrafficSpec)
     sim: SimSpec = field(default_factory=SimSpec)
     design: Optional[DesignSpec] = None
+    scenario: Optional[ScenarioSpec] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.placement, PlacementSpec):
@@ -590,6 +618,10 @@ class ExperimentSpec:
             raise ValueError(f"sim must be a SimSpec, got {self.sim!r}")
         if self.design is not None and not isinstance(self.design, DesignSpec):
             raise ValueError(f"design must be a DesignSpec or None, got {self.design!r}")
+        if self.scenario is not None and not isinstance(self.scenario, ScenarioSpec):
+            raise ValueError(
+                f"scenario must be a ScenarioSpec or None, got {self.scenario!r}"
+            )
 
     # ------------------------------------------------------------------ #
     # Derivation
@@ -607,12 +639,13 @@ class ExperimentSpec:
         options (options rarely transfer between policies); pass a full
         :class:`PolicySpec` to control them explicitly.
         """
-        placement, policy, traffic, sim, design = (
+        placement, policy, traffic, sim, design, scenario = (
             self.placement,
             self.policy,
             self.traffic,
             self.sim,
             self.design,
+            self.scenario,
         )
         for key, value in changes.items():
             if key == "placement":
@@ -649,6 +682,12 @@ class ExperimentSpec:
                 if value is not None and not isinstance(value, DesignSpec):
                     raise ValueError(f"design must be a DesignSpec or None, got {value!r}")
                 design = value
+            elif key == "scenario":
+                if value is not None and not isinstance(value, ScenarioSpec):
+                    raise ValueError(
+                        f"scenario must be a ScenarioSpec or None, got {value!r}"
+                    )
+                scenario = value
             elif key in _FLAT_FIELDS:
                 holder, attr = _FLAT_FIELDS[key]
                 if holder == "traffic":
@@ -658,7 +697,12 @@ class ExperimentSpec:
             else:
                 raise ValueError(f"unknown ExperimentSpec field {key!r}")
         return ExperimentSpec(
-            placement=placement, policy=policy, traffic=traffic, sim=sim, design=design
+            placement=placement,
+            policy=policy,
+            traffic=traffic,
+            sim=sim,
+            design=design,
+            scenario=scenario,
         )
 
     # ------------------------------------------------------------------ #
@@ -671,8 +715,9 @@ class ExperimentSpec:
         files are built from; it round-trips losslessly through
         :meth:`from_dict`.  The ``design`` key appears only when an
         explicit :class:`DesignSpec` is set (and without its placement --
-        the experiment's placement is authoritative), so pre-existing cache
-        entries stay valid.
+        the experiment's placement is authoritative), and the ``scenario``
+        key only when a :class:`~repro.scenario.spec.ScenarioSpec` is
+        attached, so pre-existing cache entries stay valid.
         """
         data = {
             "format": SPEC_FORMAT,
@@ -683,6 +728,8 @@ class ExperimentSpec:
         }
         if self.design is not None:
             data["design"] = self.design.to_dict(include_placement=False)
+        if self.scenario is not None:
+            data["scenario"] = self.scenario.to_dict()
         return data
 
     @classmethod
@@ -695,7 +742,7 @@ class ExperimentSpec:
         """
         _reject_unknown_keys(
             data,
-            ("format", "placement", "policy", "traffic", "sim", "design"),
+            ("format", "placement", "policy", "traffic", "sim", "design", "scenario"),
             "experiment spec",
         )
         version = data.get("format", SPEC_FORMAT)
@@ -705,12 +752,16 @@ class ExperimentSpec:
                 f"(this version reads format {SPEC_FORMAT})"
             )
         design_data = data.get("design")
+        scenario_data = data.get("scenario")
         return cls(
             placement=PlacementSpec.from_dict(data.get("placement") or {}),
             policy=PolicySpec.from_dict(data.get("policy") or {}),
             traffic=TrafficSpec.from_dict(data.get("traffic") or {}),
             sim=SimSpec.from_dict(data.get("sim") or {}),
             design=None if design_data is None else DesignSpec.from_dict(design_data),
+            scenario=None
+            if scenario_data is None
+            else ScenarioSpec.from_dict(scenario_data),
         )
 
     def to_json(self) -> str:

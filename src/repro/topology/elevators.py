@@ -161,6 +161,11 @@ class ElevatorPlacement:
         self.elevator_by_index(elevator_index)
         self._faulty.add(elevator_index)
 
+    def clear_fault(self, elevator_index: int) -> None:
+        """Clear the fault marking of one elevator (repair)."""
+        self.elevator_by_index(elevator_index)
+        self._faulty.discard(elevator_index)
+
     def clear_faults(self) -> None:
         """Clear all fault markings."""
         self._faulty.clear()

@@ -296,3 +296,92 @@ class TestOptimizeCli:
         out = capsys.readouterr().out
         assert "optimizers:" in out
         assert "amosa" in out and "random-search" in out and "greedy-swap" in out
+
+
+# --------------------------------------------------------------------- #
+# Promoted offline knobs (weight_distance_by_traffic / num_representatives)
+# --------------------------------------------------------------------- #
+class TestPromotedOfflineKnobs:
+    def test_defaults_omitted_from_canonical_serialization(self):
+        data = DesignSpec().to_dict()
+        assert "weight_distance_by_traffic" not in data
+        assert "num_representatives" not in data
+
+    def test_non_defaults_round_trip(self):
+        spec = FAST_DESIGN.with_(
+            weight_distance_by_traffic=True, num_representatives=3
+        )
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert data["weight_distance_by_traffic"] is True
+        assert data["num_representatives"] == 3
+        assert DesignSpec.from_dict(data) == spec
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesignSpec(weight_distance_by_traffic=1)
+        with pytest.raises(ValueError):
+            DesignSpec(num_representatives=0)
+        with pytest.raises(ValueError):
+            DesignSpec(num_representatives=True)
+
+    def test_default_knobs_keep_design_cache_key(self):
+        explicit = FAST_DESIGN.with_(
+            weight_distance_by_traffic=False, num_representatives=6
+        )
+        assert design_key_for(explicit) == design_key_for(FAST_DESIGN)
+
+    def test_weighting_extends_key_but_representatives_do_not(self):
+        weighted = FAST_DESIGN.with_(weight_distance_by_traffic=True)
+        assert design_key_for(weighted) != design_key_for(FAST_DESIGN)
+        fewer = FAST_DESIGN.with_(num_representatives=2)
+        assert design_key_for(fewer) == design_key_for(FAST_DESIGN)
+
+    def test_representatives_reapplied_on_cache_hit(self):
+        baseline = design_for(FAST_DESIGN)
+        fewer = design_for(FAST_DESIGN.with_(num_representatives=2))
+        assert len(fewer.representatives) == min(2, len(baseline.result.archive))
+        again = design_for(FAST_DESIGN)
+        assert len(again.representatives) == len(baseline.representatives)
+
+    def test_weighted_design_survives_disk_round_trip(self, tmp_path):
+        cache = DiskDesignCache(str(tmp_path / "designs"))
+        spec = FAST_DESIGN.with_(weight_distance_by_traffic=True)
+        first = runner.design_for(spec, cache=cache)
+        fresh = DiskDesignCache(str(tmp_path / "designs"))
+        second = runner.design_for(spec, cache=fresh)
+        assert second.result.evaluations == first.result.evaluations
+        assert [e.objectives for e in second.result.archive] == [
+            e.objectives for e in first.result.archive
+        ]
+        assert second.problem.evaluator.weight_distance_by_traffic is True
+
+    def test_experiment_nesting_defaults_collapse(self):
+        nested = ExperimentSpec(
+            placement=TINY_PLACEMENT,
+            design=DesignSpec(
+                weight_distance_by_traffic=False, num_representatives=6
+            ),
+        )
+        bare = ExperimentSpec(placement=TINY_PLACEMENT)
+        assert config_key(nested) == config_key(bare)
+        weighted = ExperimentSpec(
+            placement=TINY_PLACEMENT,
+            design=DesignSpec(weight_distance_by_traffic=True),
+        )
+        assert config_key(weighted) != config_key(bare)
+
+    def test_cli_flags(self, tmp_path, capsys):
+        spec_path = tmp_path / "design.json"
+        spec_path.write_text(json.dumps(FAST_DESIGN.to_dict()))
+        assert (
+            cli_main(
+                [
+                    "optimize", "--spec", str(spec_path),
+                    "--weight-by-traffic", "--representatives", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "S0" in out
+        assert "S2" not in out

@@ -1,0 +1,190 @@
+"""PhaseStats / SimulationStats merge edge cases and engine bit-identity.
+
+The satellite contract of the scenario subsystem's statistics layer:
+
+* empty phases merge cleanly (and absorb into stats that lack them);
+* a phase boundary exactly at warm-up end produces an empty-but-present
+  baseline window;
+* reservoir-bounded latencies stay bounded when merged across phases;
+* a scenario-attached batch is bit-identical serial vs. 4 workers vs. a
+  warm disk cache.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exec.batch import ExperimentBatch
+from repro.exec.cache import ResultCache
+from repro.scenario import (
+    BASELINE_PHASE_LABEL,
+    ElevatorFault,
+    ScenarioSpec,
+    StatsMarker,
+    TrafficPhase,
+)
+from repro.analysis.runner import run_experiment
+from repro.sim.stats import PhaseStats, SimulationStats
+from repro.spec import ExperimentSpec, PlacementSpec, PolicySpec, SimSpec, TrafficSpec
+
+
+def _spec(**overrides) -> ExperimentSpec:
+    spec = ExperimentSpec(
+        placement=PlacementSpec(name="phase-test", mesh=(3, 3, 2),
+                                columns=((0, 0), (2, 2))),
+        policy=PolicySpec(name="elevator_first"),
+        traffic=TrafficSpec(pattern="uniform", injection_rate=0.02),
+        sim=SimSpec(
+            warmup_cycles=30, measurement_cycles=150, drain_cycles=200, seed=11
+        ),
+    )
+    return spec.with_(**overrides) if overrides else spec
+
+
+class TestPhaseMergeEdgeCases:
+    def test_empty_phases_merge(self):
+        a = PhaseStats(label="x", start_cycle=0, end_cycle=10)
+        b = PhaseStats(label="x", start_cycle=0, end_cycle=10)
+        a.merge(b)
+        assert a.packets_created == 0
+        assert a.latencies == []
+        assert a.average_latency == math.inf
+        assert a.delivery_ratio == 1.0
+        assert a.cycles == 10
+
+    def test_open_phase_merge_keeps_window_open(self):
+        a = PhaseStats(label="x", start_cycle=5, end_cycle=None)
+        b = PhaseStats(label="x", start_cycle=3, end_cycle=50)
+        a.merge(b)
+        assert a.start_cycle == 3
+        assert a.end_cycle is None
+
+    def test_merge_into_stats_without_phases_absorbs(self):
+        into = SimulationStats()
+        other = SimulationStats()
+        other.begin_phase("p0", 0)
+        other.record_packet_created(_FakePacket(), 5)
+        other.end_phase(40)
+        into.merge(other)
+        assert [phase.label for phase in into.phases] == ["p0"]
+        assert into.phases[0].packets_created == 1
+        # Absorbing again accumulates index-aligned.
+        into.merge(other)
+        assert into.phases[0].packets_created == 2
+
+    def test_reservoir_bound_holds_across_phase_merges(self):
+        a = PhaseStats(label="x", start_cycle=0, latency_reservoir_size=8)
+        b = PhaseStats(label="x", start_cycle=0, latency_reservoir_size=8)
+        for i in range(30):
+            a._observe_latency(float(i))
+            b._observe_latency(float(100 + i))
+        assert len(a.latencies) == 8 and a.latency_samples_seen == 30
+        a.merge(b)
+        assert len(a.latencies) == 8
+        assert a.latency_samples_seen == 60
+        # Merging is deterministic: a fresh repeat produces the same samples.
+        c = PhaseStats(label="x", start_cycle=0, latency_reservoir_size=8)
+        d = PhaseStats(label="x", start_cycle=0, latency_reservoir_size=8)
+        for i in range(30):
+            c._observe_latency(float(i))
+            d._observe_latency(float(100 + i))
+        c.merge(d)
+        assert c.latencies == a.latencies
+
+    def test_energy_merges_additively_or_resets_to_none(self):
+        a = PhaseStats(label="x", start_cycle=0, energy_j=1.5)
+        b = PhaseStats(label="x", start_cycle=0, energy_j=0.5)
+        a.merge(b)
+        assert a.energy_j == pytest.approx(2.0)
+        c = PhaseStats(label="x", start_cycle=0, energy_j=1.5)
+        c.merge(PhaseStats(label="x", start_cycle=0))
+        assert c.energy_j is None
+
+
+class _FakePacket:
+    creation_cycle = 5
+    elevator_index = None
+    hops = 0
+    vertical_hops = 0
+    latency = 7.0
+    network_latency = 5.0
+
+
+class TestPhaseWindows:
+    def test_boundary_exactly_at_warmup_end(self):
+        # The baseline window [0, warmup) exists but is empty: every record
+        # gate excludes pre-measurement events, and the first marker fires
+        # exactly when measurement starts.
+        spec = _spec(scenario=ScenarioSpec(events=(
+            StatsMarker(cycle=30, label="measured"),
+        )))
+        result = run_experiment(spec)
+        baseline, measured = result.stats.phases
+        assert baseline.label == BASELINE_PHASE_LABEL
+        assert (baseline.start_cycle, baseline.end_cycle) == (0, 30)
+        assert baseline.packets_created == 0
+        assert baseline.packets_delivered == 0
+        assert baseline.latencies == []
+        assert measured.start_cycle == 30
+        assert measured.packets_created == result.stats.packets_created
+        assert measured.packets_delivered == result.stats.packets_delivered
+
+    def test_phase_counters_partition_whole_run_totals(self):
+        spec = _spec(scenario=ScenarioSpec(events=(
+            StatsMarker(cycle=80, label="a"),
+            TrafficPhase(cycle=120, pattern="shuffle", injection_rate=0.03),
+        )))
+        result = run_experiment(spec)
+        stats = result.stats
+        for field in (
+            "packets_created",
+            "packets_delivered",
+            "flits_injected",
+            "flits_delivered",
+            "total_latency",
+            "horizontal_link_traversals",
+            "vertical_link_traversals",
+        ):
+            total = getattr(stats, field)
+            partitioned = sum(getattr(phase, field) for phase in stats.phases)
+            assert partitioned == pytest.approx(total), field
+        assert sum(p.router_traversals for p in stats.phases) == sum(
+            stats.router_traversals.values()
+        )
+        assert sum(p.energy_j for p in stats.phases) == pytest.approx(
+            result.total_energy
+        )
+
+
+class TestBatchBitIdentity:
+    def test_serial_equals_workers_equals_warm_cache(self, tmp_path):
+        scenario = ScenarioSpec(events=(
+            ElevatorFault(cycle=60, elevator=0),
+            TrafficPhase(cycle=100, pattern="shuffle", injection_rate=0.03),
+        ))
+        specs = [
+            _spec(policy=policy, scenario=scenario, injection_rate=rate)
+            for policy in ("elevator_first", "adele")
+            for rate in (0.01, 0.02)
+        ]
+
+        serial = ExperimentBatch(specs, workers=1, base_seed=3).run()
+        parallel = ExperimentBatch(specs, workers=4, base_seed=3).run()
+        cache_dir = str(tmp_path / "cache")
+        cold = ExperimentBatch(
+            specs, workers=2, base_seed=3, result_cache=ResultCache(cache_dir)
+        ).run()
+        warm_batch = ExperimentBatch(
+            specs, workers=1, base_seed=3, result_cache=ResultCache(cache_dir)
+        )
+        warm = warm_batch.run()
+
+        rows = [[outcome.summary for outcome in run]
+                for run in (serial, parallel, cold, warm)]
+        assert rows[0] == rows[1] == rows[2] == rows[3]
+        assert warm_batch.last_executed == 0
+        assert all(outcome.from_cache for outcome in warm)
+        # Phase rows survived the disk round trip bit for bit.
+        assert all("phases" in row for row in rows[0])
