@@ -1,22 +1,32 @@
-"""Cycles/second micro-benchmark: ``reference`` vs ``optimized`` kernels.
+"""Cycles/second micro-benchmark of the simulation kernels.
 
 Unlike the ``bench_fig*`` files (which reproduce paper figures through
 pytest), this is a standalone script establishing the repository's
-performance trajectory: it times both simulation kernels on the 4x4x3
-benchmark mesh at three injection rates, verifies their results are
-bit-identical while timing them, and writes the measurements to
-``benchmarks/results/BENCH_perf_kernel.json``.
+performance trajectory.  Two sections:
+
+*Low load* (4x4x3 mesh, rates at or below 0.006): times every registered
+kernel, verifies ``reference`` and ``optimized`` are bit-identical while
+timing them, and checks the active-set contract (``optimized`` >= 2x
+``reference`` in the region where most routers are empty).
+
+*High load* (saturated 8x8x4 mesh): the regime the ``vectorized`` kernel
+exists for -- the active set degenerates to the whole mesh and flat-array
+batching wins instead.  The fast mode is what gets timed (that is what
+users run); correctness is checked separately with one untimed
+``bit_exact`` run that must match ``optimized`` exactly, plus a
+packet-creation identity check on every timed fast run.
+
+Everything lands in ``benchmarks/results/BENCH_perf_kernel.json``.
 
 Run it directly (tiny windows for a CI smoke, defaults for a real number)::
 
     PYTHONPATH=src python benchmarks/bench_perf_kernel.py
     PYTHONPATH=src python benchmarks/bench_perf_kernel.py \
-        --warmup 20 --measure 150 --drain 100 --repeats 1
+        --warmup 20 --measure 150 --drain 100 --repeats 1 \
+        --highload-measure 150
 
 The ``elevator_first`` policy keeps the shared (non-kernel) per-packet cost
-minimal so the numbers isolate the cycle loop itself.  Expected shape: the
-optimized kernel is >= 2x faster at every rate at or below 0.006 (the
-low-to-mid region where active-set skipping pays the most).
+minimal so the numbers isolate the cycle loop itself.
 """
 
 from __future__ import annotations
@@ -25,9 +35,10 @@ import argparse
 import json
 import os
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.runner import run_experiment
+from repro.sim.backends import available_backends
 from repro.spec import ExperimentSpec, PlacementSpec, PolicySpec, SimSpec, TrafficSpec
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -35,37 +46,61 @@ RESULT_FILE = os.path.join(RESULTS_DIR, "BENCH_perf_kernel.json")
 
 MESH = (4, 4, 3)
 ELEVATOR_COLUMNS = ((0, 0), (3, 3))
-BACKENDS = ("reference", "optimized")
+#: Kernels under the strict bit-identity timing contract.
+EXACT_BACKENDS = ("reference", "optimized")
+
+HIGHLOAD_MESH = (8, 8, 4)
+HIGHLOAD_COLUMNS = ((0, 0), (7, 0), (0, 7), (7, 7), (3, 3), (4, 4))
 
 
-def make_spec(backend: str, rate: float, args: argparse.Namespace) -> ExperimentSpec:
+def have_vectorized() -> bool:
+    return "vectorized" in available_backends()
+
+
+def make_spec(
+    backend: str,
+    rate: float,
+    *,
+    mesh=MESH,
+    columns=ELEVATOR_COLUMNS,
+    warmup: int,
+    measure: int,
+    drain: int,
+    seed: int,
+    bit_exact: bool = False,
+) -> ExperimentSpec:
+    name = f"bench-{mesh[0]}x{mesh[1]}x{mesh[2]}"
     return ExperimentSpec(
-        placement=PlacementSpec(name="bench-4x4x3", mesh=MESH, columns=ELEVATOR_COLUMNS),
+        placement=PlacementSpec(name=name, mesh=mesh, columns=columns),
         policy=PolicySpec(name="elevator_first"),
         traffic=TrafficSpec(pattern="uniform", injection_rate=rate),
         sim=SimSpec(
-            warmup_cycles=args.warmup,
-            measurement_cycles=args.measure,
-            drain_cycles=args.drain,
-            seed=args.seed,
+            warmup_cycles=warmup,
+            measurement_cycles=measure,
+            drain_cycles=drain,
+            seed=seed,
             backend=backend,
+            bit_exact=bit_exact,
         ),
     )
 
 
-def time_backend(backend: str, rate: float, args: argparse.Namespace) -> Dict:
-    """Best-of-N wall-clock timing of one (backend, rate) cell."""
-    spec = make_spec(backend, rate, args)
+def time_spec(spec: ExperimentSpec, repeats: int) -> Dict:
+    """Best-of-N wall-clock timing of one spec."""
     best = float("inf")
     result = None
-    for _ in range(args.repeats):
+    for _ in range(repeats):
         start = time.perf_counter()
         result = run_experiment(spec)
         best = min(best, time.perf_counter() - start)
-    cycles = args.warmup + args.measure + result.drain_cycles_used
+    cycles = (
+        spec.sim.warmup_cycles
+        + spec.sim.measurement_cycles
+        + result.drain_cycles_used
+    )
     return {
-        "backend": backend,
-        "injection_rate": rate,
+        "backend": spec.sim.backend,
+        "injection_rate": spec.traffic.injection_rate,
         "seconds": best,
         "cycles": cycles,
         "cycles_per_second": cycles / best if best > 0 else float("inf"),
@@ -74,40 +109,143 @@ def time_backend(backend: str, rate: float, args: argparse.Namespace) -> Dict:
     }
 
 
-def run_benchmark(args: argparse.Namespace) -> Dict:
+def run_lowload(args: argparse.Namespace, backends: List[str]) -> Dict:
+    window = dict(
+        warmup=args.warmup, measure=args.measure, drain=args.drain, seed=args.seed
+    )
     rows: List[Dict] = []
     speedups: Dict[str, float] = {}
     for rate in args.rates:
-        cells = {b: time_backend(b, rate, args) for b in BACKENDS}
+        cells = {
+            b: time_spec(make_spec(b, rate, **window), args.repeats)
+            for b in backends
+        }
         ref, opt = cells["reference"], cells["optimized"]
         if ref["summary"] != opt["summary"]:
             raise SystemExit(
                 f"backend results diverged at rate {rate}: "
                 f"{ref['summary']} != {opt['summary']}"
             )
+        vec = cells.get("vectorized")
+        if vec is not None:
+            # Fast mode: packet creation must be bit-identical even where
+            # allocation follows the tolerance contract.
+            if vec["summary"]["packets_created"] != ref["summary"]["packets_created"]:
+                raise SystemExit(
+                    f"vectorized packet creation diverged at rate {rate}"
+                )
         speedup = ref["seconds"] / opt["seconds"] if opt["seconds"] > 0 else float("inf")
         speedups[f"{rate:g}"] = speedup
         rows.extend(cells.values())
-        print(
+        line = (
             f"rate={rate:<8g} reference {ref['cycles_per_second']:>10.0f} cyc/s   "
             f"optimized {opt['cycles_per_second']:>10.0f} cyc/s   "
             f"speedup {speedup:.2f}x"
         )
+        if vec is not None:
+            line += f"   vectorized {vec['cycles_per_second']:>10.0f} cyc/s"
+        print(line)
+    if "vectorized" in backends:
+        # One untimed bit-exact run pins the vectorized kernel to the strict
+        # contract at the busiest low-load rate.
+        rate = max(args.rates)
+        exact = run_experiment(
+            make_spec("vectorized", rate, bit_exact=True, **window)
+        )
+        baseline = run_experiment(make_spec("reference", rate, **window))
+        if exact.summary() != baseline.summary():
+            raise SystemExit(
+                f"vectorized bit_exact mode diverged from reference at rate {rate}"
+            )
+        print(f"vectorized bit_exact identity at rate {rate:g}: OK")
     return {
-        "benchmark": "perf_kernel",
         "mesh": list(MESH),
         "elevator_columns": [list(c) for c in ELEVATOR_COLUMNS],
-        "policy": "elevator_first",
-        "traffic": "uniform",
         "warmup_cycles": args.warmup,
         "measurement_cycles": args.measure,
         "drain_cycles": args.drain,
-        "seed": args.seed,
-        "repeats": args.repeats,
         "results": rows,
         "speedup_by_rate": speedups,
         "min_speedup": min(speedups.values()),
     }
+
+
+def run_highload(args: argparse.Namespace, backends: List[str]) -> Optional[Dict]:
+    """Saturated-mesh section: where the vectorized kernel earns its keep."""
+    window = dict(
+        mesh=HIGHLOAD_MESH,
+        columns=HIGHLOAD_COLUMNS,
+        warmup=args.highload_warmup,
+        measure=args.highload_measure,
+        drain=args.highload_drain,
+        seed=args.seed,
+    )
+    rate = args.highload_rate
+    # Warm the shared route tables so the first timed cell is not charged
+    # for building them.
+    run_experiment(
+        make_spec("optimized", rate, **{**window, "measure": 10, "warmup": 10})
+    )
+    cells = {
+        b: time_spec(make_spec(b, rate, **window), args.repeats) for b in backends
+    }
+    ref, opt = cells["reference"], cells["optimized"]
+    if ref["summary"] != opt["summary"]:
+        raise SystemExit("backend results diverged on the saturated mesh")
+    record: Dict = {
+        "mesh": list(HIGHLOAD_MESH),
+        "elevator_columns": [list(c) for c in HIGHLOAD_COLUMNS],
+        "injection_rate": rate,
+        "warmup_cycles": args.highload_warmup,
+        "measurement_cycles": args.highload_measure,
+        "drain_cycles": args.highload_drain,
+        "results": list(cells.values()),
+        "saturated": ref["summary"]["delivery_ratio"] < 0.5,
+    }
+    for backend, cell in cells.items():
+        print(
+            f"high-load {backend:<11s} {cell['cycles_per_second']:>10.0f} cyc/s   "
+            f"({cell['seconds']:.2f}s)"
+        )
+    vec = cells.get("vectorized")
+    if vec is not None:
+        if vec["summary"]["packets_created"] != ref["summary"]["packets_created"]:
+            raise SystemExit("vectorized packet creation diverged on saturated mesh")
+        exact = run_experiment(make_spec("vectorized", rate, bit_exact=True, **window))
+        if exact.summary() != opt["summary"]:
+            raise SystemExit(
+                "vectorized bit_exact mode diverged from optimized on saturated mesh"
+            )
+        print("high-load vectorized bit_exact identity: OK")
+        speedup = (
+            opt["seconds"] / vec["seconds"] if vec["seconds"] > 0 else float("inf")
+        )
+        record["vectorized_speedup_vs_optimized"] = speedup
+        print(f"high-load vectorized speedup over optimized: {speedup:.2f}x")
+    return record
+
+
+def run_benchmark(args: argparse.Namespace) -> Dict:
+    backends = list(EXACT_BACKENDS)
+    if have_vectorized():
+        backends.append("vectorized")
+    else:
+        print("vectorized kernel unavailable (numpy missing): timing the exact kernels only")
+    record: Dict = {
+        "benchmark": "perf_kernel",
+        "policy": "elevator_first",
+        "traffic": "uniform",
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "backends": backends,
+        "lowload": run_lowload(args, backends),
+    }
+    if not args.skip_highload:
+        record["highload"] = run_highload(args, backends)
+    # Kept at the top level for older tooling that reads these fields.
+    record["speedup_by_rate"] = record["lowload"]["speedup_by_rate"]
+    record["min_speedup"] = record["lowload"]["min_speedup"]
+    return record
 
 
 def main(argv=None) -> int:
@@ -121,7 +259,25 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--rates", type=float, nargs="+", default=[0.002, 0.004, 0.006],
-        metavar="RATE", help="packet injection rates to time",
+        metavar="RATE", help="low-load packet injection rates to time",
+    )
+    parser.add_argument(
+        "--highload-warmup", type=int, default=50, help="high-load warm-up cycles"
+    )
+    parser.add_argument(
+        "--highload-measure", type=int, default=600,
+        help="high-load measurement cycles",
+    )
+    parser.add_argument(
+        "--highload-drain", type=int, default=100, help="high-load max drain cycles"
+    )
+    parser.add_argument(
+        "--highload-rate", type=float, default=0.05,
+        help="high-load (saturating) injection rate",
+    )
+    parser.add_argument(
+        "--skip-highload", action="store_true",
+        help="skip the saturated 8x8x4 section",
     )
     parser.add_argument(
         "--out", default=RESULT_FILE, metavar="FILE",
@@ -129,7 +285,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--require-speedup", type=float, default=None, metavar="X",
-        help="exit non-zero unless every rate reaches X-fold speedup",
+        help="exit non-zero unless every low-load rate reaches X-fold speedup",
+    )
+    parser.add_argument(
+        "--require-highload-speedup", type=float, default=None, metavar="X",
+        help=(
+            "exit non-zero unless the vectorized kernel reaches X-fold "
+            "speedup over optimized on the saturated mesh"
+        ),
     )
     args = parser.parse_args(argv)
     if args.repeats < 1:
@@ -142,7 +305,7 @@ def main(argv=None) -> int:
     with open(args.out, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"minimum speedup over rates: {record['min_speedup']:.2f}x -> {args.out}")
+    print(f"minimum low-load speedup over rates: {record['min_speedup']:.2f}x -> {args.out}")
 
     if args.require_speedup is not None and record["min_speedup"] < args.require_speedup:
         print(
@@ -150,6 +313,17 @@ def main(argv=None) -> int:
             f"{args.require_speedup:.2f}x"
         )
         return 1
+    if args.require_highload_speedup is not None:
+        achieved = (record.get("highload") or {}).get(
+            "vectorized_speedup_vs_optimized"
+        )
+        if achieved is None or achieved < args.require_highload_speedup:
+            print(
+                f"FAIL: high-load vectorized speedup "
+                f"{achieved if achieved is not None else 'n/a'} below required "
+                f"{args.require_highload_speedup:.2f}x"
+            )
+            return 1
     return 0
 
 

@@ -1,15 +1,20 @@
 """Packaging for the AdEle (DAC 2021) reproduction.
 
-Pure-stdlib package; installing registers the ``repro`` console script,
-which is the same entry point as ``python -m repro`` (the parallel
-experiment engine CLI: ``repro sweep`` / ``repro compare``).
+Installing registers the ``repro`` console script, which is the same entry
+point as ``python -m repro`` (the parallel experiment engine CLI:
+``repro sweep`` / ``repro compare``).
+
+The only third-party runtime dependency is numpy, which powers the
+``vectorized`` simulation kernel and the array-based objective evaluation;
+the package itself degrades gracefully without it (the kernel simply stays
+unregistered), so source checkouts on numpy-less interpreters keep working.
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro-adele",
-    version="1.5.0",
+    version="1.6.0",
     description=(
         "Reproduction of AdEle: adaptive congestion- and energy-aware "
         "elevator selection for partially connected 3D NoCs (DAC 2021)"
@@ -18,6 +23,7 @@ setup(
     packages=find_packages("src"),
     # 3.10+ for dataclass(slots=True) on the simulation hot-path objects.
     python_requires=">=3.10",
+    install_requires=["numpy"],
     entry_points={
         "console_scripts": [
             "repro = repro.exec.cli:main",

@@ -672,5 +672,6 @@ def run_experiment(
         backend=spec.sim.backend,
         scenario=spec.scenario,
         scenario_seed=spec.sim.seed,
+        bit_exact=spec.sim.bit_exact,
     )
     return simulator.run()

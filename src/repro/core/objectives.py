@@ -44,25 +44,51 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.topology.elevators import ElevatorPlacement
 from repro.traffic.patterns import TrafficMatrix
 
+try:  # numpy accelerates the utilization-vector aggregates when present
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
 SubsetAssignment = Mapping[int, Sequence[int]]
 
 
-def variance_of(values: Iterable[float]) -> float:
-    """Population variance of a sequence of floats (Eq. 3).
+def _float_vector(count: int):
+    """A zeroed per-elevator utilization vector (numpy array when available)."""
+    if _np is not None:
+        return _np.zeros(count, dtype=_np.float64)
+    return [0.0] * count
+
+
+def _variance_of_vector(values) -> float:
+    """Population variance of an in-memory utilization vector.
 
     The single shared implementation behind every variance computation in
     the offline stage; both evaluators feed it bit-identical utilization
-    lists, so their variances agree exactly.
+    vectors (list or numpy array), so their variances agree exactly.  The
+    numpy path uses pairwise summation -- a different (typically more
+    accurate) rounding than the sequential fallback, but the same for
+    every caller within a process, which is what the delta-vs-full
+    equality contract requires.
     """
-    values = list(values)
-    if not values:
+    count = len(values)
+    if count == 0:
         return 0.0
-    mean = sum(values) / len(values)
+    if _np is not None:
+        array = _np.asarray(values, dtype=_np.float64)
+        mean = array.sum() / count
+        deviation = array - mean
+        return float((deviation * deviation).sum() / count)
+    mean = sum(values) / count
     total = 0.0
     for value in values:
         difference = value - mean
         total += difference * difference
-    return total / len(values)
+    return total / count
+
+
+def variance_of(values: Iterable[float]) -> float:
+    """Population variance of a sequence of floats (Eq. 3)."""
+    return _variance_of_vector(list(values))
 
 
 #: Exponent of the smallest positive IEEE-754 double (2**-1074): every finite
@@ -404,7 +430,7 @@ class DeltaObjectiveEvaluator:
         self._term_memo: Dict[Tuple[int, Any], Tuple[Tuple[int, ...], int, int, int]] = {}
 
         self._util_scaled = [0] * self.num_elevators
-        self._util_float = [0.0] * self.num_elevators
+        self._util_float = _float_vector(self.num_elevators)
         self._dirty: set = set()
         self._total_scaled = 0
         self._wsum_scaled = 0
@@ -492,7 +518,7 @@ class DeltaObjectiveEvaluator:
         self._subset_obj.clear()
         self._cached.clear()
         self._util_scaled = [0] * self.num_elevators
-        self._util_float = [0.0] * self.num_elevators
+        self._util_float = _float_vector(self.num_elevators)
         self._dirty.clear()
         self._total_scaled = 0
         self._wsum_scaled = 0
@@ -600,6 +626,8 @@ class DeltaObjectiveEvaluator:
             for index in self._dirty:
                 self._util_float[index] = self._to_float(self._util_scaled[index])
             self._dirty.clear()
+        if _np is not None and isinstance(self._util_float, _np.ndarray):
+            return self._util_float.tolist()
         return list(self._util_float)
 
     def evaluate(self) -> Tuple[float, float]:
@@ -610,19 +638,10 @@ class DeltaObjectiveEvaluator:
             for index in self._dirty:
                 util_float[index] = self._convert_scaled(util_scaled[index])
             self._dirty.clear()
-        # Inlined variance_of(util_float): same operations in the same
-        # order (bit-identity with the full evaluator), minus the call and
-        # list-copy overhead on the annealing hot path.
-        count = len(util_float)
-        if count == 0:
-            variance = 0.0
-        else:
-            mean = sum(util_float) / count
-            acc = 0.0
-            for value in util_float:
-                difference = value - mean
-                acc += difference * difference
-            variance = acc / count
+        # Shared with variance_of (bit-identity with the full evaluator):
+        # the vectorized helper consumes the array in place, so the hot
+        # path pays no list copy.
+        variance = _variance_of_vector(util_float)
         weight_sum = self._wsum_float
         if weight_sum == 0.0:
             return (variance, 0.0)
@@ -757,7 +776,7 @@ class DeltaObjectiveEvaluator:
         self._pending = (solution, node, subset, old, memo)
 
         convert = self._convert_scaled
-        util = list(util_float)
+        util = util_float.copy()
         scaled = self._util_scaled
         if new_share == old_share:
             # Same per-elevator share (a same-size swap): only the
@@ -781,16 +800,7 @@ class DeltaObjectiveEvaluator:
                 if delta:
                     util[index] = convert(scaled[index] + delta)
 
-        count = len(util)
-        if count == 0:
-            variance = 0.0
-        else:
-            mean = sum(util) / count
-            acc = 0.0
-            for value in util:
-                difference = value - mean
-                acc += difference * difference
-            variance = acc / count
+        variance = _variance_of_vector(util)
 
         if new_weight != old_weight:
             wsum_float = convert(self._wsum_scaled + new_weight - old_weight)

@@ -258,7 +258,7 @@ class RateRamp(ScenarioEvent):
         object.__setattr__(self, "start_rate", _optional_rate(self.start_rate, "start_rate"))
 
     def apply(self, runtime: "ScenarioRuntime", cycle: int) -> None:
-        runtime.start_ramp(self)
+        runtime.start_ramp(self, cycle)
 
     def phase_label(self) -> str:
         if self.label:

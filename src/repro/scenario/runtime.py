@@ -221,9 +221,21 @@ class ScenarioRuntime:
             # phase is orthogonal to it and leaves the ramp running.
             self._ramp = None
 
-    def start_ramp(self, ramp: RateRamp) -> None:
-        """Activate a rate ramp (interpolated on every following cycle)."""
+    def start_ramp(self, ramp: RateRamp, cycle: Optional[int] = None) -> None:
+        """Activate a rate ramp (interpolated on every following cycle).
+
+        Overlap semantics: starting a ramp while another is active chains
+        deterministically -- the outgoing ramp is first advanced to the
+        handover cycle, so an implicit ``start_rate=None`` reads the old
+        ramp's interpolated value *at* that cycle (not whatever rate the
+        previous injection cycle happened to leave behind).  An explicit
+        ``start_rate`` always wins, and :meth:`set_traffic` with an
+        explicit rate still cancels any running ramp.
+        """
         source = self._bernoulli()
+        handover = ramp.cycle if cycle is None else cycle
+        if self._ramp is not None:
+            self._apply_ramp_rate(self._ramp, handover)
         self._ramp = ramp
         self._ramp_start_rate = (
             ramp.start_rate if ramp.start_rate is not None
@@ -271,6 +283,8 @@ class ScenarioRuntime:
             rate = ramp.end_rate
             self._ramp = None
         elif cycle <= ramp.cycle:
+            # Boundary: at exactly the ramp's start cycle (events fire at
+            # the start of their cycle) the source runs at the start rate.
             rate = self._ramp_start_rate
         else:
             span = ramp.end_cycle - ramp.cycle

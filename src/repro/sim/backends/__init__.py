@@ -18,11 +18,27 @@ registries.  Two kernels ship with the repository:
     injection rates, where most of the mesh is empty most of the time, this
     cuts per-cycle work from O(routers) to O(active routers).
 
+``vectorized`` (requires numpy; registered only when numpy imports)
+    A flat-array kernel for the high-load regime: flit/channel/credit/
+    occupancy state lives in numpy arrays keyed by router index, with
+    batched per-cycle route lookup, allocation and commit.  Near
+    saturation -- where the active set degenerates to the whole mesh --
+    this removes the per-flit interpreter overhead that caps the other
+    kernels.
+
 **Equivalence contract**: every backend must produce *bit-identical*
 :class:`~repro.sim.engine.SimulationResult` data (statistics counters,
 latency samples, drain accounting) for the same network, packet source and
 seed.  The cross-backend test matrix in ``tests/test_backends.py`` enforces
-this; a registered kernel that diverges is a bug, not a variant.
+this; a registered kernel that diverges is a bug, not a variant.  One
+qualified exception: the ``vectorized`` kernel's *fast* allocation phase
+evaluates all routers against the cycle-start occupancy snapshot, so under
+contention it honors a documented tolerance contract instead (identical
+packet creation, flit conservation, aggregates within a small band -- see
+its module docstring).  Setting ``bit_exact`` (a per-run flag on the
+backend instance, threaded from :class:`repro.spec.SimSpec`) switches it
+to a sequential allocation phase that restores full bit-identity, which is
+how the cross-backend matrix validates it.
 
 Registering a custom kernel (e.g. from a ``--plugin`` module)::
 
@@ -72,9 +88,15 @@ class SimulatorBackend:
 
     Attributes:
         name: Short backend name used in registries and reports.
+        bit_exact: When true, the kernel must produce results bit-identical
+            to the ``reference`` kernel even where its fast path only
+            honors a tolerance contract.  Inherently exact kernels ignore
+            the flag; :class:`~repro.sim.engine.Simulator` sets it on the
+            resolved instance when requested.
     """
 
     name = "base"
+    bit_exact = False
 
     def execute(
         self,
@@ -126,9 +148,16 @@ def available_backends() -> list:
 
 
 # Import for the registration side effects: the bundled kernels register
-# themselves on import, so they are usable by name everywhere.
+# themselves on import, so they are usable by name everywhere.  The
+# vectorized kernel needs numpy; on numpy-less installs it simply stays
+# unregistered (everything else keeps working).
 from repro.sim.backends import optimized as _optimized  # noqa: E402,F401
 from repro.sim.backends import reference as _reference  # noqa: E402,F401
+
+try:
+    from repro.sim.backends import vectorized as _vectorized  # noqa: E402,F401
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _vectorized = None
 
 __all__ = [
     "BACKEND_REGISTRY",

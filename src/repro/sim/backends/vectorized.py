@@ -1,0 +1,904 @@
+"""The vectorized simulation kernel: flat numpy state, batched cycle phases.
+
+Why it is faster *at high load*
+    The ``optimized`` active-set kernel makes per-cycle cost proportional
+    to the number of buffered flits -- which is exactly what saturates at
+    the injection rates of the paper's saturation and Pareto figures.  Near
+    saturation every router holds flits, the active set degenerates to the
+    whole mesh, and the per-flit Python interpreter overhead dominates.
+    This kernel removes that overhead by holding *all* flit, channel,
+    credit and allocation state in flat numpy arrays keyed by router index:
+
+    * input buffers are fixed-depth ring buffers in ``(router, channel,
+      slot)`` arrays holding packet indices and flit sequence numbers --
+      no ``Flit`` objects exist while the kernel runs;
+    * route computation is one batched lookup per cycle through the
+      precomputed tables of :class:`repro.routing.base.PrecomputedRoutes`
+      (intra-layer table, per-column elevator tables);
+    * switch allocation picks every router's per-output-port round-robin
+      winner in one ``lexsort`` over the eligible channels, and commits
+      all pops/stages/credit updates as batched scatter operations;
+    * the drain-idle check is an O(1) flit-counter comparison.
+
+Equivalence: the tolerance contract and bit-exact mode
+    Packet-level bookkeeping (creation, elevator selection, latency
+    recording, AdEle's source-latency feedback) still routes through the
+    real :class:`~repro.sim.network.Network` / policy / statistics methods,
+    so per-packet statistics keep the reference semantics (including the
+    latency reservoir's sampling order).
+
+    The *fast* (default) allocation phase, however, evaluates all routers
+    against the cycle-start occupancy snapshot instead of the reference
+    kernel's ascending-node-id live scan.  The only observable difference
+    is credit visibility: a buffer slot freed by a router this cycle
+    becomes available to *all* upstream routers next cycle, where the
+    sequential kernels expose it to higher-numbered routers within the
+    same cycle.  Under contention this can delay individual flits by a
+    cycle and therefore reorder round-robin outcomes, so fast-mode results
+    are **not** bit-identical to ``reference``/``optimized`` -- they
+    satisfy a tolerance contract instead: identical packet creation
+    (injection RNG consumption is network-state independent), conservation
+    of flits, and aggregate metrics within a small relative band (pinned
+    by ``tests/test_backends.py``).
+
+    With ``bit_exact=True`` (see :class:`repro.spec.SimSpec.bit_exact`)
+    the allocation phase runs the exact sequential discipline -- ascending
+    node id, per-output-port round-robin, live credit checks -- over the
+    same numpy state, reproducing the other kernels' results bit for bit.
+    That mode is how the cross-backend identity matrix validates this
+    kernel; it is slower than fast mode but still avoids per-flit object
+    allocation.
+
+Requires numpy; when numpy is missing the backend is simply not
+registered (see ``repro.sim.backends``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.routing.base import _AT_COLUMN, ASCEND_VN, DESCEND_VN
+from repro.sim.backends import SimulatorBackend, register_backend
+from repro.sim.flit import Flit, FlitType, Packet
+from repro.sim.router import OPPOSITE_PORT, Port, VERTICAL_PORTS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Network
+    from repro.traffic.generator import PacketSource
+
+_LOCAL = int(Port.LOCAL)
+_UP = int(Port.UP)
+_DOWN = int(Port.DOWN)
+_NUM_PORTS = len(Port)
+
+
+class _VectorizedKernel:
+    """Per-run flat numpy state + the batched (or exact) cycle step."""
+
+    def __init__(self, network: "Network", bit_exact: bool = False) -> None:
+        self.network = network
+        self.bit_exact = bit_exact
+        self.routes = network._route_computation.tables
+        num_vcs = network.num_vcs
+        self.num_vcs = num_vcs
+        ports = list(Port)
+        #: Input channels in arbitration order (port-major, VC-minor) --
+        #: identical to ``Router._channel_order``.
+        self.channel_keys: List[Tuple[Port, int]] = [
+            (port, vc) for port in ports for vc in range(num_vcs)
+        ]
+        num_channels = len(self.channel_keys)
+        self.num_channels = num_channels
+        num_nodes = network.mesh.num_nodes
+        self.depth = network.buffer_depth
+
+        # Static routing tables as arrays.
+        self.node_z = np.asarray(self.routes.node_z, dtype=np.int32)
+        self.node_xy = np.asarray(self.routes.node_xy, dtype=np.int32)
+        self.intra = np.asarray(self.routes.intra, dtype=np.int8)
+        nodes_per_layer = self.intra.shape[0]
+        self._column_ids: Dict[Tuple[int, int], int] = {}
+        self._column_tables = np.empty((0, nodes_per_layer), dtype=np.int8)
+
+        #: Channel-index base of the input port a flit staged through a
+        #: given output port lands on (``OPPOSITE_PORT * num_vcs``).
+        opp_base = np.zeros(_NUM_PORTS, dtype=np.int16)
+        for out_port, in_port in OPPOSITE_PORT.items():
+            opp_base[int(out_port)] = int(in_port) * num_vcs
+        self.opp_base = opp_base
+
+        # Ring buffers: per (router, channel) a fixed-depth ring of
+        # (packet index, flit sequence) pairs, split into a committed
+        # (visible) prefix and a staged suffix -- the two-phase arrival
+        # discipline of FlitBuffer, as counters.
+        shape = (num_nodes, num_channels)
+        self.slot_pkt = np.full(shape + (self.depth,), -1, dtype=np.int32)
+        self.slot_seq = np.zeros(shape + (self.depth,), dtype=np.int32)
+        self.head = np.zeros(shape, dtype=np.int32)
+        self.nfifo = np.zeros(shape, dtype=np.int32)
+        self.nstaged = np.zeros(shape, dtype=np.int32)
+
+        # Allocation state: claimed output port per input channel (-1 =
+        # none), input channel owning each (port, VC) output (-1 = free),
+        # round-robin pointer per output port.
+        self.route = np.full(shape, -1, dtype=np.int8)
+        self.owner = np.full((num_nodes, _NUM_PORTS, num_vcs), -1, dtype=np.int16)
+        self.rr = np.zeros((num_nodes, _NUM_PORTS), dtype=np.int16)
+
+        # Link structure: neighbour node id per output port (-1 = no link).
+        nbr = np.full((num_nodes, _NUM_PORTS), -1, dtype=np.int32)
+        for node in range(num_nodes):
+            for port in ports:
+                if port == Port.LOCAL:
+                    continue
+                neighbor = network.neighbor(node, port)
+                if neighbor is not None:
+                    nbr[node, int(port)] = neighbor
+        self.nbr = nbr
+
+        # Packet registry: the real Packet objects plus the per-packet
+        # columns the batched phases read.
+        self.packets: List[Packet] = []
+        capacity = 1024
+        self.p_dest_xy = np.zeros(capacity, dtype=np.int32)
+        self.p_dest_z = np.zeros(capacity, dtype=np.int32)
+        self.p_vn = np.zeros(capacity, dtype=np.int8)
+        self.p_len = np.zeros(capacity, dtype=np.int32)
+        self.p_creation = np.zeros(capacity, dtype=np.int64)
+        self.p_col = np.full(capacity, -1, dtype=np.int32)
+
+        #: Pending injections per (node, vn): deque of mutable
+        #: ``[packet, packet_index, next_sequence]`` entries.  The network's
+        #: Flit-object queues stay empty while the kernel runs; ``close``
+        #: rematerializes them.
+        self.queues: Dict[Tuple[int, int], deque] = {}
+
+        # Batched per-node router-traversal counts, folded into the stats
+        # dict at close (dict equality is content-based, so insertion order
+        # does not matter).
+        self.rt_acc = np.zeros(num_nodes, dtype=np.int64)
+        self.total_flits = 0
+        self._occ_cache: Optional[np.ndarray] = None
+
+        self._import_network_state()
+        network.add_topology_listener(self._on_topology_change)
+        network.set_occupancy_provider(self._occupancy)
+
+    # ------------------------------------------------------------------ #
+    # State import (fresh or left saturated by a previous run)
+    # ------------------------------------------------------------------ #
+    def _import_network_state(self) -> None:
+        """Absorb buffers, allocation and injection queues into the arrays.
+
+        A network handed to ``execute`` may carry in-flight wormholes from
+        a previous run (the saturated re-run case); all Flit objects are
+        converted to array entries and the object-level containers cleared,
+        so ``close`` can rebuild them without double counting.
+        """
+        network = self.network
+        seen: Dict[int, int] = {}
+        key_index = {key: i for i, key in enumerate(self.channel_keys)}
+        for node, router in enumerate(network.routers):
+            for ci, key in enumerate(self.channel_keys):
+                buf = router.input_buffers[key]
+                fifo = buf._fifo
+                staged = buf._staged
+                if fifo or staged:
+                    pos = 0
+                    for flit in fifo:
+                        pidx = self._import_packet(flit.packet, seen)
+                        self.slot_pkt[node, ci, pos] = pidx
+                        self.slot_seq[node, ci, pos] = flit.sequence
+                        pos += 1
+                    self.nfifo[node, ci] = len(fifo)
+                    for flit in staged:
+                        pidx = self._import_packet(flit.packet, seen)
+                        self.slot_pkt[node, ci, pos] = pidx
+                        self.slot_seq[node, ci, pos] = flit.sequence
+                        pos += 1
+                    self.nstaged[node, ci] = len(staged)
+                    self.total_flits += pos
+                    fifo.clear()
+                    staged.clear()
+                port_route = router._route[key]
+                if port_route is not None:
+                    self.route[node, ci] = int(port_route)
+            for port in Port:
+                for vc in range(self.num_vcs):
+                    holder = router._output_owner[(port, vc)]
+                    if holder is not None:
+                        self.owner[node, int(port), vc] = key_index[holder]
+                self.rr[node, int(port)] = router._rr_pointer[port]
+        for key, queue in network._injection_queues.items():
+            if not queue:
+                continue
+            entries: deque = deque()
+            current_packet = None
+            for flit in queue:
+                if flit.packet is not current_packet:
+                    current_packet = flit.packet
+                    pidx = self._import_packet(current_packet, seen)
+                    entries.append([current_packet, pidx, flit.sequence])
+            queue.clear()
+            self.queues[key] = entries
+
+    def _import_packet(self, packet: Packet, seen: Dict[int, int]) -> int:
+        pidx = seen.get(id(packet))
+        if pidx is None:
+            pidx = self._register_packet(packet)
+            seen[id(packet)] = pidx
+        return pidx
+
+    def _register_packet(self, packet: Packet) -> int:
+        pidx = len(self.packets)
+        self.packets.append(packet)
+        if pidx >= len(self.p_len):
+            grow = len(self.p_len) * 2
+            for name in ("p_dest_xy", "p_dest_z", "p_vn", "p_len",
+                         "p_creation", "p_col"):
+                old = getattr(self, name)
+                new = np.zeros(grow, dtype=old.dtype)
+                new[: len(old)] = old
+                setattr(self, name, new)
+            self.p_col[pidx:] = -1
+        destination = packet.destination
+        self.p_dest_xy[pidx] = self.routes.node_xy[destination]
+        self.p_dest_z[pidx] = self.routes.node_z[destination]
+        self.p_vn[pidx] = packet.virtual_network
+        self.p_len[pidx] = packet.length
+        self.p_creation[pidx] = packet.creation_cycle
+        column = packet.elevator_column
+        self.p_col[pidx] = -1 if column is None else self._column_id(column)
+        return pidx
+
+    def _column_id(self, column: Tuple[int, int]) -> int:
+        cid = self._column_ids.get(column)
+        if cid is None:
+            table = np.asarray(self.routes.column_table(column), dtype=np.int8)
+            cid = len(self._column_ids)
+            self._column_ids[column] = cid
+            self._column_tables = np.vstack([self._column_tables, table[None, :]])
+        return cid
+
+    # ------------------------------------------------------------------ #
+    # Network integration
+    # ------------------------------------------------------------------ #
+    def _on_topology_change(self, nodes) -> None:
+        """Rebuild the vertical-link columns of the affected routers."""
+        network = self.network
+        for node in nodes:
+            for port in VERTICAL_PORTS:
+                neighbor = network.neighbor(node, port)
+                self.nbr[node, int(port)] = -1 if neighbor is None else neighbor
+
+    def _occupancy(self, node: int) -> int:
+        """Visible (committed) flits buffered in a router, for CDA."""
+        occ = self._occ_cache
+        if occ is None:
+            occ = self.nfifo.sum(axis=1)
+            self._occ_cache = occ
+        return int(occ[node])
+
+    # ------------------------------------------------------------------ #
+    # Injection
+    # ------------------------------------------------------------------ #
+    def create_packet(
+        self, source: int, destination: int, length: int, cycle: int
+    ) -> Packet:
+        """Mirror of :meth:`Network.create_packet` minus Flit materialization."""
+        network = self.network
+        node_z = self.routes.node_z
+        vn = DESCEND_VN if node_z[destination] < node_z[source] else ASCEND_VN
+        packet = Packet(
+            source=source,
+            destination=destination,
+            length=length,
+            creation_cycle=cycle,
+            virtual_network=vn,
+        )
+        elevator = network.policy.select_elevator(
+            source, destination, network=network, cycle=cycle
+        )
+        network.policy.annotate_packet(packet, elevator)
+        network.stats.record_packet_created(packet, cycle)
+        pidx = self._register_packet(packet)
+        key = (source, vn)
+        entries = self.queues.get(key)
+        if entries is None:
+            entries = deque()
+            self.queues[key] = entries
+        entries.append([packet, pidx, 0])
+        network._live_queues.add(key)
+        network._in_flight += 1
+        return packet
+
+    def inject(self, cycle: int) -> None:
+        """Drain live injection queues into the LOCAL ring buffers.
+
+        Same queue visiting order and per-flit bookkeeping effects as
+        :meth:`Network.inject`; flit counters are updated as a batch.
+        """
+        network = self.network
+        live = network._live_queues
+        if not live:
+            return
+        stats = network.stats
+        phase = stats._phase
+        measurement_start = stats.measurement_start
+        depth = self.depth
+        head = self.head
+        nfifo = self.nfifo
+        nstaged = self.nstaged
+        slot_pkt = self.slot_pkt
+        slot_seq = self.slot_seq
+        injected = 0
+        # At saturation most source buffers are full, so gather every live
+        # queue's free space in one batched lookup and skip the full ones
+        # without touching their queue objects at all.
+        keys = sorted(live)
+        nodes = [key[0] for key in keys]
+        vcs = [key[1] for key in keys]
+        # LOCAL is port 0, so the channel index of (LOCAL, vc) is vc.
+        spaces = (depth - nfifo[nodes, vcs] - nstaged[nodes, vcs]).tolist()
+        for key, space in zip(keys, spaces):
+            if space <= 0:
+                continue
+            entries = self.queues.get(key)
+            if not entries:
+                live.discard(key)
+                continue
+            node, vc = key
+            base = (int(head[node, vc]) + depth - space) % depth
+            staged = 0
+            while entries and space > 0:
+                entry = entries[0]
+                packet, pidx, seq = entry
+                take = min(space, packet.length - seq)
+                for k in range(take):
+                    slot = (base + staged + k) % depth
+                    slot_pkt[node, vc, slot] = pidx
+                    slot_seq[node, vc, slot] = seq + k
+                if seq == 0 and packet.injection_cycle is None:
+                    packet.injection_cycle = cycle
+                if packet.creation_cycle >= measurement_start:
+                    injected += take
+                staged += take
+                space -= take
+                seq += take
+                if seq >= packet.length:
+                    entries.popleft()
+                else:
+                    entry[2] = seq
+            if staged:
+                nstaged[node, vc] += staged
+                self.total_flits += staged
+                network._active_routers.add(node)
+            if not entries:
+                live.discard(key)
+        if injected:
+            stats.flits_injected += injected
+            if phase is not None:
+                phase.flits_injected += injected
+            self._occ_cache = None
+
+    def idle(self) -> bool:
+        """Whether the network is drained -- O(1) via the flit counters."""
+        return not self.network._live_queues and self.total_flits == 0
+
+    # ------------------------------------------------------------------ #
+    # Route computation (shared by both modes)
+    # ------------------------------------------------------------------ #
+    def _compute_routes(self) -> None:
+        """Claim output ports for head flits at buffer fronts, batched."""
+        need = (self.nfifo > 0) & (self.route < 0)
+        if not need.any():
+            return
+        nodes, channels = np.nonzero(need)
+        fronts = self.head[nodes, channels]
+        pkt = self.slot_pkt[nodes, channels, fronts]
+        is_head = self.slot_seq[nodes, channels, fronts] == 0
+        if not is_head.any():
+            return
+        nodes = nodes[is_head]
+        channels = channels[is_head]
+        pkt = pkt[is_head]
+        cur_xy = self.node_xy[nodes]
+        dst_z = self.p_dest_z[pkt]
+        same_layer = self.node_z[nodes] == dst_z
+        ports = np.empty(len(nodes), dtype=np.int8)
+        if same_layer.any():
+            ports[same_layer] = self.intra[
+                cur_xy[same_layer], self.p_dest_xy[pkt[same_layer]]
+            ]
+        inter = ~same_layer
+        if inter.any():
+            columns = self.p_col[pkt[inter]]
+            if (columns < 0).any():
+                raise ValueError(
+                    "inter-layer packet without an assigned elevator column"
+                )
+            table_port = self._column_tables[columns, cur_xy[inter]]
+            ascend = dst_z[inter] > self.node_z[nodes[inter]]
+            vertical = np.where(ascend, _UP, _DOWN).astype(np.int8)
+            ports[inter] = np.where(table_port == _AT_COLUMN, vertical, table_port)
+        self.route[nodes, channels] = ports
+
+    # ------------------------------------------------------------------ #
+    # Fast mode: snapshot allocation, batched commit
+    # ------------------------------------------------------------------ #
+    def step(self, cycle: int) -> None:
+        """One cycle: batched route, snapshot allocation, batched commit."""
+        self._compute_routes()
+        network = self.network
+        stats = network.stats
+        head = self.head
+        nfifo = self.nfifo
+        nstaged = self.nstaged
+        depth = self.depth
+
+        candidates = (self.route >= 0) & (nfifo > 0)
+        if candidates.any():
+            nodes, channels = np.nonzero(candidates)
+            fronts = head[nodes, channels]
+            pkt = self.slot_pkt[nodes, channels, fronts]
+            seq = self.slot_seq[nodes, channels, fronts]
+            out_port = self.route[nodes, channels].astype(np.int32)
+            out_vc = self.p_vn[pkt].astype(np.int32)
+            holder = self.owner[nodes, out_port, out_vc]
+            is_head = seq == 0
+            eligible = np.where(
+                is_head, (holder < 0) | (holder == channels), holder == channels
+            )
+            # Credit check against the cycle-start snapshot (the tolerance
+            # contract: slots freed this cycle become visible next cycle).
+            is_local = out_port == _LOCAL
+            down = self.nbr[nodes, out_port]
+            down_ch = self.opp_base[out_port] + out_vc
+            has_space = np.zeros(len(nodes), dtype=bool)
+            linked = (~is_local) & (down >= 0)
+            if linked.any():
+                has_space[linked] = (
+                    nfifo[down[linked], down_ch[linked]]
+                    + nstaged[down[linked], down_ch[linked]]
+                ) < depth
+            eligible &= is_local | has_space
+            if eligible.any():
+                self._commit_winners(
+                    cycle,
+                    stats,
+                    nodes,
+                    channels,
+                    pkt,
+                    seq,
+                    out_port,
+                    out_vc,
+                    is_head,
+                    down,
+                    down_ch,
+                    eligible,
+                )
+
+        # Commit staged arrivals (two-phase discipline).
+        if nstaged.any():
+            nfifo += nstaged
+            nstaged.fill(0)
+            self._occ_cache = None
+
+    def _commit_winners(
+        self,
+        cycle: int,
+        stats,
+        nodes,
+        channels,
+        pkt,
+        seq,
+        out_port,
+        out_vc,
+        is_head,
+        down,
+        down_ch,
+        eligible,
+    ) -> None:
+        """Pick each (router, output port) round-robin winner and commit."""
+        idx = np.nonzero(eligible)[0]
+        group = nodes[idx] * _NUM_PORTS + out_port[idx]
+        rr_key = (channels[idx] - self.rr[nodes[idx], out_port[idx]]) % (
+            self.num_channels
+        )
+        order = np.lexsort((rr_key, group))
+        sorted_group = group[order]
+        first = np.ones(len(order), dtype=bool)
+        first[1:] = sorted_group[1:] != sorted_group[:-1]
+        win = idx[order[first]]
+
+        w_node = nodes[win]
+        w_chan = channels[win]
+        w_pkt = pkt[win]
+        w_seq = seq[win]
+        w_port = out_port[win]
+        w_vc = out_vc[win]
+        w_head = is_head[win]
+        w_tail = w_seq == (self.p_len[w_pkt] - 1)
+
+        # Pop the winners and advance the round-robin pointers.  All
+        # scatter targets are unique: one winner per input channel, one
+        # per (router, output port) group, and -- because opposite ports
+        # are a bijection -- one per downstream (router, channel) slot.
+        head = self.head
+        nfifo = self.nfifo
+        head[w_node, w_chan] = (head[w_node, w_chan] + 1) % self.depth
+        nfifo[w_node, w_chan] -= 1
+        self.rr[w_node, w_port] = (w_chan + 1) % self.num_channels
+        if w_head.any():
+            self.owner[w_node[w_head], w_port[w_head], w_vc[w_head]] = w_chan[
+                w_head
+            ]
+        if w_tail.any():
+            self.owner[w_node[w_tail], w_port[w_tail], w_vc[w_tail]] = -1
+            self.route[w_node[w_tail], w_chan[w_tail]] = -1
+        self._occ_cache = None
+
+        measured = cycle >= stats.measurement_start
+        phase = stats._phase
+        num_winners = len(win)
+        if measured:
+            np.add.at(self.rt_acc, w_node, 1)
+            if phase is not None:
+                phase.router_traversals += num_winners
+
+        # Source-side bookkeeping (AdEle's local latency estimate): flits
+        # leaving their source router's LOCAL input port.
+        packets = self.packets
+        policy = self.network.policy
+        from_local = w_chan < self.num_vcs
+        if from_local.any():
+            for j in np.nonzero(from_local)[0]:
+                packet = packets[w_pkt[j]]
+                if w_node[j] != packet.source:
+                    continue
+                if w_head[j]:
+                    packet.head_exit_cycle = cycle
+                if w_tail[j]:
+                    packet.tail_exit_cycle = cycle
+                    metric = packet.source_serialization_latency()
+                    if metric is not None and packet.elevator_index is not None:
+                        policy.notify_source_latency(
+                            packet.source, packet.elevator_index, metric, cycle
+                        )
+
+        is_local = w_port == _LOCAL
+        forwarded = ~is_local
+        if forwarded.any():
+            vertical = (w_port == _UP) | (w_port == _DOWN)
+            if measured:
+                vertical_count = int((forwarded & vertical).sum())
+                horizontal_count = int(forwarded.sum()) - vertical_count
+                stats.vertical_link_traversals += vertical_count
+                stats.horizontal_link_traversals += horizontal_count
+                if phase is not None:
+                    phase.vertical_link_traversals += vertical_count
+                    phase.horizontal_link_traversals += horizontal_count
+            head_hops = forwarded & w_head
+            if head_hops.any():
+                for j in np.nonzero(head_hops)[0]:
+                    packet = packets[w_pkt[j]]
+                    packet.hops += 1
+                    if vertical[j]:
+                        packet.vertical_hops += 1
+            fwd = np.nonzero(forwarded)[0]
+            dest_node = down[win[fwd]]
+            dest_chan = down_ch[win[fwd]]
+            slot = (
+                head[dest_node, dest_chan]
+                + nfifo[dest_node, dest_chan]
+                + self.nstaged[dest_node, dest_chan]
+            ) % self.depth
+            self.slot_pkt[dest_node, dest_chan, slot] = w_pkt[fwd]
+            self.slot_seq[dest_node, dest_chan, slot] = w_seq[fwd]
+            self.nstaged[dest_node, dest_chan] += 1
+            self.network._active_routers.update(dest_node.tolist())
+
+        if is_local.any():
+            ejected = np.nonzero(is_local)[0]
+            delivered = int(
+                (self.p_creation[w_pkt[ejected]] >= stats.measurement_start).sum()
+            )
+            if delivered:
+                stats.flits_delivered += delivered
+                if phase is not None:
+                    phase.flits_delivered += delivered
+            self.total_flits -= len(ejected)
+            # Tail ejections finish packets; winners are sorted by router
+            # id, matching the sequential kernels' delivery order.
+            for j in ejected:
+                if not w_tail[j]:
+                    continue
+                packet = packets[w_pkt[j]]
+                packet.delivery_cycle = cycle
+                stats.record_packet_delivered(packet, cycle)
+                self.network._in_flight -= 1
+
+    # ------------------------------------------------------------------ #
+    # Bit-exact mode: sequential allocation over the numpy state
+    # ------------------------------------------------------------------ #
+    def step_exact(self, cycle: int) -> None:
+        """One cycle with the reference allocation discipline (live credits)."""
+        self._compute_routes()
+        network = self.network
+        stats = network.stats
+        head = self.head
+        nfifo = self.nfifo
+        nstaged = self.nstaged
+        slot_pkt = self.slot_pkt
+        slot_seq = self.slot_seq
+        route = self.route
+        depth = self.depth
+        num_vcs = self.num_vcs
+        num_channels = self.num_channels
+        p_vn = self.p_vn
+        p_len = self.p_len
+        opp_base = self.opp_base
+        packets = self.packets
+        measurement_start = stats.measurement_start
+        measured = cycle >= measurement_start
+        policy = network.policy
+
+        candidate_mask = (route >= 0) & (nfifo > 0)
+        active = np.nonzero(candidate_mask.any(axis=1))[0]
+        for node in active.tolist():
+            requests: Dict[int, List[int]] = {}
+            for ci in np.nonzero(candidate_mask[node])[0].tolist():
+                requests.setdefault(int(route[node, ci]), []).append(ci)
+            owner = self.owner[node]
+            for out_port, channels in requests.items():
+                pointer = int(self.rr[node, out_port]) % num_channels
+                if len(channels) > 1:
+                    channels.sort(key=lambda i: (i - pointer) % num_channels)
+                winner = None
+                winner_vc = 0
+                down_node = -1
+                down_chan = -1
+                for ci in channels:
+                    if nfifo[node, ci] == 0:
+                        continue
+                    front = int(head[node, ci])
+                    pidx = int(slot_pkt[node, ci, front])
+                    out_vc = int(p_vn[pidx])
+                    holder = int(owner[out_port, out_vc])
+                    if slot_seq[node, ci, front] == 0:
+                        if holder >= 0 and holder != ci:
+                            continue
+                    elif holder != ci:
+                        continue
+                    if out_port != _LOCAL:
+                        neighbor = int(self.nbr[node, out_port])
+                        if neighbor < 0:
+                            continue
+                        channel = int(opp_base[out_port]) + out_vc
+                        if nfifo[neighbor, channel] + nstaged[neighbor, channel] >= depth:
+                            continue
+                        down_node = neighbor
+                        down_chan = channel
+                    winner = ci
+                    winner_vc = out_vc
+                    break
+                if winner is None:
+                    continue
+                front = int(head[node, winner])
+                pidx = int(slot_pkt[node, winner, front])
+                seq = int(slot_seq[node, winner, front])
+                is_head = seq == 0
+                is_tail = seq == int(p_len[pidx]) - 1
+                head[node, winner] = (front + 1) % depth
+                nfifo[node, winner] -= 1
+                if is_head:
+                    owner[out_port, winner_vc] = winner
+                if is_tail:
+                    owner[out_port, winner_vc] = -1
+                    route[node, winner] = -1
+                self.rr[node, out_port] = (winner + 1) % num_channels
+
+                packet = packets[pidx]
+                if measured:
+                    self.rt_acc[node] += 1
+                    phase = stats._phase
+                    if phase is not None:
+                        phase.router_traversals += 1
+                if node == packet.source and winner < num_vcs:
+                    if is_head:
+                        packet.head_exit_cycle = cycle
+                    if is_tail:
+                        packet.tail_exit_cycle = cycle
+                        metric = packet.source_serialization_latency()
+                        if metric is not None and packet.elevator_index is not None:
+                            policy.notify_source_latency(
+                                packet.source, packet.elevator_index, metric, cycle
+                            )
+                if out_port == _LOCAL:
+                    stats.record_flit_delivered(packet, cycle)
+                    if is_tail:
+                        packet.delivery_cycle = cycle
+                        stats.record_packet_delivered(packet, cycle)
+                        network._in_flight -= 1
+                    self.total_flits -= 1
+                else:
+                    vertical = out_port in (_UP, _DOWN)
+                    stats.record_link_traversal(vertical, packet, cycle)
+                    if is_head:
+                        packet.hops += 1
+                        if vertical:
+                            packet.vertical_hops += 1
+                    slot = (
+                        int(head[down_node, down_chan])
+                        + int(nfifo[down_node, down_chan])
+                        + int(nstaged[down_node, down_chan])
+                    ) % depth
+                    slot_pkt[down_node, down_chan, slot] = pidx
+                    slot_seq[down_node, down_chan, slot] = seq
+                    nstaged[down_node, down_chan] += 1
+                    network._active_routers.add(down_node)
+
+        if nstaged.any():
+            nfifo += nstaged
+            nstaged.fill(0)
+        self._occ_cache = None
+
+    # ------------------------------------------------------------------ #
+    # State export
+    # ------------------------------------------------------------------ #
+    def _make_flit(self, packet: Packet, sequence: int) -> Flit:
+        if packet.length == 1:
+            flit_type = FlitType.HEAD_TAIL
+        elif sequence == 0:
+            flit_type = FlitType.HEAD
+        elif sequence == packet.length - 1:
+            flit_type = FlitType.TAIL
+        else:
+            flit_type = FlitType.BODY
+        return Flit(packet=packet, flit_type=flit_type, sequence=sequence)
+
+    def sync_back(self) -> None:
+        """Rematerialize Flit objects and Router allocation state.
+
+        Run once when a simulation finishes (or aborts): restores the
+        invariant that the FlitBuffers, injection queues and the routers'
+        ``_route`` / ``_output_owner`` / ``_rr_pointer`` dicts describe the
+        network's true state, so a network left mid-wormhole (e.g. after a
+        saturated run) can be inspected, reset, or run again with any
+        backend and behave exactly as under the reference kernel.
+        """
+        network = self.network
+        packets = self.packets
+        channel_keys = self.channel_keys
+        num_vcs = self.num_vcs
+        head = self.head
+        nfifo = self.nfifo
+        nstaged = self.nstaged
+        depth = self.depth
+        occupied = np.nonzero((nfifo + nstaged) > 0)
+        for node, ci in zip(occupied[0].tolist(), occupied[1].tolist()):
+            buf = network.routers[node].input_buffers[channel_keys[ci]]
+            base = int(head[node, ci])
+            visible = int(nfifo[node, ci])
+            for k in range(visible + int(nstaged[node, ci])):
+                slot = (base + k) % depth
+                flit = self._make_flit(
+                    packets[int(self.slot_pkt[node, ci, slot])],
+                    int(self.slot_seq[node, ci, slot]),
+                )
+                if k < visible:
+                    buf._fifo.append(flit)
+                else:
+                    buf._staged.append(flit)
+        # Rebuild the source queues.  On a saturated run the backlog can be
+        # hundreds of thousands of flits, so this loop builds them with
+        # direct slot assignment instead of per-flit constructor dispatch.
+        flit_new = Flit.__new__
+        head_type = FlitType.HEAD
+        body_type = FlitType.BODY
+        tail_type = FlitType.TAIL
+        head_tail_type = FlitType.HEAD_TAIL
+        for key, entries in self.queues.items():
+            if not entries:
+                continue
+            append = network._injection_queues[key].append
+            for packet, _pidx, next_seq in entries:
+                length = packet.length
+                last = length - 1
+                for sequence in range(next_seq, length):
+                    flit = flit_new(Flit)
+                    flit.packet = packet
+                    flit.sequence = sequence
+                    if sequence == 0:
+                        flit.flit_type = head_tail_type if last == 0 else head_type
+                    elif sequence == last:
+                        flit.flit_type = tail_type
+                    else:
+                        flit.flit_type = body_type
+                    append(flit)
+        for node, router in enumerate(network.routers):
+            route_row = self.route[node]
+            for ci, key in enumerate(channel_keys):
+                value = int(route_row[ci])
+                router._route[key] = None if value < 0 else Port(value)
+            for port in Port:
+                for vc in range(num_vcs):
+                    holder = int(self.owner[node, int(port), vc])
+                    router._output_owner[(port, vc)] = (
+                        None if holder < 0 else channel_keys[holder]
+                    )
+                router._rr_pointer[port] = int(self.rr[node, int(port)])
+        network._active_routers.update(
+            np.nonzero((nfifo + nstaged).sum(axis=1) > 0)[0].tolist()
+        )
+        # Fold the batched per-node traversal counts into the stats dict.
+        stats = network.stats
+        for node in np.nonzero(self.rt_acc)[0].tolist():
+            stats.router_traversals[node] = (
+                stats.router_traversals.get(node, 0) + int(self.rt_acc[node])
+            )
+        self.rt_acc.fill(0)
+
+    def close(self) -> None:
+        """Detach from the network (end of run)."""
+        self.network.set_occupancy_provider(None)
+        self.network.remove_topology_listener(self._on_topology_change)
+
+
+@register_backend(
+    "vectorized",
+    aliases=("numpy", "flat-array"),
+    description=(
+        "flat-array numpy kernel for the high-load regime "
+        "(tolerance contract; bit-exact mode available)"
+    ),
+)
+class VectorizedBackend(SimulatorBackend):
+    """Vectorized flat-array simulation kernel (see module docstring)."""
+
+    name = "vectorized"
+
+    def __init__(self, bit_exact: bool = False) -> None:
+        self.bit_exact = bit_exact
+
+    def execute(
+        self,
+        network: "Network",
+        packet_source: "PacketSource",
+        *,
+        warmup_cycles: int,
+        measurement_cycles: int,
+        drain_cycles: int,
+    ) -> int:
+        kernel = _VectorizedKernel(network, bit_exact=self.bit_exact)
+        step = kernel.step_exact if self.bit_exact else kernel.step
+        inject = kernel.inject
+        create_packet = kernel.create_packet
+        injection_end = warmup_cycles + measurement_cycles
+        # The finally clause rematerializes Flit-level state on *every*
+        # exit path -- a packet source or policy raising mid-run must not
+        # leave the network unreadable.
+        try:
+            for cycle in range(injection_end):
+                for request in packet_source.requests(cycle):
+                    create_packet(
+                        request.source, request.destination, request.length, cycle
+                    )
+                inject(cycle)
+                step(cycle)
+
+            drain_used = 0
+            for drain in range(drain_cycles):
+                if kernel.idle():
+                    break
+                cycle = injection_end + drain
+                inject(cycle)
+                step(cycle)
+                drain_used = drain + 1
+        finally:
+            kernel.sync_back()
+            kernel.close()
+        return drain_used

@@ -136,6 +136,13 @@ class Simulator:
             statistics gain per-phase measurement windows.
         scenario_seed: Seed that phase traffic patterns derive theirs from
             (the experiment seed, for spec-driven runs).
+        bit_exact: Ask the backend for results bit-identical to the
+            ``reference`` kernel even where its fast path only honors the
+            documented tolerance contract (the ``vectorized`` backend; the
+            other kernels are inherently exact and ignore the flag).  The
+            flag is set on the resolved backend instance, so passing a
+            pre-built backend shared across simulators with different
+            ``bit_exact`` values is the caller's responsibility.
     """
 
     def __init__(
@@ -149,6 +156,7 @@ class Simulator:
         backend: Union[str, SimulatorBackend, None] = None,
         scenario: Optional[ScenarioSpec] = None,
         scenario_seed: int = 0,
+        bit_exact: bool = False,
     ) -> None:
         if warmup_cycles < 0 or measurement_cycles <= 0 or drain_cycles < 0:
             raise ValueError("invalid cycle configuration")
@@ -159,6 +167,8 @@ class Simulator:
         self.drain_cycles = drain_cycles
         self.energy_model = energy_model
         self.backend = resolve_backend(backend)
+        if bit_exact:
+            self.backend.bit_exact = True
         self.scenario = scenario
         self.scenario_seed = scenario_seed
 
@@ -232,6 +242,7 @@ def run_simulation(
     backend: Union[str, SimulatorBackend, None] = None,
     scenario: Optional[ScenarioSpec] = None,
     scenario_seed: int = 0,
+    bit_exact: bool = False,
 ) -> SimulationResult:
     """Convenience wrapper building and running a :class:`Simulator`."""
     simulator = Simulator(
@@ -244,5 +255,6 @@ def run_simulation(
         backend=backend,
         scenario=scenario,
         scenario_seed=scenario_seed,
+        bit_exact=bit_exact,
     )
     return simulator.run()

@@ -16,6 +16,7 @@ load and traversal counters.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -65,9 +66,16 @@ def _reservoir_merge(stats, stored: List[float], samples_seen: int) -> None:
     that share *before* each offer, so replacement probabilities stay
     proportional to the true observation counts (an approximation of
     weighted reservoir merging, not an exact one).
+
+    A consistent caller always has ``samples_seen >= len(stored)``; an
+    inconsistent ``samples_seen`` is clamped up so every stored sample
+    stands for at least one observation (otherwise the negative ``base``
+    would silently walk ``latency_samples_seen`` backwards).
     """
     if not stored:
         return
+    if samples_seen < len(stored):
+        samples_seen = len(stored)
     base, remainder = divmod(samples_seen - len(stored), len(stored))
     for i, value in enumerate(stored):
         stats.latency_samples_seen += base + (1 if i < remainder else 0)
@@ -75,13 +83,21 @@ def _reservoir_merge(stats, stored: List[float], samples_seen: int) -> None:
 
 
 def _latency_percentile(stats, percentile: float) -> float:
-    """Latency percentile over a collector's (possibly sampled) latencies."""
+    """Latency percentile over a collector's (possibly sampled) latencies.
+
+    Uses the nearest-rank definition: the p-th percentile of N ordered
+    samples is the one at rank ``ceil(p/100 * N)`` (1-based), i.e. the
+    smallest sample with at least ``p`` percent of the data at or below
+    it.  Percentile 0 maps to the minimum, 100 to the maximum.  Unlike
+    the previous ``round()``-based index, this is monotone in ``p`` and
+    free of banker's-rounding flips at ``.5`` boundaries.
+    """
     if not stats.latencies:
         return float("inf")
     if not 0.0 <= percentile <= 100.0:
         raise ValueError("percentile must be within [0, 100]")
     ordered = sorted(stats.latencies)
-    index = int(round((percentile / 100.0) * (len(ordered) - 1)))
+    index = max(0, math.ceil((percentile / 100.0) * len(ordered)) - 1)
     return ordered[index]
 
 

@@ -335,6 +335,11 @@ class SimSpec:
             field when it equals the default -- cache keys (and cached
             results) predating the field stay valid, and picking the
             default backend explicitly never splits the cache.
+        bit_exact: Force the selected backend to produce results
+            bit-identical to the ``reference`` kernel even where its fast
+            path only honors the documented tolerance contract (the
+            ``vectorized`` backend).  Serialized only when set, for the
+            same cache-stability reason as ``backend``.
     """
 
     warmup_cycles: int = 300
@@ -343,6 +348,7 @@ class SimSpec:
     buffer_depth: int = 4
     seed: int = 0
     backend: str = DEFAULT_BACKEND
+    bit_exact: bool = False
 
     def __post_init__(self) -> None:
         for name in ("warmup_cycles", "measurement_cycles", "drain_cycles"):
@@ -358,6 +364,10 @@ class SimSpec:
                 f"backend must be a non-empty string, got {self.backend!r}"
             )
         object.__setattr__(self, "backend", self.backend.strip().lower())
+        if not isinstance(self.bit_exact, bool):
+            raise ValueError(
+                f"bit_exact must be a boolean, got {self.bit_exact!r}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-native canonical form.
@@ -374,6 +384,8 @@ class SimSpec:
         }
         if self.backend != DEFAULT_BACKEND:
             data["backend"] = self.backend
+        if self.bit_exact:
+            data["bit_exact"] = True
         return data
 
     @classmethod
@@ -386,6 +398,7 @@ class SimSpec:
             "buffer_depth",
             "seed",
             "backend",
+            "bit_exact",
         )
         _reject_unknown_keys(data, allowed, "sim spec")
         defaults = cls()
@@ -575,6 +588,7 @@ _FLAT_FIELDS: Dict[str, Tuple[str, str]] = {
     "buffer_depth": ("sim", "buffer_depth"),
     "seed": ("sim", "seed"),
     "backend": ("sim", "backend"),
+    "bit_exact": ("sim", "bit_exact"),
 }
 
 

@@ -210,5 +210,13 @@ class Mesh3D:
         return self.coordinate(a).manhattan_3d(self.coordinate(b))
 
     def same_layer(self, a: int, b: int) -> bool:
-        """Return ``True`` when both node ids are on the same layer."""
-        return self.coordinate(a).z == self.coordinate(b).z
+        """Return ``True`` when both node ids are on the same layer.
+
+        Called once per packet by every elevator-selection policy, so it
+        compares layer indices directly instead of materializing two
+        :class:`Coordinate` tuples.
+        """
+        self._check_node(a)
+        self._check_node(b)
+        per_layer = self.nodes_per_layer
+        return a // per_layer == b // per_layer

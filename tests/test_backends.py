@@ -7,6 +7,13 @@ that contract down with a cross-backend matrix over policies, traffic
 patterns and injection rates (including saturation), hypothesis-generated
 random specs, and direct checks of the active-set bookkeeping the optimized
 kernel relies on.
+
+The ``vectorized`` kernel joins the matrix in its ``bit_exact`` mode (the
+mode the equivalence contract covers); its default fast mode honors a
+documented tolerance contract instead, pinned by
+:class:`TestVectorizedFastMode`.  All vectorized tests degrade to the
+two-kernel matrix on numpy-less installs, where the backend stays
+unregistered.
 """
 
 from __future__ import annotations
@@ -37,6 +44,23 @@ from repro.traffic.generator import BernoulliPacketSource, TracePacketSource
 from repro.traffic.patterns import UniformTraffic
 from repro.traffic.trace import TraceEvent, TrafficTrace
 
+try:
+    from repro.sim.backends.vectorized import VectorizedBackend
+
+    HAVE_VECTORIZED = True
+except ImportError:  # pragma: no cover - numpy-less installs
+    VectorizedBackend = None
+    HAVE_VECTORIZED = False
+
+#: Backends under the bit-identity contract (vectorized via bit_exact mode).
+ALL_BACKENDS = ["reference", "optimized"] + (
+    ["vectorized"] if HAVE_VECTORIZED else []
+)
+
+requires_vectorized = pytest.mark.skipif(
+    not HAVE_VECTORIZED, reason="numpy (and the vectorized kernel) unavailable"
+)
+
 
 def _placement(shape=(3, 3, 2), columns=((0, 0), (2, 2))) -> ElevatorPlacement:
     return ElevatorPlacement(Mesh3D(*shape), list(columns), name="backend-test")
@@ -54,6 +78,9 @@ def _spec(backend: str, **overrides) -> ExperimentSpec:
             drain_cycles=200,
             seed=11,
             backend=backend,
+            # The equivalence matrix runs the vectorized kernel in its
+            # bit-exact mode; the other kernels ignore the flag.
+            bit_exact=(backend == "vectorized"),
         ),
     )
     return spec.with_(**overrides) if overrides else spec
@@ -83,7 +110,17 @@ class TestRegistry:
     def test_bundled_backends_registered(self):
         assert "reference" in BACKEND_REGISTRY
         assert "optimized" in BACKEND_REGISTRY
-        assert available_backends() == ["optimized", "reference"]
+        expected = ["optimized", "reference"]
+        if HAVE_VECTORIZED:
+            expected.append("vectorized")
+        assert available_backends() == expected
+
+    @requires_vectorized
+    def test_vectorized_aliases_resolve(self):
+        assert isinstance(resolve_backend("vectorized"), VectorizedBackend)
+        assert isinstance(resolve_backend("numpy"), VectorizedBackend)
+        assert isinstance(resolve_backend("flat-array"), VectorizedBackend)
+        assert resolve_backend("vectorized").bit_exact is False
 
     def test_default_is_optimized(self):
         assert DEFAULT_BACKEND == "optimized"
@@ -153,32 +190,39 @@ class TestPrecomputedRoutes:
 
 
 class TestCrossBackendEquivalence:
-    """reference == optimized, bit for bit, over a policy x traffic x rate
-    matrix that spans empty, flowing and saturated networks."""
+    """reference == optimized == vectorized (bit-exact mode), bit for bit,
+    over a policy x traffic x rate matrix that spans empty, flowing and
+    saturated networks."""
 
     @pytest.mark.parametrize("policy", ["elevator_first", "cda", "minimal"])
     @pytest.mark.parametrize("rate", [0.0, 0.01, 0.08])
     def test_summary_and_stats_identical(self, policy, rate):
-        results = {}
-        for backend in ("reference", "optimized"):
-            results[backend] = run_experiment(
+        results = {
+            backend: run_experiment(
                 _spec(backend, policy=policy, injection_rate=rate)
             )
-        ref, opt = results["reference"], results["optimized"]
-        assert ref.summary() == opt.summary()
-        assert ref.drain_cycles_used == opt.drain_cycles_used
-        assert _full_stats_fields(ref.stats) == _full_stats_fields(opt.stats)
+            for backend in ALL_BACKENDS
+        }
+        ref = results["reference"]
+        for backend in ALL_BACKENDS[1:]:
+            other = results[backend]
+            assert ref.summary() == other.summary(), backend
+            assert ref.drain_cycles_used == other.drain_cycles_used, backend
+            assert _full_stats_fields(ref.stats) == (
+                _full_stats_fields(other.stats)
+            ), backend
 
     @pytest.mark.parametrize("pattern", ["shuffle", "hotspot", "transpose"])
     def test_patterns_identical(self, pattern):
         results = [
             run_experiment(_spec(backend, traffic=pattern))
-            for backend in ("reference", "optimized")
+            for backend in ALL_BACKENDS
         ]
-        assert results[0].summary() == results[1].summary()
-        assert _full_stats_fields(results[0].stats) == (
-            _full_stats_fields(results[1].stats)
-        )
+        for other in results[1:]:
+            assert results[0].summary() == other.summary()
+            assert _full_stats_fields(results[0].stats) == (
+                _full_stats_fields(other.stats)
+            )
 
     def test_trace_source_identical(self):
         placement = _placement()
@@ -190,33 +234,42 @@ class TestCrossBackendEquivalence:
         ]
         trace = TrafficTrace(events)
         results = []
-        for backend in ("reference", "optimized"):
+        for backend in ALL_BACKENDS:
             network = Network(placement, make_policy("elevator_first", placement))
             sim = Simulator(
-                network, TracePacketSource(trace), 5, 40, 100, backend=backend
+                network, TracePacketSource(trace), 5, 40, 100,
+                backend=backend, bit_exact=(backend == "vectorized"),
             )
             results.append(sim.run())
-        assert results[0].summary() == results[1].summary()
-        assert results[0].drain_cycles_used == results[1].drain_cycles_used
+        for other in results[1:]:
+            assert results[0].summary() == other.summary()
+            assert results[0].drain_cycles_used == other.drain_cycles_used
 
     def test_second_run_on_saturated_network_identical(self):
-        """The optimized kernel syncs allocation state back into the
-        routers, so re-running a network left mid-wormhole (saturated,
-        drain exhausted) behaves exactly like the reference kernel."""
+        """The optimized and vectorized kernels sync allocation state back
+        into the routers, so re-running a network left mid-wormhole
+        (saturated, drain exhausted) behaves exactly like the reference
+        kernel."""
         results = {}
-        for backend in ("reference", "optimized"):
+        for backend in ALL_BACKENDS:
             placement = _placement()
             network = Network(placement, make_policy("elevator_first", placement))
             source = BernoulliPacketSource(
                 UniformTraffic(placement.mesh, seed=7), 0.2, seed=7
             )
-            sim = Simulator(network, source, 10, 80, 30, backend=backend)
+            sim = Simulator(
+                network, source, 10, 80, 30,
+                backend=backend, bit_exact=(backend == "vectorized"),
+            )
             first = sim.run()
             assert first.drain_cycles_used == 30  # saturated: drain exhausted
             results[backend] = sim.run()  # resumes from in-flight state
-        ref, opt = results["reference"], results["optimized"]
-        assert ref.summary() == opt.summary()
-        assert _full_stats_fields(ref.stats) == _full_stats_fields(opt.stats)
+        ref = results["reference"]
+        for backend in ALL_BACKENDS[1:]:
+            assert ref.summary() == results[backend].summary(), backend
+            assert _full_stats_fields(ref.stats) == (
+                _full_stats_fields(results[backend].stats)
+            ), backend
 
     def test_adele_policy_identical(self, tiny_amosa):
         spec = _spec(
@@ -224,9 +277,14 @@ class TestCrossBackendEquivalence:
             policy=PolicySpec(name="adele", options={"max_subset_size": 2}),
         )
         ref = run_experiment(spec)
-        opt = run_experiment(spec.with_(backend="optimized"))
-        assert ref.summary() == opt.summary()
-        assert _full_stats_fields(ref.stats) == _full_stats_fields(opt.stats)
+        for backend in ALL_BACKENDS[1:]:
+            other = run_experiment(
+                spec.with_(backend=backend, bit_exact=(backend == "vectorized"))
+            )
+            assert ref.summary() == other.summary(), backend
+            assert _full_stats_fields(ref.stats) == (
+                _full_stats_fields(other.stats)
+            ), backend
 
 
 @pytest.fixture
@@ -284,10 +342,15 @@ class TestHypothesisEquivalence:
             ),
         )
         ref = run_experiment(spec)
-        opt = run_experiment(spec.with_(backend="optimized"))
-        assert ref.summary() == opt.summary()
-        assert ref.drain_cycles_used == opt.drain_cycles_used
-        assert _full_stats_fields(ref.stats) == _full_stats_fields(opt.stats)
+        for backend in ALL_BACKENDS[1:]:
+            other = run_experiment(
+                spec.with_(backend=backend, bit_exact=(backend == "vectorized"))
+            )
+            assert ref.summary() == other.summary(), backend
+            assert ref.drain_cycles_used == other.drain_cycles_used, backend
+            assert _full_stats_fields(ref.stats) == (
+                _full_stats_fields(other.stats)
+            ), backend
 
 
 class TestActiveSetInvariants:
@@ -352,13 +415,13 @@ class TestDrainAccounting:
     """Regression: drain_cycles_used must be 0 -- never stale -- when the
     network is already idle at injection end."""
 
-    @pytest.mark.parametrize("backend", ["reference", "optimized"])
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_zero_rate_uses_zero_drain_cycles(self, backend):
         result = run_experiment(_spec(backend, injection_rate=0.0))
         assert result.drain_cycles_used == 0
         assert result.stats.packets_created == 0
 
-    @pytest.mark.parametrize("backend", ["reference", "optimized"])
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_early_trace_drained_before_injection_end(self, backend):
         # One early packet, then a long quiet measurement window: everything
         # is delivered long before injection stops, so no drain cycle runs.
@@ -375,7 +438,7 @@ class TestDrainAccounting:
         assert result.stats.packets_delivered == 1
         assert result.drain_cycles_used == 0
 
-    @pytest.mark.parametrize("backend", ["reference", "optimized"])
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_late_packet_uses_positive_drain(self, backend):
         # A packet injected on the last measured cycle needs drain cycles.
         placement = _placement()
@@ -391,6 +454,98 @@ class TestDrainAccounting:
         result = sim.run()
         assert result.stats.packets_delivered == 1
         assert result.drain_cycles_used > 0
+
+
+class TestSaturatedDrainAccounting:
+    """Satellite regression: a saturated mesh must exhaust its drain budget
+    and report identical drain / undelivered-packet accounting on every
+    backend (vectorized in bit-exact mode)."""
+
+    RATE = 0.2
+
+    def _run(self, backend):
+        return run_experiment(
+            _spec(
+                backend,
+                injection_rate=self.RATE,
+                warmup_cycles=10,
+                measurement_cycles=80,
+                drain_cycles=40,
+            )
+        )
+
+    def test_drain_budget_exhausted_and_undelivered_counted(self):
+        results = {backend: self._run(backend) for backend in ALL_BACKENDS}
+        ref = results["reference"]
+        # Saturated: the drain budget is used in full and a backlog of
+        # measured packets never arrives.
+        assert ref.drain_cycles_used == 40
+        assert ref.stats.packets_created > ref.stats.packets_delivered
+        assert ref.saturated
+        undelivered = ref.stats.packets_created - ref.stats.packets_delivered
+        assert undelivered > 0
+        for backend in ALL_BACKENDS[1:]:
+            other = results[backend]
+            assert other.drain_cycles_used == 40, backend
+            assert other.stats.packets_created == (
+                ref.stats.packets_created
+            ), backend
+            assert other.stats.packets_delivered == (
+                ref.stats.packets_delivered
+            ), backend
+            assert other.stats.flits_injected == ref.stats.flits_injected, backend
+            assert other.stats.flits_delivered == (
+                ref.stats.flits_delivered
+            ), backend
+
+
+@requires_vectorized
+class TestVectorizedFastMode:
+    """The vectorized kernel's default (fast) mode tolerance contract.
+
+    The fast allocation phase arbitrates against the cycle-start occupancy
+    snapshot, so under contention individual allocation orders may differ
+    from the reference kernel.  The contract it must still honor: packet
+    creation is bit-identical (the traffic RNG never observes network
+    state), flits are conserved, and runs that fully drain deliver every
+    packet.
+    """
+
+    def test_packet_creation_identical_to_reference(self):
+        for rate in (0.01, 0.08):
+            ref = run_experiment(_spec("reference", injection_rate=rate))
+            fast = run_experiment(
+                _spec("vectorized", injection_rate=rate, bit_exact=False)
+            )
+            assert fast.stats.packets_created == ref.stats.packets_created
+            assert (
+                fast.stats.elevator_assignments == ref.stats.elevator_assignments
+            )
+
+    def test_drained_run_conserves_packets(self):
+        fast = run_experiment(
+            _spec("vectorized", injection_rate=0.01, bit_exact=False)
+        )
+        assert fast.drain_cycles_used < 200  # drained before the budget
+        assert fast.stats.packets_delivered == fast.stats.packets_created
+        assert fast.stats.packets_delivered > 0
+
+    def test_fast_mode_is_deterministic(self):
+        spec = _spec("vectorized", injection_rate=0.08, bit_exact=False)
+        first = run_experiment(spec)
+        second = run_experiment(spec.with_(seed=11))  # same spec, fresh run
+        assert first.summary() == second.summary()
+        assert _full_stats_fields(first.stats) == _full_stats_fields(second.stats)
+
+    def test_fast_mode_throughput_close_to_reference(self):
+        ref = run_experiment(_spec("reference", injection_rate=0.04))
+        fast = run_experiment(
+            _spec("vectorized", injection_rate=0.04, bit_exact=False)
+        )
+        assert fast.throughput == pytest.approx(ref.throughput, rel=0.05)
+        assert fast.average_latency == pytest.approx(
+            ref.average_latency, rel=0.15
+        )
 
 
 class TestLatencyReservoir:

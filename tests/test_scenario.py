@@ -32,6 +32,7 @@ from repro.scenario import (
     TrafficPhase,
     event_from_dict,
 )
+from repro.sim.backends import available_backends
 from repro.sim.router import Port
 from repro.spec import ExperimentSpec, PlacementSpec, PolicySpec, SimSpec, TrafficSpec
 from repro.topology.elevators import ElevatorPlacement
@@ -197,6 +198,12 @@ class TestKeyStability:
 # ---------------------------------------------------------------------- #
 # Cross-backend matrix (acceptance criterion)
 # ---------------------------------------------------------------------- #
+#: Kernels in the scenario cross-backend identity matrix.  The vectorized
+#: kernel participates in its bit-exact mode and only where numpy imports.
+MATRIX_BACKENDS = ["reference", "optimized"] + (
+    ["vectorized"] if "vectorized" in available_backends() else []
+)
+
 #: One scenario per registered event kind.  The completeness check below
 #: fails if a new kind is registered without a matrix entry.
 MATRIX_SCENARIOS = {
@@ -251,8 +258,11 @@ class TestCrossBackendMatrix:
         policy, scenario = MATRIX_SCENARIOS[kind]
         spec = _spec(policy=policy, scenario=scenario)
         reference = run_experiment(spec.with_(backend="reference"))
-        optimized = run_experiment(spec.with_(backend="optimized"))
-        assert _full_comparison(reference) == _full_comparison(optimized)
+        for backend in MATRIX_BACKENDS[1:]:
+            other = run_experiment(
+                spec.with_(backend=backend, bit_exact=(backend == "vectorized"))
+            )
+            assert _full_comparison(reference) == _full_comparison(other), backend
         # The scenario actually produced phase windows (baseline + events).
         assert len(reference.stats.phases) == len(scenario.events) + 1
         assert reference.stats.phases[0].label == BASELINE_PHASE_LABEL
@@ -267,8 +277,11 @@ class TestCrossBackendMatrix:
         ))
         spec = _spec(policy="adele", scenario=scenario)
         reference = run_experiment(spec.with_(backend="reference"))
-        optimized = run_experiment(spec.with_(backend="optimized"))
-        assert _full_comparison(reference) == _full_comparison(optimized)
+        for backend in MATRIX_BACKENDS[1:]:
+            other = run_experiment(
+                spec.with_(backend=backend, bit_exact=(backend == "vectorized"))
+            )
+            assert _full_comparison(reference) == _full_comparison(other), backend
 
     def test_fault_excludes_elevator_from_new_assignments(self):
         spec = _spec(policy="adele", scenario=ScenarioSpec(events=(
@@ -413,6 +426,41 @@ class TestRuntime:
         assert source.packet_probability == pytest.approx(0.07)
         runtime.advance(20)
         assert source.packet_probability == pytest.approx(0.12)
+
+    def test_ramp_boundary_pins_start_rate_at_ramp_cycle(self):
+        # Regression: at exactly ramp.cycle the rate must be the ramp's
+        # start rate (no interpolation step yet), distinct from the base
+        # injection rate it overrides.
+        network, source = self._network_and_source()
+        scenario = ScenarioSpec(events=(
+            RateRamp(cycle=10, end_cycle=20, end_rate=0.14, start_rate=0.04),
+        ))
+        runtime = ScenarioRuntime(scenario, network, source, injection_end=180)
+        runtime.begin()
+        runtime.advance(10)
+        assert source.packet_probability == pytest.approx(0.04)
+        runtime.advance(11)
+        assert source.packet_probability == pytest.approx(0.05)
+
+    def test_overlapping_ramps_chain_at_the_interpolated_rate(self):
+        # Regression: a second ramp starting mid-flight used to read the
+        # *stale* pre-ramp rate as its implicit start rate.  The outgoing
+        # ramp is now advanced to the handover cycle first, so the new ramp
+        # departs from the rate actually in effect.
+        network, source = self._network_and_source()
+        scenario = ScenarioSpec(events=(
+            RateRamp(cycle=10, end_cycle=30, end_rate=0.22, start_rate=0.02),
+            RateRamp(cycle=20, end_cycle=40, end_rate=0.30),
+        ))
+        runtime = ScenarioRuntime(scenario, network, source, injection_end=180)
+        runtime.begin()
+        runtime.advance(20)
+        # Handover: the first ramp's value at cycle 20 is 0.12.
+        assert source.packet_probability == pytest.approx(0.12)
+        runtime.advance(30)
+        assert source.packet_probability == pytest.approx(0.21)
+        runtime.advance(40)
+        assert source.packet_probability == pytest.approx(0.30)
 
     def test_adele_rebuild_preserves_learned_costs(self):
         from repro.routing.adele import AdElePolicy

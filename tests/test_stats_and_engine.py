@@ -70,6 +70,29 @@ class TestSimulationStats:
         with pytest.raises(ValueError):
             stats.latency_percentile(120)
 
+    def test_latency_percentile_nearest_rank_even_length(self):
+        # Regression: the old round()-based index banker's-rounded the p50
+        # of an even-length sample up to the higher order statistic (30
+        # here); nearest-rank (ceil) picks the n/2-th sample.
+        stats = SimulationStats()
+        for latency in [10, 20, 30, 40]:
+            packet = self._packet(creation=0, delivery_cycle=latency)
+            stats.record_packet_delivered(packet, cycle=latency)
+        assert stats.latency_percentile(25) == 10
+        assert stats.latency_percentile(50) == 20
+        assert stats.latency_percentile(75) == 30
+        assert stats.latency_percentile(99) == 40
+
+    def test_latency_percentile_monotone(self):
+        stats = SimulationStats()
+        for latency in [3, 1, 4, 1, 5, 9]:
+            packet = self._packet(creation=0, delivery_cycle=latency)
+            stats.record_packet_delivered(packet, cycle=latency)
+        values = [stats.latency_percentile(p) for p in range(0, 101, 5)]
+        assert values == sorted(values)
+        assert values[0] == 1
+        assert values[-1] == 9
+
     def test_router_and_link_counters(self):
         stats = SimulationStats()
         packet = self._packet()
@@ -111,6 +134,31 @@ class TestSimulationStats:
         a.merge(b)
         assert a.packets_created == 2
         assert a.packets_delivered == 1
+
+    def test_merge_clamps_undercounted_sample_counter(self):
+        # Regression: merging a reservoir whose samples_seen undercounts its
+        # stored samples (hand-built or deserialized stats) used to compute
+        # a negative per-sample share and walk latency_samples_seen
+        # backwards; the counter is clamped so every stored sample stands
+        # for at least one observation.
+        a = SimulationStats()
+        b = SimulationStats()
+        b.latencies.extend([5.0, 6.0, 7.0])
+        b.latency_samples_seen = 1  # inconsistent: three stored samples
+        a.merge(b)
+        assert a.latency_samples_seen == 3
+        assert sorted(a.latencies) == [5.0, 6.0, 7.0]
+
+    def test_merge_weights_downsampled_reservoir(self):
+        # A consistent down-sampled input (seen > stored) still advances the
+        # counter by the full observation count.
+        a = SimulationStats()
+        b = SimulationStats()
+        b.latencies.extend([5.0, 6.0, 7.0])
+        b.latency_samples_seen = 9  # each survivor stands for 3 observations
+        a.merge(b)
+        assert a.latency_samples_seen == 9
+        assert sorted(a.latencies) == [5.0, 6.0, 7.0]
 
 
 class TestSimulator:
