@@ -14,7 +14,13 @@
   CLI.
 * **Execution** -- :func:`run` for a single spec,
   :func:`run_specs` / :class:`~repro.exec.batch.ExperimentBatch` for
-  parallel, deterministically seeded, disk-cached grids.
+  parallel, deterministically seeded, disk-cached grids, and
+  :func:`run_designs` / :class:`~repro.exec.designs.DesignBatch` for
+  offline design grids.
+* **Service** -- :func:`connect` / :func:`submit` / :func:`wait` /
+  :func:`results` talk to a ``python -m repro serve`` daemon
+  (:mod:`repro.service`): a durable SQLite-backed job queue whose workers
+  produce results bit-identical to direct :func:`run_specs` calls.
 
 Quickstart::
 
@@ -61,14 +67,22 @@ from repro.core.optimizers import (
 )
 from repro.core.pipeline import AdEleDesign
 from repro.energy.model import EnergyModel
-from repro.exec.batch import ExperimentBatch, ExperimentOutcome
+from repro.exec.batch import ExperimentBatch, ExperimentOutcome, key_extra_for
 from repro.exec.cache import (
     DiskDesignCache,
     ResultCache,
+    available_cache_backends,
     canonical_config,
     config_key,
     derive_seed,
+    open_caches,
     spec_from_canonical,
+)
+from repro.exec.designs import (
+    DesignBatch,
+    DesignOutcome,
+    derive_design_seed,
+    run_design_batch,
 )
 from repro.registry import (
     DuplicateComponentError,
@@ -77,6 +91,11 @@ from repro.registry import (
     UnknownComponentError,
 )
 from repro.routing.base import POLICY_REGISTRY, register_policy
+from repro.service.client import (
+    DEFAULT_SERVICE_URL,
+    ServiceClient,
+    ServiceError,
+)
 from repro.scenario import (
     SCENARIO_EVENT_REGISTRY,
     ElevatorFault,
@@ -215,6 +234,7 @@ def run_specs(
     base_seed: Optional[int] = None,
     energy_model: Optional[EnergyModel] = None,
     plugins: Iterable[str] = (),
+    cache_backend: str = "json",
 ) -> List[ExperimentOutcome]:
     """Run a grid of specs through the parallel batch engine.
 
@@ -230,21 +250,91 @@ def run_specs(
             registered components exist by name under any multiprocessing
             start method (under ``fork``, already-imported modules are
             inherited without this).
+        cache_backend: Layout under ``cache_dir`` -- ``"json"`` (one file
+            per entry) or ``"sqlite"`` (the concurrent-safe service store);
+            both key by the same canonical hashes.
 
     Returns:
         One :class:`~repro.exec.batch.ExperimentOutcome` per spec, in input
         order, each carrying its spec, cache key and summary row.
     """
+    result_cache, design_cache = open_caches(cache_dir, cache_backend)
     batch = ExperimentBatch(
         specs,
         workers=workers,
-        result_cache=ResultCache(cache_dir),
-        design_cache=DiskDesignCache(cache_dir) if cache_dir else None,
+        result_cache=result_cache,
+        design_cache=design_cache,
         base_seed=base_seed,
         energy_model=energy_model,
         plugins=tuple(plugins),
     )
     return batch.run()
+
+
+def run_designs(
+    specs: Iterable[DesignSpec],
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    base_seed: Optional[int] = None,
+    plugins: Iterable[str] = (),
+    cache_backend: str = "json",
+) -> List[DesignOutcome]:
+    """Run a grid of offline design specs through the design batch engine.
+
+    The offline analogue of :func:`run_specs`: uncached designs fan out
+    over worker processes, identical designs deduplicate through the design
+    cache, and with ``base_seed`` each design's optimizer seed derives from
+    the canonical design key (see
+    :func:`~repro.exec.designs.derive_design_seed`).
+    """
+    _, design_cache = open_caches(cache_dir, cache_backend)
+    return run_design_batch(
+        specs,
+        workers=workers,
+        cache=design_cache,
+        base_seed=base_seed,
+        plugins=tuple(plugins),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Experiment service
+# ---------------------------------------------------------------------- #
+def connect(
+    base_url: str = DEFAULT_SERVICE_URL, timeout: float = 30.0
+) -> ServiceClient:
+    """A client for a running ``python -m repro serve`` daemon."""
+    return ServiceClient(base_url, timeout=timeout)
+
+
+def submit(
+    specs: Union[ExperimentSpec, ExperimentConfig,
+                 Iterable[Union[ExperimentSpec, ExperimentConfig]]],
+    base_seed: Optional[int] = None,
+    base_url: str = DEFAULT_SERVICE_URL,
+) -> int:
+    """Submit specs to the experiment service; returns the job id.
+
+    Identical resubmissions (same specs, same base seed) dedup server-side
+    and return the existing job's id.
+    """
+    return connect(base_url).submit(specs, base_seed=base_seed)
+
+
+def wait(
+    job_id: int,
+    timeout: Optional[float] = None,
+    base_url: str = DEFAULT_SERVICE_URL,
+) -> Dict[str, object]:
+    """Poll the service until the job finishes; returns its status."""
+    return connect(base_url).wait(job_id, timeout=timeout)
+
+
+def results(
+    job_id: int, base_url: str = DEFAULT_SERVICE_URL
+) -> List[Dict[str, float]]:
+    """Summary rows of a finished service job, in submission order."""
+    return connect(base_url).results(job_id)
 
 
 # ---------------------------------------------------------------------- #
@@ -325,14 +415,30 @@ __all__ = [
     "run_scenario",
     "run_specs",
     "run_design",
+    "run_designs",
+    "run_design_batch",
+    "derive_design_seed",
+    "key_extra_for",
     "design_for",
     "design_key_for",
     "AdEleDesign",
     "ExperimentBatch",
     "ExperimentOutcome",
+    "DesignBatch",
+    "DesignOutcome",
     "ResultCache",
     "DiskDesignCache",
     "DesignCache",
+    "available_cache_backends",
+    "open_caches",
     "EnergyModel",
     "SimulationResult",
+    # experiment service
+    "DEFAULT_SERVICE_URL",
+    "ServiceClient",
+    "ServiceError",
+    "connect",
+    "submit",
+    "wait",
+    "results",
 ]

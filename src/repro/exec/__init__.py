@@ -6,10 +6,15 @@ results -- in parallel, deterministically, and with disk-backed caching:
 * :class:`~repro.exec.batch.ExperimentBatch` fans configs out over a process
   pool (serial fallback at ``workers=1``) and returns summary rows in input
   order;
+* :class:`~repro.exec.designs.DesignBatch` does the same for offline
+  :class:`~repro.spec.DesignSpec` grids (per-design derived optimizer
+  seeds, design-cache deduplication);
 * :mod:`repro.exec.cache` provides the canonical config serialization and
   hash every cache key and derived seed is built from, plus the
-  :class:`~repro.exec.cache.ResultCache` (summary rows) and
-  :class:`~repro.exec.cache.DiskDesignCache` (AdEle offline designs);
+  :class:`~repro.exec.cache.ResultCache` (summary rows), the
+  :class:`~repro.exec.cache.DiskDesignCache` (AdEle offline designs) and
+  the pluggable :func:`~repro.exec.cache.open_caches` backend registry
+  (``json`` files or the service's SQLite store);
 * :mod:`repro.exec.cli` is the ``python -m repro`` front end (``sweep`` /
   ``compare`` / ``run --spec`` / ``list`` subcommands with ``--workers``,
   ``--cache-dir``, ``--seed`` and ``--plugin``).
@@ -22,18 +27,28 @@ workers, or replays from a warm cache directory.
 from repro.exec.batch import (
     ExperimentBatch,
     ExperimentOutcome,
+    key_extra_for,
     run_batch,
     summaries_by_policy,
 )
 from repro.exec.cache import (
     DiskDesignCache,
     ResultCache,
+    available_cache_backends,
     canonical_config,
     canonical_json,
     config_from_canonical,
     config_key,
     derive_seed,
+    open_caches,
+    register_cache_backend,
     spec_from_canonical,
+)
+from repro.exec.designs import (
+    DesignBatch,
+    DesignOutcome,
+    derive_design_seed,
+    run_design_batch,
 )
 
 __all__ = [
@@ -41,8 +56,16 @@ __all__ = [
     "ExperimentOutcome",
     "run_batch",
     "summaries_by_policy",
+    "key_extra_for",
+    "DesignBatch",
+    "DesignOutcome",
+    "derive_design_seed",
+    "run_design_batch",
     "ResultCache",
     "DiskDesignCache",
+    "available_cache_backends",
+    "open_caches",
+    "register_cache_backend",
     "canonical_config",
     "canonical_json",
     "config_from_canonical",

@@ -53,6 +53,21 @@ from repro.spec import (
 )
 
 
+def key_extra_for(energy_model: Optional[EnergyModel] = None) -> Dict[str, Any]:
+    """The non-spec cache-key inputs of a batch run.
+
+    A custom energy model changes the energy columns of every summary row,
+    so its parameters are mixed into the key -- rows cached under one model
+    are never served for a different one.  The *effective* model is hashed
+    (``None`` means the simulator's default), so passing the default
+    explicitly and passing ``None`` share cache entries.  The experiment
+    service computes submit-time task keys with this same helper, so a job
+    task and a direct batch run of the same spec share one cache row.
+    """
+    effective = energy_model if energy_model is not None else EnergyModel()
+    return {"energy_model": dataclasses.asdict(effective)}
+
+
 @dataclass(frozen=True)
 class _Task:
     """One unit of work shipped to a worker (picklable, design pre-resolved).
@@ -184,16 +199,8 @@ class ExperimentBatch:
         return [config_from_spec(spec) for spec in self.specs]
 
     def _key_extra(self) -> Dict[str, Any]:
-        """Non-spec inputs the cache key must capture.
-
-        A custom energy model changes the energy columns of every summary
-        row, so its parameters are mixed into the key -- rows cached under
-        one model are never served for a different one.  The *effective*
-        model is hashed (``None`` means the simulator's default), so passing
-        the default explicitly and passing ``None`` share cache entries.
-        """
-        effective = self.energy_model if self.energy_model is not None else EnergyModel()
-        return {"energy_model": dataclasses.asdict(effective)}
+        """Non-spec inputs the cache key must capture (see :func:`key_extra_for`)."""
+        return key_extra_for(self.energy_model)
 
     def effective_specs(self) -> List[ExperimentSpec]:
         """Specs with batch-level seed derivation applied."""

@@ -534,6 +534,80 @@ class DiskDesignCache(DesignCache):
                     os.unlink(os.path.join(self.cache_dir, name))
 
 
+# ---------------------------------------------------------------------- #
+# Pluggable cache backends
+# ---------------------------------------------------------------------- #
+#: Registered cache backends: name -> factory(cache_dir) -> (result_cache,
+#: design_cache).  ``json`` is the historical one-file-per-entry layout;
+#: ``sqlite`` is the concurrent-safe service store (one database file,
+#: same canonical keys -- see :mod:`repro.service.store`).
+_CACHE_BACKENDS: Dict[str, Any] = {}
+
+
+def register_cache_backend(name: str, factory) -> None:
+    """Register a cache backend factory under a (lower-cased) name.
+
+    The factory takes a cache directory and returns a
+    ``(result_cache, design_cache)`` pair implementing the
+    :class:`ResultCache` / :class:`~repro.analysis.runner.DesignCache`
+    interfaces.
+    """
+    _CACHE_BACKENDS[name.strip().lower()] = factory
+
+
+def available_cache_backends() -> List[str]:
+    """Sorted names of every registered cache backend."""
+    return sorted(_CACHE_BACKENDS)
+
+
+def open_caches(cache_dir: Optional[str], backend: str = "json"):
+    """Open the result and design caches of a cache directory.
+
+    Args:
+        cache_dir: Cache directory; ``None`` returns a memory-only
+            :class:`ResultCache` and no design cache (in-batch
+            deduplication only), whatever the backend.
+        backend: Registered backend name (``json`` or ``sqlite``).
+
+    Returns:
+        A ``(result_cache, design_cache)`` pair usable with
+        :class:`~repro.exec.batch.ExperimentBatch`.
+
+    Raises:
+        ValueError: Unknown backend name.
+    """
+    name = (backend or "json").strip().lower()
+    if name not in _CACHE_BACKENDS:
+        raise ValueError(
+            f"unknown cache backend {backend!r}; registered: "
+            f"{', '.join(available_cache_backends())}"
+        )
+    if cache_dir is None:
+        return ResultCache(), None
+    return _CACHE_BACKENDS[name](cache_dir)
+
+
+def _open_json_caches(cache_dir: str):
+    return ResultCache(cache_dir), DiskDesignCache(cache_dir)
+
+
+def _open_sqlite_caches(cache_dir: str):
+    # Imported lazily: repro.service.store imports this module.
+    from repro.service.store import (
+        DEFAULT_DB_FILENAME,
+        SqliteDesignCache,
+        SqliteResultCache,
+        SqliteStore,
+    )
+
+    store = SqliteStore(os.path.join(cache_dir, DEFAULT_DB_FILENAME))
+    return SqliteResultCache(store), SqliteDesignCache(store)
+
+
+register_cache_backend("json", _open_json_caches)
+register_cache_backend("sqlite", _open_sqlite_caches)
+
+
 #: Default AMOSA settings, re-exported so CLI/benchmark code can key designs
 #: consistently with :func:`repro.analysis.runner.adele_design_for`.
 __all__ = [
@@ -549,5 +623,8 @@ __all__ = [
     "design_to_record",
     "design_from_record",
     "design_key_hash",
+    "register_cache_backend",
+    "available_cache_backends",
+    "open_caches",
     "DEFAULT_OFFLINE_AMOSA",
 ]

@@ -33,6 +33,19 @@ every figure of the paper is built from, plus the component registries:
     spec plus its per-phase measurement windows.  Shares the engine flags,
     so scenario grids fan out over workers and cache like any other runs.
 
+``serve``
+    Run the persistent experiment service: a ``ThreadingHTTPServer`` front
+    end (submit/status/result/cancel; see :mod:`repro.service.http`) over a
+    durable SQLite-backed job queue drained by a supervised worker pool.
+    Jobs dedup by spec hash, completed tasks are recorded individually so
+    interrupted sweeps resume, and results are bit-identical to direct
+    ``repro run`` invocations of the same specs.
+
+``cache migrate``
+    Carry a warm JSON cache directory (``result-*.json`` /
+    ``design-*.json``) into the SQLite store under unchanged keys, so
+    existing caches keep hitting after switching backends.
+
 ``list``
     Show every registered policy, traffic pattern, application model,
     placement, simulation backend, offline optimizer and scenario event
@@ -64,6 +77,16 @@ imported first, so its ``@register_policy`` / ``@register_pattern`` /
     canonical hash of its spec plus S, so results are reproducible across
     processes and worker counts.
 
+``--cache-backend {json,sqlite}``
+    Which cache backend ``--cache-dir`` opens: ``json`` (one file per
+    entry, the historical layout) or ``sqlite`` (the concurrent-safe
+    service store).  Both key by the same canonical hashes.
+
+``sweep``/``compare``/``run``/``scenario`` also accept ``--json``: one
+machine-readable JSON document on stdout instead of the human tables (the
+format clients and scripts consume; note non-finite floats serialize as
+``Infinity``/``NaN``, which ``json.loads`` accepts).
+
 The sweep/compare target is either a named placement (``--placement PS1``)
 or an ad-hoc one (``--mesh X Y Z --elevators "x,y;x,y"``), which keeps CI
 smoke runs on tiny meshes fast.
@@ -74,18 +97,22 @@ from __future__ import annotations
 import argparse
 import importlib
 import json
+import os
 import sys
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.comparison import format_table, policy_comparison_from_summaries
-from repro.analysis.runner import DesignCache, design_for, design_key_for
+from repro.analysis.runner import design_for, design_key_for
 from repro.analysis.sweep import LatencyCurve, saturation_rate
 from repro.core.optimizers import OPTIMIZER_REGISTRY
 from repro.core.selection import SELECTION_STRATEGIES
 from repro.exec.batch import ExperimentBatch, summaries_by_policy
-from repro.exec.cache import DiskDesignCache, ResultCache
+from repro.exec.cache import available_cache_backends, open_caches
+from repro.exec.designs import DesignBatch
 from repro.routing.base import POLICY_REGISTRY
 from repro.scenario.events import SCENARIO_EVENT_REGISTRY
+from repro.service import http as service_http
+from repro.service.store import DEFAULT_DB_FILENAME, SqliteStore, migrate_json_cache
 from repro.sim.backends import BACKEND_REGISTRY, DEFAULT_BACKEND
 from repro.spec import DesignSpec, ExperimentSpec, PlacementSpec, SimSpec, TrafficSpec
 from repro.topology.elevators import PLACEMENT_REGISTRY
@@ -185,6 +212,20 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--seed", type=int, default=None,
         help="base seed; per-task seeds derive from it and the spec hash",
     )
+    _add_cache_backend_argument(engine)
+    engine.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="print one machine-readable JSON document instead of tables",
+    )
+
+
+def _add_cache_backend_argument(target) -> None:
+    target.add_argument(
+        "--cache-backend", default="json", choices=available_cache_backends(),
+        help="cache layout under --cache-dir: 'json' (one file per entry) "
+             "or 'sqlite' (concurrent-safe service store); same keys either "
+             "way (default: json)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -245,8 +286,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plugin_argument(optimize)
     optimize.add_argument(
         "--spec", default=None, metavar="FILE",
-        help="JSON file with one DesignSpec document (flags below override "
-             "its fields)",
+        help="JSON file with one DesignSpec document or a list of them "
+             "(flags below override every document's fields)",
+    )
+    optimize.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes fanning a design grid out (1 = serial)",
+    )
+    optimize.add_argument(
+        "--seed", type=int, default=None,
+        help="base seed; per-design optimizer seeds derive from it and "
+             "the canonical design key",
     )
     optimize.add_argument(
         "--optimizer", default=None, metavar="NAME",
@@ -290,10 +340,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="directory for the disk-backed design cache",
     )
+    _add_cache_backend_argument(optimize)
     optimize.add_argument(
         "--progress", action="store_true",
         help="print optimizer progress (temperature/stage, archive size, "
              "current objectives) to stderr",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the persistent experiment service (HTTP + durable queue)",
+    )
+    _add_plugin_argument(serve)
+    serve.add_argument(
+        "--host", default=service_http.DEFAULT_HOST,
+        help=f"bind address (default: {service_http.DEFAULT_HOST})",
+    )
+    serve.add_argument(
+        "--port", type=int, default=service_http.DEFAULT_PORT,
+        help=f"bind port, 0 = ephemeral (default: {service_http.DEFAULT_PORT})",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads draining the job queue (default: 2)",
+    )
+    serve.add_argument(
+        "--cache-dir", required=True,
+        help=f"service state directory (holds {DEFAULT_DB_FILENAME})",
+    )
+    serve.add_argument(
+        "--db", default=None, metavar="FILE",
+        help=f"explicit SQLite path (default: CACHE_DIR/{DEFAULT_DB_FILENAME})",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="times a task may be claimed before it is marked failed "
+             "(default: 3)",
+    )
+
+    cache = subparsers.add_parser(
+        "cache", help="cache maintenance (JSON -> SQLite migration)"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    migrate = cache_sub.add_parser(
+        "migrate",
+        help="copy a warm JSON cache directory into the SQLite store "
+             "under unchanged keys",
+    )
+    migrate.add_argument(
+        "--cache-dir", required=True,
+        help="JSON cache directory (result-*.json / design-*.json)",
+    )
+    migrate.add_argument(
+        "--db", default=None, metavar="FILE",
+        help=f"SQLite store to fill (default: CACHE_DIR/{DEFAULT_DB_FILENAME})",
     )
 
     listing = subparsers.add_parser(
@@ -331,9 +431,8 @@ def _base_spec(args: argparse.Namespace) -> ExperimentSpec:
 def _make_batch(
     args: argparse.Namespace, specs: List[ExperimentSpec]
 ) -> ExperimentBatch:
-    result_cache = ResultCache(args.cache_dir)
-    design_cache: Optional[DesignCache] = (
-        DiskDesignCache(args.cache_dir) if args.cache_dir else None
+    result_cache, design_cache = open_caches(
+        args.cache_dir, getattr(args, "cache_backend", "json")
     )
     return ExperimentBatch(
         specs,
@@ -355,6 +454,29 @@ def _report_engine(batch: ExperimentBatch) -> None:
     )
 
 
+def _engine_document(batch) -> Dict[str, int]:
+    return {
+        "executed": batch.last_executed,
+        "cached": batch.last_cached,
+        "workers": batch.workers,
+    }
+
+
+def _outcome_document(outcome) -> Dict[str, Any]:
+    return {
+        "key": outcome.key,
+        "from_cache": outcome.from_cache,
+        "spec": outcome.spec.to_dict(),
+        "summary": outcome.summary,
+    }
+
+
+def _print_json(document: Dict[str, Any]) -> None:
+    # Python's json extension serializes non-finite floats as Infinity/NaN
+    # (saturated runs carry infinite latencies); json.loads reads them back.
+    print(json.dumps(document, indent=2, sort_keys=True))
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     policies = _comma_names(args.policies)
     rates = _comma_floats(args.rates)
@@ -368,13 +490,32 @@ def _run_sweep(args: argparse.Namespace) -> int:
     ]
     batch = _make_batch(args, specs)
     outcomes = batch.run()
-    _report_engine(batch)
 
     curves = {policy: LatencyCurve(policy=policy) for policy in policies}
     for outcome in outcomes:
         curves[outcome.spec.policy.name].add_point(
             outcome.spec.traffic.injection_rate, outcome.summary["average_latency"]
         )
+    if args.json_output:
+        _print_json({
+            "command": "sweep",
+            "placement": base.placement.name,
+            "traffic": base.traffic.pattern,
+            "engine": _engine_document(batch),
+            "curves": [
+                {
+                    "policy": policy,
+                    "points": [
+                        {"injection_rate": rate, "average_latency": latency}
+                        for rate, latency in curves[policy].points
+                    ],
+                    "saturation_rate": saturation_rate(curves[policy]),
+                }
+                for policy in policies
+            ],
+        })
+        return 0
+    _report_engine(batch)
     print(f"placement={base.placement.name} traffic={base.traffic.pattern}")
     for policy in policies:
         curve = curves[policy]
@@ -399,7 +540,6 @@ def _run_compare(args: argparse.Namespace) -> int:
     ]
     batch = _make_batch(args, specs)
     outcomes = batch.run()
-    _report_engine(batch)
 
     summaries = summaries_by_policy(outcomes)
     baseline = args.baseline
@@ -411,6 +551,18 @@ def _run_compare(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     table = policy_comparison_from_summaries(summaries, baseline=baseline)
+    if args.json_output:
+        _print_json({
+            "command": "compare",
+            "placement": base.placement.name,
+            "traffic": base.traffic.pattern,
+            "rate": args.rate,
+            "baseline": baseline,
+            "engine": _engine_document(batch),
+            "policies": table,
+        })
+        return 0
+    _report_engine(batch)
     print(
         f"placement={base.placement.name} traffic={base.traffic.pattern} "
         f"rate={args.rate}"
@@ -445,6 +597,13 @@ def _run_specs(args: argparse.Namespace) -> int:
         specs = [spec.with_(backend=args.backend) for spec in specs]
     batch = _make_batch(args, specs)
     outcomes = batch.run()
+    if args.json_output:
+        _print_json({
+            "command": "run",
+            "engine": _engine_document(batch),
+            "outcomes": [_outcome_document(outcome) for outcome in outcomes],
+        })
+        return 0
     _report_engine(batch)
     header = f"{'placement':12s} {'policy':15s} {'traffic':14s} {'rate':>8s} {'avg_latency':>12s} {'throughput':>11s}"
     print(header)
@@ -472,6 +631,13 @@ def _run_scenario(args: argparse.Namespace) -> int:
         specs = [spec.with_(backend=args.backend) for spec in specs]
     batch = _make_batch(args, specs)
     outcomes = batch.run()
+    if args.json_output:
+        _print_json({
+            "command": "scenario",
+            "engine": _engine_document(batch),
+            "outcomes": [_outcome_document(outcome) for outcome in outcomes],
+        })
+        return 0
     _report_engine(batch)
     for outcome in outcomes:
         spec = outcome.spec
@@ -498,7 +664,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_design_spec(path: str) -> DesignSpec:
+def _load_design_specs(path: str) -> List[DesignSpec]:
     try:
         with open(path, "r") as handle:
             data = json.load(handle)
@@ -506,14 +672,21 @@ def _load_design_spec(path: str) -> DesignSpec:
         raise SystemExit(f"cannot read --spec file {path!r}: {error}")
     except ValueError as error:
         raise SystemExit(f"--spec file {path!r} is not valid JSON: {error}")
-    try:
-        return DesignSpec.from_dict(data)
-    except ValueError as error:
-        raise SystemExit(f"--spec file {path!r}: {error}")
+    documents = data if isinstance(data, list) else [data]
+    specs: List[DesignSpec] = []
+    for index, document in enumerate(documents):
+        try:
+            specs.append(DesignSpec.from_dict(document))
+        except ValueError as error:
+            raise SystemExit(f"--spec file {path!r}, document {index}: {error}")
+    if not specs:
+        raise SystemExit(f"--spec file {path!r} contains no design specs")
+    return specs
 
 
-def _run_optimize(args: argparse.Namespace) -> int:
-    spec = _load_design_spec(args.spec) if args.spec else DesignSpec()
+def _apply_design_overrides(
+    args: argparse.Namespace, spec: DesignSpec
+) -> DesignSpec:
     changes = {}
     if args.mesh is not None:
         if not args.elevators:
@@ -553,12 +726,29 @@ def _run_optimize(args: argparse.Namespace) -> int:
         changes["num_representatives"] = args.representatives
     if changes:
         spec = spec.with_(**changes)
+    return spec
 
-    # Resolve the optimizer name eagerly so typos surface as the registry's
+
+def _run_optimize(args: argparse.Namespace) -> int:
+    specs = _load_design_specs(args.spec) if args.spec else [DesignSpec()]
+    specs = [_apply_design_overrides(args, spec) for spec in specs]
+
+    # Resolve optimizer names eagerly so typos surface as the registry's
     # did-you-mean ValueError before any work happens.
-    OPTIMIZER_REGISTRY.entry(spec.optimizer)
+    for spec in specs:
+        OPTIMIZER_REGISTRY.entry(spec.optimizer)
 
-    cache = DiskDesignCache(args.cache_dir) if args.cache_dir else None
+    _, design_cache = open_caches(
+        args.cache_dir, getattr(args, "cache_backend", "json")
+    )
+    if len(specs) == 1 and args.workers == 1 and args.seed is None:
+        return _run_optimize_single(args, specs[0], design_cache)
+    return _run_optimize_grid(args, specs, design_cache)
+
+
+def _run_optimize_single(
+    args: argparse.Namespace, spec: DesignSpec, cache
+) -> int:
     placement = spec.placement.resolve()
     was_cached = (
         cache is not None and cache.get(design_key_for(spec, placement)) is not None
@@ -605,6 +795,76 @@ def _run_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_optimize_grid(
+    args: argparse.Namespace, specs: List[DesignSpec], cache
+) -> int:
+    """Fan a DesignSpec grid over worker processes (one row per design)."""
+    if args.progress:
+        print(
+            "[repro.exec] warning: --progress only applies to single serial "
+            "designs; ignored for grids",
+            file=sys.stderr,
+        )
+    batch = DesignBatch(
+        specs,
+        workers=args.workers,
+        cache=cache,
+        base_seed=args.seed,
+        plugins=tuple(getattr(args, "plugin", [])),
+    )
+    outcomes = batch.run()
+    for outcome in outcomes:
+        spec = outcome.spec
+        placement = spec.placement.resolve()
+        selected = outcome.design.selected
+        source = "cache" if outcome.from_cache else "optimized"
+        print(
+            f"{placement.name:12s} optimizer={spec.optimizer:14s} "
+            f"seed={spec.options.get('seed', '-')!s:>10s} "
+            f"variance={selected.objectives[0]:.6g} "
+            f"distance={selected.objectives[1]:.6g} "
+            f"avg_subset={selected.solution.average_subset_size():.2f} "
+            f"[{source}]"
+        )
+    print(
+        f"[repro.exec] {batch.last_executed} optimized, "
+        f"{batch.last_cached} served from cache "
+        f"({batch.workers} worker{'s' if batch.workers != 1 else ''})"
+    )
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    os.makedirs(args.cache_dir, exist_ok=True)
+    db_path = args.db or os.path.join(args.cache_dir, DEFAULT_DB_FILENAME)
+    store = SqliteStore(db_path)
+    return service_http.serve(
+        store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_attempts=args.max_attempts,
+        plugins=tuple(getattr(args, "plugin", [])),
+    )
+
+
+def _run_cache_migrate(args: argparse.Namespace) -> int:
+    if not os.path.isdir(args.cache_dir):
+        raise SystemExit(f"--cache-dir {args.cache_dir!r} is not a directory")
+    db_path = args.db or os.path.join(args.cache_dir, DEFAULT_DB_FILENAME)
+    store = SqliteStore(db_path)
+    try:
+        counts = migrate_json_cache(args.cache_dir, store)
+    finally:
+        store.close()
+    print(
+        f"[repro.cache] migrated {counts['results']} result(s) and "
+        f"{counts['designs']} design(s) into {db_path} "
+        f"({counts['skipped']} skipped)"
+    )
+    return 0
+
+
 def _print_registry(title: str, registry) -> None:
     print(f"{title}:")
     for entry in registry.entries():
@@ -644,6 +904,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_scenario(args)
     if args.command == "optimize":
         return _run_optimize(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "cache":
+        if args.cache_command == "migrate":
+            return _run_cache_migrate(args)
+        raise SystemExit(
+            f"unknown cache command {args.cache_command!r}"
+        )  # pragma: no cover
     if args.command == "list":
         return _run_list(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,267 @@
+"""The thin HTTP API of the experiment service (stdlib only).
+
+``python -m repro serve`` binds a :class:`ThreadingHTTPServer` (no new
+dependency -- the repo's hard-dependency budget stays numpy-only) in front
+of the shared :class:`~repro.service.store.SqliteStore`, the
+:class:`~repro.service.queue.JobQueue` and a
+:class:`~repro.service.workers.WorkerPool`:
+
+====== ============================= =====================================
+Method Path                          Meaning
+====== ============================= =====================================
+GET    ``/api/health``               daemon liveness + global task counts
+POST   ``/api/jobs``                 submit (``{"specs": [...],
+                                     "base_seed": N}``); dedup by spec
+                                     hash -- 200 with ``created=false``
+                                     for an identical resubmission,
+                                     201 for a new job
+GET    ``/api/jobs``                 list jobs, newest first
+GET    ``/api/jobs/<id>``            job state + progress counts
+                                     (incremental polling)
+GET    ``/api/jobs/<id>/result``     per-task results in submission order
+POST   ``/api/jobs/<id>/cancel``     cancel the job's queued tasks
+====== ============================= =====================================
+
+All bodies are JSON.  Floats serialize with Python's ``Infinity`` extension
+(saturated runs carry infinite latencies); the bundled client parses it
+back, as does any ``json.loads``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.queue import JobQueue
+from repro.service.store import SqliteStore
+from repro.service.workers import WorkerPool
+from repro.spec import ExperimentSpec
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+
+
+class ServiceContext:
+    """Everything one daemon instance shares across request threads."""
+
+    def __init__(self, store: SqliteStore, queue: JobQueue, pool: WorkerPool) -> None:
+        self.store = store
+        self.queue = queue
+        self.pool = pool
+
+
+class _ApiError(Exception):
+    """A client-visible error with its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Route dispatch for the experiment-service API."""
+
+    #: Set by :func:`make_server` on the generated subclass.
+    context: ServiceContext
+
+    server_version = "repro-service/1.7"
+    protocol_version = "HTTP/1.1"
+
+    _ROUTES = (
+        ("GET", re.compile(r"^/api/health$"), "_health"),
+        ("POST", re.compile(r"^/api/jobs$"), "_submit"),
+        ("GET", re.compile(r"^/api/jobs$"), "_list_jobs"),
+        ("GET", re.compile(r"^/api/jobs/(?P<job_id>\d+)$"), "_job_status"),
+        ("GET", re.compile(r"^/api/jobs/(?P<job_id>\d+)/result$"), "_job_result"),
+        ("POST", re.compile(r"^/api/jobs/(?P<job_id>\d+)/cancel$"), "_job_cancel"),
+    )
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        # Quiet by default; the CLI layer decides what to print.
+        pass
+
+    def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        allowed_methods = set()
+        for route_method, pattern, handler_name in self._ROUTES:
+            match = pattern.match(path)
+            if match is None:
+                continue
+            if route_method != method:
+                allowed_methods.add(route_method)
+                continue
+            try:
+                status, payload = getattr(self, handler_name)(**match.groupdict())
+            except _ApiError as error:
+                status, payload = error.status, {"error": str(error)}
+            except KeyError as error:
+                status, payload = 404, {"error": str(error.args[0])}
+            except ValueError as error:
+                status, payload = 400, {"error": str(error)}
+            except Exception as error:  # pragma: no cover - last resort
+                status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
+            self._send(status, payload)
+            return
+        if allowed_methods:
+            self._send(405, {"error": f"method {method} not allowed for {path}"})
+        else:
+            self._send(404, {"error": f"no route for {method} {path}"})
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        try:
+            data = json.loads(self.rfile.read(length).decode("utf-8"))
+        except ValueError as error:
+            raise _ApiError(400, f"request body is not valid JSON: {error}")
+        if not isinstance(data, dict):
+            raise _ApiError(400, "request body must be a JSON object")
+        return data
+
+    # ------------------------------------------------------------------ #
+    # Handlers
+    # ------------------------------------------------------------------ #
+    def _health(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, {
+            "status": "ok",
+            "workers": self.context.pool.workers,
+            "tasks": self.context.queue.counts(),
+        }
+
+    def _submit(self) -> Tuple[int, Dict[str, Any]]:
+        body = self._read_body()
+        documents = body.get("specs")
+        if documents is None and "spec" in body:
+            documents = [body["spec"]]
+        if not isinstance(documents, list) or not documents:
+            raise _ApiError(
+                400, "submission needs 'specs' (a non-empty list of "
+                     "ExperimentSpec documents) or a single 'spec'"
+            )
+        try:
+            specs = [ExperimentSpec.from_dict(doc) for doc in documents]
+        except ValueError as error:
+            raise _ApiError(400, f"invalid experiment spec: {error}")
+        base_seed = body.get("base_seed")
+        if base_seed is not None and not isinstance(base_seed, int):
+            raise _ApiError(400, "base_seed must be an integer or null")
+        receipt = self.context.queue.submit(specs, base_seed=base_seed)
+        document = receipt.job.to_dict()
+        document["created"] = receipt.created
+        return (201 if receipt.created else 200), document
+
+    def _list_jobs(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, {"jobs": [job.to_dict() for job in self.context.queue.jobs()]}
+
+    def _job_status(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        return 200, self.context.queue.job(int(job_id)).to_dict()
+
+    def _job_result(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        job = self.context.queue.job(int(job_id))
+        document = job.to_dict()
+        document["results"] = self.context.queue.results(job.id)
+        return 200, document
+
+    def _job_cancel(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        return 200, self.context.queue.cancel(int(job_id)).to_dict()
+
+
+def make_server(
+    context: ServiceContext,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+) -> ThreadingHTTPServer:
+    """Build the HTTP server bound to ``host:port`` (port 0 = ephemeral)."""
+    handler = type(
+        "BoundServiceRequestHandler", (ServiceRequestHandler,), {"context": context}
+    )
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(
+    store: SqliteStore,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    workers: int = 2,
+    max_attempts: Optional[int] = None,
+    plugins: Tuple[str, ...] = (),
+    install_signal_handlers: bool = True,
+    ready: Optional[threading.Event] = None,
+) -> int:
+    """Run the daemon until SIGINT/SIGTERM: recover, serve, drain, close.
+
+    Startup re-queues tasks left ``running`` by a previous process
+    (:meth:`JobQueue.recover_running`), which is what makes interrupted
+    sweeps resume without re-running completed tasks.
+    """
+    queue = (
+        JobQueue(store, max_attempts=max_attempts)
+        if max_attempts is not None
+        else JobQueue(store)
+    )
+    recovered = queue.recover_running()
+    if recovered:
+        print(f"[repro.serve] re-queued {recovered} interrupted task(s)",
+              file=sys.stderr)
+    pool = WorkerPool(store, workers=workers, queue=queue, plugins=plugins)
+    context = ServiceContext(store, queue, pool)
+    server = make_server(context, host=host, port=port)
+    stop = threading.Event()
+
+    if install_signal_handlers:
+        def _handle(signum, frame):  # noqa: ARG001
+            stop.set()
+
+        signal.signal(signal.SIGINT, _handle)
+        signal.signal(signal.SIGTERM, _handle)
+
+    pool.start()
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-http", daemon=True
+    )
+    thread.start()
+    bound = server.server_address
+    print(f"[repro.serve] listening on http://{bound[0]}:{bound[1]} "
+          f"({workers} worker{'s' if workers != 1 else ''}, db {store.path})")
+    if ready is not None:
+        ready.set()
+    try:
+        stop.wait()
+    finally:
+        print("[repro.serve] shutting down", file=sys.stderr)
+        server.shutdown()
+        server.server_close()
+        pool.stop()
+        store.close()
+    return 0
+
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "ServiceContext",
+    "ServiceRequestHandler",
+    "make_server",
+    "serve",
+]

@@ -1,0 +1,161 @@
+"""Tests for the CLI's machine-readable surfaces.
+
+``--json`` must emit exactly one parseable JSON document on stdout for
+``sweep`` / ``compare`` / ``run`` / ``scenario`` (no human tables mixed
+in), ``optimize`` must fan multi-document spec files over the design
+batch, and ``cache migrate`` must carry JSON entries into SQLite from the
+command line.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec.cli import main
+from repro.service.store import SqliteStore
+from repro.spec import ExperimentSpec, PlacementSpec, SimSpec, TrafficSpec
+
+TINY = [
+    "--mesh", "2", "2", "2", "--elevators", "0,0;1,1",
+    "--warmup", "10", "--measure", "40", "--drain", "30",
+]
+
+
+def _capture_json(capsys):
+    out = capsys.readouterr().out
+    return json.loads(out)
+
+
+def _spec_file(tmp_path, documents) -> str:
+    path = tmp_path / "specs.json"
+    path.write_text(json.dumps(documents))
+    return str(path)
+
+
+class TestJsonOutput:
+    def test_sweep_json(self, capsys):
+        assert main([
+            "sweep", *TINY, "--policies", "elevator_first,adele",
+            "--rates", "0.001,0.002", "--json",
+        ]) == 0
+        document = _capture_json(capsys)
+        assert document["command"] == "sweep"
+        assert document["engine"]["executed"] + document["engine"]["cached"] == 4
+        policies = [curve["policy"] for curve in document["curves"]]
+        assert policies == ["elevator_first", "adele"]
+        for curve in document["curves"]:
+            assert len(curve["points"]) == 2
+            assert curve["saturation_rate"] > 0
+
+    def test_compare_json(self, capsys):
+        assert main([
+            "compare", *TINY, "--policies", "elevator_first,cda",
+            "--rate", "0.002", "--json",
+        ]) == 0
+        document = _capture_json(capsys)
+        assert document["command"] == "compare"
+        assert document["baseline"] == "elevator_first"
+        row = document["policies"]["cda"]
+        assert "average_latency" in row and "average_latency_norm" in row
+
+    def test_run_json(self, tmp_path, capsys):
+        spec = ExperimentSpec(
+            placement=PlacementSpec(
+                name="cli-json", mesh=(2, 2, 2), columns=((0, 0), (1, 1))
+            ),
+            traffic=TrafficSpec(pattern="uniform", injection_rate=0.002),
+            sim=SimSpec(warmup_cycles=10, measurement_cycles=40, drain_cycles=30),
+        )
+        path = _spec_file(tmp_path, [spec.to_dict()])
+        assert main(["run", "--spec", path, "--json"]) == 0
+        document = _capture_json(capsys)
+        assert document["command"] == "run"
+        (outcome,) = document["outcomes"]
+        assert outcome["spec"]["traffic"]["injection_rate"] == 0.002
+        assert "average_latency" in outcome["summary"]
+        assert isinstance(outcome["key"], str) and not outcome["from_cache"]
+
+    def test_scenario_json(self, tmp_path, capsys):
+        spec = ExperimentSpec(
+            placement=PlacementSpec(
+                name="cli-json", mesh=(2, 2, 2), columns=((0, 0), (1, 1))
+            ),
+            traffic=TrafficSpec(pattern="uniform", injection_rate=0.002),
+            sim=SimSpec(warmup_cycles=10, measurement_cycles=40, drain_cycles=30),
+        )
+        document = spec.to_dict()
+        document["scenario"] = {
+            "events": [
+                {"kind": "rate_ramp", "cycle": 10, "end_cycle": 30,
+                 "start_rate": 0.002, "end_rate": 0.001}
+            ]
+        }
+        path = _spec_file(tmp_path, [document])
+        assert main(["scenario", "--spec", path, "--json"]) == 0
+        parsed = _capture_json(capsys)
+        assert parsed["command"] == "scenario"
+        assert len(parsed["outcomes"]) == 1
+
+    def test_json_reruns_hit_the_sqlite_cache(self, tmp_path, capsys):
+        args = [
+            "compare", *TINY, "--policies", "elevator_first",
+            "--rate", "0.002", "--json",
+            "--cache-dir", str(tmp_path), "--cache-backend", "sqlite",
+        ]
+        assert main(args) == 0
+        first = _capture_json(capsys)
+        assert main(args) == 0
+        second = _capture_json(capsys)
+        assert first["engine"] == {"executed": 1, "cached": 0, "workers": 1}
+        assert second["engine"] == {"executed": 0, "cached": 1, "workers": 1}
+        assert first["policies"] == second["policies"]
+
+
+class TestOptimizeGrid:
+    def test_multi_document_spec_file_fans_out(self, tmp_path, capsys):
+        placement = {
+            "name": "cli-grid", "mesh": [2, 2, 2], "columns": [[0, 0], [1, 1]]
+        }
+        path = _spec_file(tmp_path, [
+            {"placement": placement, "optimizer": "greedy-swap"},
+            {"placement": placement, "optimizer": "greedy-swap",
+             "max_subset_size": 1},
+        ])
+        assert main(["optimize", "--spec", path, "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 optimized, 0 served from cache (2 workers)" in out
+
+    def test_single_document_output_is_unchanged(self, tmp_path, capsys):
+        # CI smoke greps these exact strings; the grid path must not leak
+        # into single serial runs.
+        args = [
+            "optimize", "--mesh", "2", "2", "2", "--elevators", "0,0;1,1",
+            "--optimizer", "greedy-swap", "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        assert "[repro.exec] design optimized" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "[repro.exec] design served from cache" in capsys.readouterr().out
+
+
+class TestCacheMigrateCommand:
+    def test_migrate_via_cli(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "result-abc.json").write_text(
+            json.dumps({"summary": {"average_latency": 4.0}})
+        )
+        assert main(["cache", "migrate", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "migrated 1 result(s) and 0 design(s)" in out
+        store = SqliteStore(str(cache_dir / "repro.sqlite3"))
+        try:
+            assert store.get_result("abc") == {"average_latency": 4.0}
+        finally:
+            store.close()
+
+    def test_migrate_rejects_missing_directory(self, tmp_path):
+        with pytest.raises(SystemExit, match="not a directory"):
+            main(["cache", "migrate", "--cache-dir", str(tmp_path / "nope")])

@@ -1,0 +1,104 @@
+"""Tests for parallel offline-design batches (DesignBatch).
+
+Pins the determinism contract mirrored from experiment batches: a design
+grid produces bit-identical designs (compared in persisted record form)
+whether it runs serially, over worker processes, or from a warm cache --
+and per-design derived optimizer seeds depend only on the canonical design
+key plus the batch-level base seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.runner import DesignCache, design_key_for
+from repro.exec.cache import design_to_record
+from repro.exec.designs import DesignBatch, derive_design_seed, run_design_batch
+from repro.spec import DesignSpec, PlacementSpec
+
+
+def _design(columns=((0, 0), (1, 1)), optimizer="greedy-swap", **overrides):
+    spec = DesignSpec().with_(
+        placement=PlacementSpec(
+            name="grid-tiny", mesh=(2, 2, 2), columns=tuple(columns)
+        ),
+        optimizer=optimizer,
+    )
+    return spec.with_(**overrides) if overrides else spec
+
+
+def _records(outcomes):
+    return [design_to_record(o.key, o.design) for o in outcomes]
+
+
+class TestDerivedSeeds:
+    def test_deterministic_and_key_dependent(self):
+        a, b = _design(), _design(max_subset_size=1)
+        assert derive_design_seed(a, 7) == derive_design_seed(a, 7)
+        assert derive_design_seed(a, 7) != derive_design_seed(a, 8)
+        assert derive_design_seed(a, 7) != derive_design_seed(b, 7)
+
+    def test_ignores_the_spec_own_seed(self):
+        # The spec's options["seed"] is replaced by the base seed before
+        # hashing, so submission-time seeds don't split the derivation.
+        a = _design(optimizer="random-search")
+        b = a.with_(options={"seed": 123})
+        assert derive_design_seed(a, 5) == derive_design_seed(b, 5)
+
+    def test_effective_specs_carry_derived_seeds(self):
+        batch = DesignBatch([_design()], base_seed=11)
+        (effective,) = batch.effective_specs()
+        assert effective.options["seed"] == derive_design_seed(_design(), 11)
+
+    def test_without_base_seed_specs_are_untouched(self):
+        spec = _design()
+        batch = DesignBatch([spec])
+        assert batch.effective_specs() == [spec]
+
+
+class TestDesignBatch:
+    def test_serial_equals_parallel_equals_warm_cache(self):
+        specs = [_design(), _design(max_subset_size=1), _design()]
+        serial = DesignBatch(specs, workers=1, base_seed=3).run()
+        parallel = DesignBatch(specs, workers=2, base_seed=3).run()
+        warm_cache = DesignCache()
+        DesignBatch(specs, workers=1, cache=warm_cache, base_seed=3).run()
+        warm = DesignBatch(specs, workers=1, cache=warm_cache, base_seed=3)
+        warm_outcomes = warm.run()
+
+        assert json.dumps(_records(serial), sort_keys=True) == json.dumps(
+            _records(parallel), sort_keys=True
+        )
+        assert json.dumps(_records(serial), sort_keys=True) == json.dumps(
+            _records(warm_outcomes), sort_keys=True
+        )
+        assert warm.last_executed == 0
+        assert all(o.from_cache for o in warm_outcomes)
+
+    def test_identical_specs_deduplicate(self):
+        batch = DesignBatch([_design(), _design()])
+        outcomes = batch.run()
+        assert batch.last_executed == 1
+        assert batch.last_cached == 1
+        assert [o.from_cache for o in outcomes] == [False, True]
+        assert outcomes[0].key == outcomes[1].key
+
+    def test_outcomes_preserve_input_order(self):
+        specs = [_design(max_subset_size=1), _design()]
+        outcomes = DesignBatch(specs, workers=2).run()
+        assert [o.key for o in outcomes] == [design_key_for(s) for s in specs]
+
+    def test_populates_the_shared_cache(self):
+        cache = DesignCache()
+        run_design_batch([_design()], cache=cache)
+        assert cache.get(design_key_for(_design())) is not None
+
+    def test_rejects_non_design_specs(self):
+        with pytest.raises(TypeError, match="DesignSpec"):
+            DesignBatch([{"optimizer": "amosa"}])
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            DesignBatch([_design()], workers=0)
