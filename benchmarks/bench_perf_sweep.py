@@ -1,0 +1,276 @@
+"""Sharded-sweep throughput benchmark (specs/second, 1 shard vs N).
+
+Standalone script (like ``bench_perf_kernel.py``) establishing the scaling
+story of the sharded batch engine:
+
+* **Unsharded baseline** -- the whole grid through one
+  :class:`~repro.exec.batch.ExperimentBatch`, cold cache.
+* **N-shard fleet** -- the same grid split ``1/N .. N/N``, each shard into
+  its own cache directory, then ``merge_results`` folds the shard caches
+  together.  Shard runs execute as genuinely concurrent processes when the
+  machine has at least N cores; otherwise they run sequentially and the
+  fleet number uses the **independent-hosts model**: sharding exists to put
+  each slice on its *own* machine, so fleet wall-clock = slowest shard +
+  merge.  The JSON records which mode produced the number (``concurrent``)
+  and the host's ``cpu_count`` so a reader can judge it.
+* **Bit-identity check** -- the merged cache must be byte-identical to the
+  baseline's cache (the invariant everything rests on); the bench fails
+  hard if it is not.
+* **Streaming aggregation** -- the grid again through ``run_streaming``
+  with a small chunk size, recording the peak resident rows (must be
+  O(chunk), not O(grid)) and the aggregate the stream produced.
+
+Everything lands in ``benchmarks/results/BENCH_perf_sweep.json``.
+
+Run directly (tiny windows for a smoke, defaults for a real number)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_sweep.py
+    PYTHONPATH=src python benchmarks/bench_perf_sweep.py \
+        --rates 4 --measure 150 --shards 2
+
+CI gates on ``--require-speedup X`` (fleet specs/s >= X * baseline) on
+runners with enough cores for the concurrent mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import tempfile
+import time
+from typing import Dict, List
+
+from repro.exec.aggregate import StreamingAggregator, merge_results
+from repro.exec.batch import ExperimentBatch
+from repro.exec.cache import ResultCache
+from repro.exec.shard import ShardSpec
+from repro.spec import ExperimentSpec, PlacementSpec, PolicySpec, SimSpec, TrafficSpec
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+RESULT_FILE = os.path.join(RESULTS_DIR, "BENCH_perf_sweep.json")
+
+MESH = (3, 3, 2)
+ELEVATOR_COLUMNS = ((0, 0), (2, 2))
+POLICIES = ("elevator_first", "cda")
+BASE_SEED = 11
+
+
+def build_grid(args: argparse.Namespace) -> List[ExperimentSpec]:
+    rates = [0.001 + 0.0005 * index for index in range(args.rates)]
+    return [
+        ExperimentSpec(
+            placement=PlacementSpec(
+                name="bench-sweep", mesh=MESH, columns=ELEVATOR_COLUMNS
+            ),
+            policy=PolicySpec(name=policy),
+            traffic=TrafficSpec(pattern="uniform", injection_rate=rate),
+            sim=SimSpec(
+                warmup_cycles=args.warmup,
+                measurement_cycles=args.measure,
+                drain_cycles=args.drain,
+            ),
+        )
+        for policy in POLICIES
+        for rate in rates
+    ]
+
+
+def _cache_files(directory: str) -> List[str]:
+    return sorted(
+        name for name in os.listdir(directory)
+        if not name.startswith("manifest-")
+    )
+
+
+def _run_shard(
+    grid_args: Dict, shard_index: int, shard_count: int, cache_dir: str
+) -> Dict[str, float]:
+    """One shard's slice, cold, into its own cache (fleet worker)."""
+    args = argparse.Namespace(**grid_args)
+    grid = build_grid(args)
+    shard = None
+    if shard_count > 1:
+        shard = ShardSpec(index=shard_index, count=shard_count)
+    batch = ExperimentBatch(
+        grid,
+        base_seed=BASE_SEED,
+        shard=shard,
+        chunk_size=args.chunk_size,
+        result_cache=ResultCache(cache_dir),
+    )
+    start = time.perf_counter()
+    batch.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "shard": f"{shard_index}/{shard_count}",
+        "executed": batch.last_executed,
+        "seconds": elapsed,
+    }
+
+
+def bench(args: argparse.Namespace) -> Dict:
+    grid = build_grid(args)
+    grid_args = vars(args).copy()
+    workdir = tempfile.mkdtemp(prefix="bench-sweep-")
+    cpu_count = os.cpu_count() or 1
+    try:
+        # ---------------- unsharded baseline ---------------- #
+        full_dir = os.path.join(workdir, "full")
+        baseline = _run_shard(grid_args, 1, 1, full_dir)
+        baseline_specs_per_s = len(grid) / baseline["seconds"]
+
+        # ---------------- N-shard fleet ---------------- #
+        shards = args.shards
+        shard_dirs = [
+            os.path.join(workdir, f"shard-{k}") for k in range(1, shards + 1)
+        ]
+        concurrent_mode = cpu_count >= shards
+        fleet_start = time.perf_counter()
+        if concurrent_mode:
+            with concurrent.futures.ProcessPoolExecutor(shards) as pool:
+                shard_rows = list(pool.map(
+                    _run_shard,
+                    [grid_args] * shards,
+                    range(1, shards + 1),
+                    [shards] * shards,
+                    shard_dirs,
+                ))
+        else:
+            shard_rows = [
+                _run_shard(grid_args, k, shards, shard_dirs[k - 1])
+                for k in range(1, shards + 1)
+            ]
+        fleet_measured_wall = time.perf_counter() - fleet_start
+
+        merged_dir = os.path.join(workdir, "merged")
+        merge_start = time.perf_counter()
+        aggregator = StreamingAggregator()
+        report = merge_results(shard_dirs, merged_dir, aggregator=aggregator)
+        merge_seconds = time.perf_counter() - merge_start
+
+        # Independent-hosts model: each shard on its own machine, so the
+        # fleet finishes when the slowest shard does, plus the merge.
+        slowest = max(row["seconds"] for row in shard_rows)
+        fleet_model_wall = slowest + merge_seconds
+        fleet_wall = (
+            fleet_measured_wall + merge_seconds
+            if concurrent_mode else fleet_model_wall
+        )
+        fleet_specs_per_s = len(grid) / fleet_wall
+        speedup = fleet_specs_per_s / baseline_specs_per_s
+
+        # ---------------- bit identity ---------------- #
+        full_files = _cache_files(full_dir)
+        identical = _cache_files(merged_dir) == full_files
+        if identical:
+            for name in full_files:
+                with open(os.path.join(full_dir, name), "rb") as a, \
+                        open(os.path.join(merged_dir, name), "rb") as b:
+                    if a.read() != b.read():
+                        identical = False
+                        break
+        if not identical:
+            raise SystemExit(
+                "BENCH FAILURE: merged shard caches are not byte-identical "
+                "to the unsharded baseline cache"
+            )
+
+        # ---------------- streaming aggregation ---------------- #
+        stream_aggregator = StreamingAggregator()
+        stream_batch = ExperimentBatch(
+            grid,
+            base_seed=BASE_SEED,
+            chunk_size=args.chunk_size,
+            result_cache=ResultCache(os.path.join(workdir, "stream")),
+        )
+        stream_batch.run_streaming(stream_aggregator.consume)
+
+        return {
+            "benchmark": "perf_sweep",
+            "grid_specs": len(grid),
+            "mesh": list(MESH),
+            "policies": list(POLICIES),
+            "cycles": {
+                "warmup": args.warmup,
+                "measure": args.measure,
+                "drain": args.drain,
+            },
+            "cpu_count": cpu_count,
+            "baseline": {
+                "seconds": baseline["seconds"],
+                "specs_per_second": baseline_specs_per_s,
+            },
+            "fleet": {
+                "shards": shards,
+                "concurrent": concurrent_mode,
+                "model": (
+                    "measured concurrent wall + merge" if concurrent_mode
+                    else "independent hosts: slowest shard + merge"
+                ),
+                "per_shard": shard_rows,
+                "merge_seconds": merge_seconds,
+                "merged_results": report.results,
+                "wall_seconds": fleet_wall,
+                "specs_per_second": fleet_specs_per_s,
+                "speedup_vs_baseline": speedup,
+            },
+            "bit_identical": identical,
+            "streaming": {
+                "chunk_size": args.chunk_size,
+                "peak_resident_rows": stream_batch.last_peak_rows,
+                "grid_rows": len(grid),
+                "aggregate": stream_aggregator.summary(),
+            },
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rates", type=int, default=16,
+                        help="injection rates per policy (grid = 2 x rates)")
+    parser.add_argument("--warmup", type=int, default=100)
+    parser.add_argument("--measure", type=int, default=400)
+    parser.add_argument("--drain", type=int, default=300)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--chunk-size", type=int, default=4)
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        metavar="X",
+                        help="exit 1 unless fleet specs/s >= X * baseline")
+    parser.add_argument("--output", default=RESULT_FILE)
+    args = parser.parse_args()
+
+    document = bench(args)
+    os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    fleet = document["fleet"]
+    print(f"grid: {document['grid_specs']} specs, cpu_count={document['cpu_count']}")
+    print(f"baseline: {document['baseline']['specs_per_second']:.2f} specs/s "
+          f"({document['baseline']['seconds']:.2f}s)")
+    print(f"fleet ({fleet['shards']} shards, {fleet['model']}): "
+          f"{fleet['specs_per_second']:.2f} specs/s "
+          f"({fleet['wall_seconds']:.2f}s incl. {fleet['merge_seconds']:.3f}s merge)")
+    print(f"speedup: {fleet['speedup_vs_baseline']:.2f}x  "
+          f"bit_identical: {document['bit_identical']}")
+    print(f"streaming: peak {document['streaming']['peak_resident_rows']} "
+          f"resident rows over a {document['streaming']['grid_rows']}-row grid "
+          f"(chunk {document['streaming']['chunk_size']})")
+    print(f"wrote {args.output}")
+
+    if args.require_speedup is not None:
+        if fleet["speedup_vs_baseline"] < args.require_speedup:
+            print(f"FAIL: speedup {fleet['speedup_vs_baseline']:.2f}x < "
+                  f"required {args.require_speedup}x")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -67,17 +67,31 @@ from repro.core.optimizers import (
 )
 from repro.core.pipeline import AdEleDesign
 from repro.energy.model import EnergyModel
-from repro.exec.batch import ExperimentBatch, ExperimentOutcome, key_extra_for
+from repro.exec.aggregate import (
+    MergeConflict,
+    MergeReport,
+    ParetoFront,
+    StreamingAggregator,
+    merge_results,
+)
+from repro.exec.batch import (
+    ChunkAbort,
+    ExperimentBatch,
+    ExperimentOutcome,
+    key_extra_for,
+)
 from repro.exec.cache import (
     DiskDesignCache,
     ResultCache,
     available_cache_backends,
+    cache_stats,
     canonical_config,
     config_key,
     derive_seed,
     open_caches,
     spec_from_canonical,
 )
+from repro.exec.shard import ShardSpec, parse_shard, shard_of
 from repro.exec.designs import (
     DesignBatch,
     DesignOutcome,
@@ -235,6 +249,8 @@ def run_specs(
     energy_model: Optional[EnergyModel] = None,
     plugins: Iterable[str] = (),
     cache_backend: str = "json",
+    shard: Optional[ShardSpec] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[ExperimentOutcome]:
     """Run a grid of specs through the parallel batch engine.
 
@@ -253,6 +269,12 @@ def run_specs(
         cache_backend: Layout under ``cache_dir`` -- ``"json"`` (one file
             per entry) or ``"sqlite"`` (the concurrent-safe service store);
             both key by the same canonical hashes.
+        shard: Optional :class:`~repro.exec.shard.ShardSpec` restricting
+            this call to its deterministic slice of the grid (the outcomes
+            list then only covers owned specs); merge N shards' caches back
+            together with :func:`merge_results`.
+        chunk_size: Flush results to the cache (plus a resumable manifest
+            when ``cache_dir`` is set) every this many completed specs.
 
     Returns:
         One :class:`~repro.exec.batch.ExperimentOutcome` per spec, in input
@@ -267,6 +289,9 @@ def run_specs(
         base_seed=base_seed,
         energy_model=energy_model,
         plugins=tuple(plugins),
+        shard=shard,
+        chunk_size=chunk_size,
+        manifest_dir=cache_dir,
     )
     return batch.run()
 
@@ -430,9 +455,20 @@ __all__ = [
     "DiskDesignCache",
     "DesignCache",
     "available_cache_backends",
+    "cache_stats",
     "open_caches",
     "EnergyModel",
     "SimulationResult",
+    # sharding + streaming aggregation
+    "ShardSpec",
+    "parse_shard",
+    "shard_of",
+    "ChunkAbort",
+    "StreamingAggregator",
+    "ParetoFront",
+    "MergeReport",
+    "MergeConflict",
+    "merge_results",
     # experiment service
     "DEFAULT_SERVICE_URL",
     "ServiceClient",

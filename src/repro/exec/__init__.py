@@ -15,6 +15,10 @@ results -- in parallel, deterministically, and with disk-backed caching:
   :class:`~repro.exec.cache.DiskDesignCache` (AdEle offline designs) and
   the pluggable :func:`~repro.exec.cache.open_caches` backend registry
   (``json`` files or the service's SQLite store);
+* :mod:`repro.exec.shard` partitions grids deterministically by canonical
+  key hash (``--shard K/N``), :mod:`repro.exec.aggregate` folds outcomes
+  into bounded streaming aggregates and merges shard outputs back into one
+  bit-identical result set (``repro merge``);
 * :mod:`repro.exec.cli` is the ``python -m repro`` front end (``sweep`` /
   ``compare`` / ``run --spec`` / ``list`` subcommands with ``--workers``,
   ``--cache-dir``, ``--seed`` and ``--plugin``).
@@ -24,7 +28,16 @@ Determinism guarantee: identical configuration + seed produce bit-identical
 workers, or replays from a warm cache directory.
 """
 
+from repro.exec.aggregate import (
+    MergeConflict,
+    MergeReport,
+    ParetoFront,
+    ParetoPoint,
+    StreamingAggregator,
+    merge_results,
+)
 from repro.exec.batch import (
+    ChunkAbort,
     ExperimentBatch,
     ExperimentOutcome,
     key_extra_for,
@@ -35,11 +48,13 @@ from repro.exec.cache import (
     DiskDesignCache,
     ResultCache,
     available_cache_backends,
+    cache_stats,
     canonical_config,
     canonical_json,
     config_from_canonical,
     config_key,
     derive_seed,
+    iter_json_cache_entries,
     open_caches,
     register_cache_backend,
     spec_from_canonical,
@@ -50,10 +65,19 @@ from repro.exec.designs import (
     derive_design_seed,
     run_design_batch,
 )
+from repro.exec.shard import (
+    ShardSpec,
+    parse_shard,
+    partition,
+    shard_cache_dir,
+    shard_counts,
+    shard_of,
+)
 
 __all__ = [
     "ExperimentBatch",
     "ExperimentOutcome",
+    "ChunkAbort",
     "run_batch",
     "summaries_by_policy",
     "key_extra_for",
@@ -64,6 +88,8 @@ __all__ = [
     "ResultCache",
     "DiskDesignCache",
     "available_cache_backends",
+    "cache_stats",
+    "iter_json_cache_entries",
     "open_caches",
     "register_cache_backend",
     "canonical_config",
@@ -72,4 +98,16 @@ __all__ = [
     "spec_from_canonical",
     "config_key",
     "derive_seed",
+    "ShardSpec",
+    "parse_shard",
+    "partition",
+    "shard_cache_dir",
+    "shard_counts",
+    "shard_of",
+    "StreamingAggregator",
+    "ParetoFront",
+    "ParetoPoint",
+    "MergeReport",
+    "MergeConflict",
+    "merge_results",
 ]

@@ -27,10 +27,22 @@ Caching
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import importlib
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.analysis.runner import (
     DesignCache,
@@ -44,13 +56,32 @@ from repro.analysis.runner import (
     run_experiment,
 )
 from repro.energy.model import EnergyModel
-from repro.exec.cache import ResultCache, canonical_config, config_key, derive_seed
+from repro.exec.cache import (
+    ResultCache,
+    _write_json_atomic,
+    canonical_config,
+    config_key,
+    derive_seed,
+)
+from repro.exec.shard import ShardSpec
 from repro.routing.adele import AdElePolicy, AdEleRoundRobinPolicy
 from repro.spec import (
     DEFAULT_ADELE_LOW_TRAFFIC_THRESHOLD,
     DEFAULT_ADELE_MAX_SUBSET_SIZE,
     ExperimentSpec,
 )
+
+
+#: Environment variable: abort a chunked run after this many completed
+#: chunk flushes when work remains.  Deterministic kill injection -- the
+#: resume tests and the CI shard-smoke job use it to kill a sweep mid-grid
+#: at a reproducible point and then prove the rerun picks up exactly where
+#: the checkpointed cache left off.
+ABORT_AFTER_CHUNKS_ENV = "REPRO_EXEC_ABORT_AFTER_CHUNKS"
+
+
+class ChunkAbort(RuntimeError):
+    """Raised by a chunked run when the abort-injection env var fires."""
 
 
 def key_extra_for(energy_model: Optional[EnergyModel] = None) -> Dict[str, Any]:
@@ -166,6 +197,24 @@ class ExperimentBatch:
             time stay available under the ``spawn``/``forkserver`` start
             methods.  (Components registered by modules already imported in
             the parent are inherited automatically under ``fork``.)
+        shard: Optional :class:`~repro.exec.shard.ShardSpec` restricting the
+            batch to the specs whose canonical keys it owns; everything else
+            is skipped entirely (no cache probe, no outcome).  N batches
+            over the same grid with shards ``1/N .. N/N`` partition it
+            exactly, and their merged caches are bit-identical to one
+            unsharded run -- see :mod:`repro.exec.shard`.
+        chunk_size: When given, execute pending tasks in chunks of this many
+            and flush each chunk's rows to the result cache (plus a resume
+            manifest) as it completes, so a killed mega-sweep loses at most
+            one chunk instead of everything.  ``None`` keeps the historical
+            single-flush behaviour.  Chunking never changes results -- only
+            when they reach the cache.
+        manifest_dir: Where to write the ``manifest-<grid>.json`` checkpoint
+            during chunked runs; defaults to the result cache's directory
+            (no manifest is written for memory-only caches).  The *cache*
+            is the resume source of truth -- rerunning the same grid skips
+            every flushed row; the manifest is the inspectable progress
+            record.
     """
 
     def __init__(
@@ -177,20 +226,38 @@ class ExperimentBatch:
         base_seed: Optional[int] = None,
         energy_model: Optional[EnergyModel] = None,
         plugins: Sequence[str] = (),
+        shard: Optional[ShardSpec] = None,
+        chunk_size: Optional[int] = None,
+        manifest_dir: Optional[str] = None,
     ) -> None:
         self.specs: List[ExperimentSpec] = [as_spec(config) for config in configs]
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
         self.workers = workers
         self.result_cache = result_cache if result_cache is not None else ResultCache()
         self.design_cache = design_cache
         self.base_seed = base_seed
         self.energy_model = energy_model
         self.plugins: Tuple[str, ...] = tuple(plugins)
+        self.shard = shard
+        self.chunk_size = chunk_size
+        self.manifest_dir = manifest_dir
         #: Number of simulations actually executed by the last ``run()``.
         self.last_executed = 0
         #: Number of outcomes served from cache by the last ``run()``.
         self.last_cached = 0
+        #: Number of specs skipped by the last ``run()`` (owned by another
+        #: shard).
+        self.last_skipped = 0
+        #: Number of chunk flushes performed by the last ``run()``.
+        self.last_chunks = 0
+        #: Largest number of freshly executed summary rows resident at once
+        #: during the last ``run()``'s execution phase -- bounded by the
+        #: chunk size, which is what lets :meth:`run_streaming` aggregate a
+        #: mega-grid in O(chunk) memory.
+        self.last_peak_rows = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -240,45 +307,162 @@ class ExperimentBatch:
         )
 
     # ------------------------------------------------------------------ #
-    def run(self) -> List[ExperimentOutcome]:
-        """Execute the batch and return outcomes in input order."""
+    def _scan(self):
+        """Classify every spec: cache hit, pending work, or other-shard skip.
+
+        Returns ``(specs, keys, owned_keys, hits, pending)`` where ``hits``
+        maps input indices to cached summaries, ``pending`` maps keys to
+        tasks (insertion order = execution order, unchanged by chunking),
+        and ``owned_keys`` is the ordered unique key set this batch is
+        responsible for (the manifest's denominator).  Skipped indices
+        appear nowhere; ``last_skipped`` counts them.
+        """
         specs = self.effective_specs()
         extra = self._key_extra()
         keys = [config_key(spec, extra=extra) for spec in specs]
-        outcomes: List[Optional[ExperimentOutcome]] = [None] * len(specs)
-
+        self.last_skipped = 0
+        self.last_peak_rows = 0
+        owned_keys: List[str] = []
+        seen: set = set()
+        hits: Dict[int, Dict[str, float]] = {}
         pending: Dict[str, _Task] = {}
         for index, (spec, key) in enumerate(zip(specs, keys)):
+            if self.shard is not None and not self.shard.owns(key):
+                self.last_skipped += 1
+                continue
+            if key not in seen:
+                seen.add(key)
+                owned_keys.append(key)
             if key in pending:
                 continue  # deduplicated: same canonical spec already queued
             cached = self.result_cache.get(key)
             if cached is not None:
-                outcomes[index] = ExperimentOutcome(
-                    spec=spec, key=key, summary=cached, from_cache=True
-                )
+                hits[index] = cached
             else:
                 pending[key] = self._make_task(spec, key)
+        return specs, keys, owned_keys, hits, pending
+
+    def _manifest_path(self, owned_keys: Sequence[str]) -> Optional[str]:
+        """Checkpoint file path for this grid slice (``None`` = don't write).
+
+        The file name hashes the *owned key set*, so reruns and resumes of
+        the same grid/shard overwrite one manifest while different slices
+        never collide.  Content is a deterministic function of progress --
+        a completed run's manifest has identical bytes whether it ran
+        straight through or resumed, which is why byte-identity checks only
+        need to exclude ``manifest-*`` for *partial* shards.
+        """
+        directory = self.manifest_dir
+        if directory is None:
+            directory = self.result_cache.cache_dir if isinstance(
+                self.result_cache, ResultCache
+            ) else None
+        if directory is None:
+            return None
+        grid_id = hashlib.sha256(
+            "\n".join(sorted(owned_keys)).encode("utf-8")
+        ).hexdigest()[:16]
+        return os.path.join(directory, f"manifest-{grid_id}.json")
+
+    def _execute_pending(
+        self,
+        pending: Dict[str, _Task],
+        owned_keys: Sequence[str],
+        on_result: Callable[[str, Dict[str, float]], None],
+    ) -> None:
+        """Run pending tasks (chunked when configured), flushing as we go.
+
+        Every finished row reaches the result cache *before* ``on_result``
+        sees it, and the manifest is rewritten after each chunk -- so a kill
+        at any point loses at most the in-flight chunk, and a rerun of the
+        same grid resumes from the flushed rows.  The abort-injection env
+        var (:data:`ABORT_AFTER_CHUNKS_ENV`) raises :class:`ChunkAbort`
+        after N chunk flushes while work remains, simulating that kill at a
+        deterministic boundary.
+        """
+        self.last_chunks = 0
+        if not pending:
+            return
+        tasks = list(pending.values())
+        chunk = self.chunk_size if self.chunk_size is not None else len(tasks)
+        manifest_path = (
+            self._manifest_path(owned_keys) if self.chunk_size is not None else None
+        )
+        abort_raw = os.environ.get(ABORT_AFTER_CHUNKS_ENV)
+        abort_after = int(abort_raw) if abort_raw else None
+        done_offset = len(owned_keys) - len(tasks)
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            if self.workers > 1 and len(tasks) > 1:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(tasks))
+                )
+            completed = 0
+            for start in range(0, len(tasks), chunk):
+                chunk_tasks = tasks[start:start + chunk]
+                if pool is not None and len(chunk_tasks) > 1:
+                    finished = list(pool.map(_execute_task, chunk_tasks))
+                else:
+                    finished = [_execute_task(task) for task in chunk_tasks]
+                self.last_peak_rows = max(self.last_peak_rows, len(finished))
+                for key, summary in finished:
+                    self.result_cache.put(
+                        key, canonical_config(pending[key].spec), summary
+                    )
+                    on_result(key, summary)
+                completed += len(finished)
+                self.last_chunks += 1
+                if manifest_path is not None:
+                    _write_json_atomic(
+                        manifest_path,
+                        {
+                            "chunk_size": chunk,
+                            "done": done_offset + completed,
+                            "shard": None if self.shard is None else str(self.shard),
+                            "total": len(owned_keys),
+                        },
+                    )
+                if (
+                    abort_after is not None
+                    and self.last_chunks >= abort_after
+                    and completed < len(tasks)
+                ):
+                    raise ChunkAbort(
+                        f"aborting after {self.last_chunks} chunk(s) "
+                        f"({completed}/{len(tasks)} pending tasks flushed; "
+                        f"{ABORT_AFTER_CHUNKS_ENV}={abort_raw})"
+                    )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+    def run(self) -> List[ExperimentOutcome]:
+        """Execute the batch and return outcomes in input order.
+
+        With a shard configured, outcomes cover only the owned specs (the
+        skipped ones are counted in :attr:`last_skipped`); order among the
+        survivors is still input order.
+        """
+        specs, keys, owned_keys, hits, pending = self._scan()
+        outcomes: List[Optional[ExperimentOutcome]] = [None] * len(specs)
+        for index, summary in hits.items():
+            outcomes[index] = ExperimentOutcome(
+                spec=specs[index], key=keys[index], summary=summary, from_cache=True
+            )
 
         executed: Dict[str, Dict[str, float]] = {}
-        if pending:
-            tasks = list(pending.values())
-            if self.workers == 1 or len(tasks) == 1:
-                finished = [_execute_task(task) for task in tasks]
-            else:
-                with ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(tasks))
-                ) as pool:
-                    finished = list(pool.map(_execute_task, tasks))
-            for key, summary in finished:
-                executed[key] = summary
-                self.result_cache.put(
-                    key, canonical_config(pending[key].spec), summary
-                )
+
+        def _collect(key: str, summary: Dict[str, float]) -> None:
+            executed[key] = summary
+
+        self._execute_pending(pending, owned_keys, _collect)
 
         self.last_executed = len(executed)
         self.last_cached = 0
         freshly_reported: set = set()
         for index, (spec, key) in enumerate(zip(specs, keys)):
+            if self.shard is not None and not self.shard.owns(key):
+                continue
             if outcomes[index] is not None:
                 self.last_cached += 1
                 continue
@@ -303,6 +487,68 @@ class ExperimentBatch:
                 self.last_cached += 1
         return [outcome for outcome in outcomes if outcome is not None]
 
+    def run_streaming(
+        self, consumer: Callable[[ExperimentOutcome], None]
+    ) -> int:
+        """Execute the batch, handing each outcome to ``consumer`` as it
+        lands instead of materializing the result list.
+
+        Cache hits are emitted during the initial scan; fresh rows are
+        emitted chunk by chunk as they flush (duplicates of a fresh key
+        follow it immediately, marked ``from_cache=True`` like :meth:`run`
+        marks them).  Emission order is completion order, not input order --
+        a consumer that needs input order should use :meth:`run` instead.
+        Peak resident fresh rows are bounded by the chunk size
+        (:attr:`last_peak_rows`), which is what makes
+        :class:`~repro.exec.aggregate.StreamingAggregator` over a mega-grid
+        O(chunk) instead of O(grid).
+
+        Returns:
+            Number of outcomes emitted.
+        """
+        specs, keys, owned_keys, hits, pending = self._scan()
+        followers: Dict[str, List[ExperimentSpec]] = {key: [] for key in pending}
+        emitted = 0
+        cached_served = 0
+        for index, (spec, key) in enumerate(zip(specs, keys)):
+            if self.shard is not None and not self.shard.owns(key):
+                continue
+            if index in hits:
+                cached_served += 1
+                emitted += 1
+                consumer(
+                    ExperimentOutcome(
+                        spec=spec, key=key, summary=hits[index], from_cache=True
+                    )
+                )
+            elif key in followers:
+                followers[key].append(spec)
+        executed_count = 0
+        # The first follower of each pending key is the spec the simulation
+        # actually runs for; the rest are deduplicated repeats.
+        def _emit(key: str, summary: Dict[str, float]) -> None:
+            nonlocal emitted, executed_count, cached_served
+            for position, spec in enumerate(followers[key]):
+                fresh = position == 0
+                if fresh:
+                    executed_count += 1
+                else:
+                    cached_served += 1
+                emitted += 1
+                consumer(
+                    ExperimentOutcome(
+                        spec=spec,
+                        key=key,
+                        summary=dict(summary),
+                        from_cache=not fresh,
+                    )
+                )
+
+        self._execute_pending(pending, owned_keys, _emit)
+        self.last_executed = executed_count
+        self.last_cached = cached_served
+        return emitted
+
 
 def run_batch(
     configs: Iterable[Union[ExperimentSpec, ExperimentConfig]],
@@ -312,6 +558,8 @@ def run_batch(
     base_seed: Optional[int] = None,
     energy_model: Optional[EnergyModel] = None,
     plugins: Sequence[str] = (),
+    shard: Optional[ShardSpec] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[ExperimentOutcome]:
     """Convenience wrapper: build an :class:`ExperimentBatch` and run it."""
     batch = ExperimentBatch(
@@ -322,6 +570,8 @@ def run_batch(
         base_seed=base_seed,
         energy_model=energy_model,
         plugins=plugins,
+        shard=shard,
+        chunk_size=chunk_size,
     )
     return batch.run()
 

@@ -29,7 +29,7 @@ import hashlib
 import json
 import os
 import tempfile
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.analysis.runner import (
     DEFAULT_OFFLINE_AMOSA,
@@ -273,6 +273,89 @@ def _read_json(path: str) -> Optional[Any]:
             return json.load(handle)
     except (OSError, ValueError):
         return None
+
+
+def iter_json_cache_entries(
+    cache_dir: str, prefix: str
+) -> Iterator[Tuple[str, Dict[str, Any]]]:
+    """Walk a JSON cache directory's ``<prefix><key>.json`` entries.
+
+    Yields ``(key, record)`` pairs in sorted-filename order, skipping
+    unreadable or non-dict files (same tolerance as the cache readers).
+    Used by the SQLite migration and the shard-merge path, which both need
+    to enumerate a cache directory rather than probe known keys.
+    """
+    if not os.path.isdir(cache_dir):
+        return
+    for name in sorted(os.listdir(cache_dir)):
+        if not (name.startswith(prefix) and name.endswith(".json")):
+            continue
+        record = _read_json(os.path.join(cache_dir, name))
+        if isinstance(record, dict):
+            yield name[len(prefix):-len(".json")], record
+
+
+def cache_stats(cache_dir: str, backend: str = "json") -> Dict[str, Any]:
+    """Entry counts and on-disk bytes of a cache directory.
+
+    Args:
+        cache_dir: The ``--cache-dir`` to inspect.
+        backend: ``json`` counts ``result-*.json`` / ``design-*.json`` files;
+            ``sqlite`` counts table rows of the service database (bytes are
+            the database file's size, WAL/SHM sidecars included).
+
+    Returns:
+        JSON-native ``{"backend", "cache_dir", "results", "designs",
+        "bytes"}`` (plus ``"manifests"`` for the JSON backend, counting
+        checkpoint manifests that are *not* part of the result set).
+    """
+    name = (backend or "json").strip().lower()
+    if name not in _CACHE_BACKENDS:
+        raise ValueError(
+            f"unknown cache backend {backend!r}; registered: "
+            f"{', '.join(available_cache_backends())}"
+        )
+    stats: Dict[str, Any] = {
+        "backend": name,
+        "cache_dir": cache_dir,
+        "results": 0,
+        "designs": 0,
+        "bytes": 0,
+    }
+    if name == "sqlite":
+        from repro.service.store import DEFAULT_DB_FILENAME, SqliteStore
+
+        db_path = os.path.join(cache_dir, DEFAULT_DB_FILENAME)
+        if os.path.exists(db_path):
+            store = SqliteStore(db_path)
+            stats["results"] = store.result_count()
+            stats["designs"] = store.design_count()
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    stats["bytes"] += os.path.getsize(db_path + suffix)
+                except OSError:
+                    pass
+        return stats
+    stats["manifests"] = 0
+    if os.path.isdir(cache_dir):
+        for entry_name in os.listdir(cache_dir):
+            if not entry_name.endswith(".json"):
+                continue
+            if entry_name.startswith("result-"):
+                stats["results"] += 1
+            elif entry_name.startswith("design-"):
+                stats["designs"] += 1
+            elif entry_name.startswith("manifest-"):
+                stats["manifests"] += 1
+            else:
+                continue
+            try:
+                stats["bytes"] += os.path.getsize(
+                    os.path.join(cache_dir, entry_name)
+                )
+            except OSError:
+                pass
+    return stats
 
 
 # ---------------------------------------------------------------------- #
@@ -626,5 +709,7 @@ __all__ = [
     "register_cache_backend",
     "available_cache_backends",
     "open_caches",
+    "iter_json_cache_entries",
+    "cache_stats",
     "DEFAULT_OFFLINE_AMOSA",
 ]

@@ -41,10 +41,22 @@ every figure of the paper is built from, plus the component registries:
     interrupted sweeps resume, and results are bit-identical to direct
     ``repro run`` invocations of the same specs.
 
+``merge``
+    Fold the outputs of N sharded runs -- cache directories (JSON or
+    SQLite) and/or ``--json`` output documents -- into one destination
+    cache, verifying that overlapping keys carry identical rows.  The
+    merged set is bit-identical to an unsharded run of the same grid (the
+    invariant the shard tests pin) and immediately servable via
+    ``--cache-dir``.
+
 ``cache migrate``
     Carry a warm JSON cache directory (``result-*.json`` /
     ``design-*.json``) into the SQLite store under unchanged keys, so
     existing caches keep hitting after switching backends.
+
+``cache stats``
+    Entry counts and bytes of a cache directory (either backend) --
+    shard-cache health at a glance before/after ``repro merge``.
 
 ``list``
     Show every registered policy, traffic pattern, application model,
@@ -82,10 +94,25 @@ imported first, so its ``@register_policy`` / ``@register_pattern`` /
     entry, the historical layout) or ``sqlite`` (the concurrent-safe
     service store).  Both key by the same canonical hashes.
 
-``sweep``/``compare``/``run``/``scenario`` also accept ``--json``: one
-machine-readable JSON document on stdout instead of the human tables (the
-format clients and scripts consume; note non-finite floats serialize as
-``Infinity``/``NaN``, which ``json.loads`` accepts).
+``sweep``/``compare``/``run``/``scenario``/``optimize`` also accept
+``--json``: one machine-readable JSON document on stdout instead of the
+human tables (the format clients and scripts consume; note non-finite
+floats serialize as ``Infinity``/``NaN``, which ``json.loads`` accepts).
+
+``sweep``/``run``/``scenario`` additionally accept the horizontal-scale
+flags:
+
+``--shard K/N``
+    Run only the grid slice shard K of N owns (deterministic partition by
+    canonical spec hash; see :mod:`repro.exec.shard`).  N invocations with
+    shards ``1/N .. N/N`` -- on any hosts, each with its own
+    ``--cache-dir`` -- cover the grid exactly once; ``repro merge`` folds
+    their caches into the bit-identical unsharded result set.
+
+``--chunk-size C``
+    Flush results to the cache (and a ``manifest-*.json`` checkpoint)
+    every C completed specs, so a killed mega-sweep resumes from its last
+    chunk instead of restarting.
 
 The sweep/compare target is either a named placement (``--placement PS1``)
 or an ad-hoc one (``--mesh X Y Z --elevators "x,y;x,y"``), which keeps CI
@@ -106,9 +133,11 @@ from repro.analysis.runner import design_for, design_key_for
 from repro.analysis.sweep import LatencyCurve, saturation_rate
 from repro.core.optimizers import OPTIMIZER_REGISTRY
 from repro.core.selection import SELECTION_STRATEGIES
+from repro.exec.aggregate import MergeConflict, StreamingAggregator, merge_results
 from repro.exec.batch import ExperimentBatch, summaries_by_policy
-from repro.exec.cache import available_cache_backends, open_caches
+from repro.exec.cache import available_cache_backends, cache_stats, open_caches
 from repro.exec.designs import DesignBatch
+from repro.exec.shard import ShardSpec, parse_shard
 from repro.routing.base import POLICY_REGISTRY
 from repro.scenario.events import SCENARIO_EVENT_REGISTRY
 from repro.service import http as service_http
@@ -219,6 +248,30 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
+    scale = parser.add_argument_group("horizontal scale")
+    scale.add_argument(
+        "--shard", default=None, metavar="K/N",
+        help="run only shard K of an N-way deterministic grid partition "
+             "(merge the shard caches afterwards with `repro merge`)",
+    )
+    scale.add_argument(
+        "--chunk-size", type=int, default=None, metavar="C",
+        help="flush results to the cache every C completed specs (chunked "
+             "checkpointing; a killed run resumes from its last chunk)",
+    )
+
+
+def _parse_shard_argument(args: argparse.Namespace) -> Optional[ShardSpec]:
+    text = getattr(args, "shard", None)
+    if text is None:
+        return None
+    try:
+        return parse_shard(text)
+    except ValueError as error:
+        raise SystemExit(f"--shard: {error}")
+
+
 def _add_cache_backend_argument(target) -> None:
     target.add_argument(
         "--cache-backend", default="json", choices=available_cache_backends(),
@@ -239,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="latency-vs-injection-rate sweep (Fig. 4 style)"
     )
     _add_common_arguments(sweep)
+    _add_shard_arguments(sweep)
     sweep.add_argument(
         "--rates", default="0.001,0.003,0.005",
         help="comma-separated packet injection rates",
@@ -265,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_argument(run)
     _add_engine_arguments(run)
+    _add_shard_arguments(run)
 
     scenario = subparsers.add_parser(
         "scenario",
@@ -278,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_argument(scenario)
     _add_engine_arguments(scenario)
+    _add_shard_arguments(scenario)
 
     optimize = subparsers.add_parser(
         "optimize",
@@ -346,6 +402,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print optimizer progress (temperature/stage, archive size, "
              "current objectives) to stderr",
     )
+    optimize.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="print one machine-readable JSON document instead of tables "
+             "(includes the engine hit/miss counters)",
+    )
 
     serve = subparsers.add_parser(
         "serve",
@@ -377,9 +438,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="times a task may be claimed before it is marked failed "
              "(default: 3)",
     )
+    serve.add_argument(
+        "--shard", default=None, metavar="K/N",
+        help="this daemon's worker pool only claims tasks shard K of N "
+             "owns (N daemons split every job deterministically)",
+    )
+
+    merge = subparsers.add_parser(
+        "merge",
+        help="fold sharded caches / --json documents into one result set",
+    )
+    merge.add_argument(
+        "inputs", nargs="+", metavar="INPUT",
+        help="shard outputs to fold: cache directories (JSON or SQLite), "
+             "*.sqlite3 store files, or --json output documents",
+    )
+    merge.add_argument(
+        "--into", required=True, metavar="DIR",
+        help="destination cache directory (created if missing; may already "
+             "hold rows, e.g. merging shards incrementally)",
+    )
+    _add_cache_backend_argument(merge)
+    merge.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="print the merge report (and streaming aggregate) as JSON",
+    )
 
     cache = subparsers.add_parser(
-        "cache", help="cache maintenance (JSON -> SQLite migration)"
+        "cache", help="cache maintenance (migration, stats)"
     )
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     migrate = cache_sub.add_parser(
@@ -394,6 +480,19 @@ def build_parser() -> argparse.ArgumentParser:
     migrate.add_argument(
         "--db", default=None, metavar="FILE",
         help=f"SQLite store to fill (default: CACHE_DIR/{DEFAULT_DB_FILENAME})",
+    )
+    stats = cache_sub.add_parser(
+        "stats",
+        help="entry counts and bytes of a cache directory (either backend)",
+    )
+    stats.add_argument(
+        "--cache-dir", required=True,
+        help="cache directory to inspect",
+    )
+    _add_cache_backend_argument(stats)
+    stats.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="print the stats as one JSON document",
     )
 
     listing = subparsers.add_parser(
@@ -443,6 +542,9 @@ def _make_batch(
         # Re-imported inside worker processes, so --plugin components exist
         # by name under any multiprocessing start method (not just fork).
         plugins=tuple(getattr(args, "plugin", [])),
+        shard=_parse_shard_argument(args),
+        chunk_size=getattr(args, "chunk_size", None),
+        manifest_dir=args.cache_dir,
     )
 
 
@@ -452,14 +554,29 @@ def _report_engine(batch: ExperimentBatch) -> None:
         f"{batch.last_cached} served from cache "
         f"({batch.workers} worker{'s' if batch.workers != 1 else ''})"
     )
+    shard = getattr(batch, "shard", None)
+    if shard is not None:
+        print(
+            f"[repro.exec] shard {shard}: {batch.last_skipped} spec(s) "
+            "owned by other shards skipped"
+        )
 
 
-def _engine_document(batch) -> Dict[str, int]:
-    return {
+def _engine_document(batch) -> Dict[str, Any]:
+    document: Dict[str, Any] = {
         "executed": batch.last_executed,
         "cached": batch.last_cached,
         "workers": batch.workers,
     }
+    # Shard/chunk keys appear only when the features are in play, keeping
+    # unsharded documents (and everything pinned on them) unchanged.
+    shard = getattr(batch, "shard", None)
+    if shard is not None:
+        document["shard"] = str(shard)
+        document["skipped"] = batch.last_skipped
+    if getattr(batch, "chunk_size", None) is not None:
+        document["chunks"] = batch.last_chunks
+    return document
 
 
 def _outcome_document(outcome) -> Dict[str, Any]:
@@ -509,16 +626,27 @@ def _run_sweep(args: argparse.Namespace) -> int:
                         {"injection_rate": rate, "average_latency": latency}
                         for rate, latency in curves[policy].points
                     ],
-                    "saturation_rate": saturation_rate(curves[policy]),
+                    # A sharded slice may leave a curve empty; None rather
+                    # than a crash (merge the shards for the real number).
+                    "saturation_rate": (
+                        saturation_rate(curves[policy])
+                        if curves[policy].points else None
+                    ),
                 }
                 for policy in policies
             ],
+            # Same per-spec rows as `run --json`, so sharded sweep documents
+            # feed `repro merge` directly.
+            "outcomes": [_outcome_document(outcome) for outcome in outcomes],
         })
         return 0
     _report_engine(batch)
     print(f"placement={base.placement.name} traffic={base.traffic.pattern}")
     for policy in policies:
         curve = curves[policy]
+        if not curve.points:
+            print(f"{policy:15s} (no points in this shard)")
+            continue
         points = "  ".join(
             f"{rate:.4f}:{latency:9.2f}" for rate, latency in curve.points
         )
@@ -746,6 +874,30 @@ def _run_optimize(args: argparse.Namespace) -> int:
     return _run_optimize_grid(args, specs, design_cache)
 
 
+def _design_document(spec: DesignSpec, design, from_cache: bool) -> Dict[str, Any]:
+    placement = spec.placement.resolve()
+    selected = design.selected
+    return {
+        "spec": spec.to_dict(),
+        "placement": placement.name,
+        "from_cache": from_cache,
+        "evaluations": design.result.evaluations,
+        "archive_size": len(design.result.archive),
+        "baseline_objectives": list(design.baseline_objectives),
+        "representatives": [
+            {
+                "objectives": list(entry.objectives),
+                "selected": entry is design.selected,
+            }
+            for entry in design.representatives
+        ],
+        "selected": {
+            "objectives": list(selected.objectives),
+            "average_subset_size": selected.solution.average_subset_size(),
+        },
+    }
+
+
 def _run_optimize_single(
     args: argparse.Namespace, spec: DesignSpec, cache
 ) -> int:
@@ -764,6 +916,18 @@ def _run_optimize_single(
             )
 
     design = design_for(spec, cache=cache, on_iteration=on_iteration)
+
+    if args.json_output:
+        _print_json({
+            "command": "optimize",
+            "engine": {
+                "executed": 0 if was_cached else 1,
+                "cached": 1 if was_cached else 0,
+                "workers": 1,
+            },
+            "designs": [_design_document(spec, design, was_cached)],
+        })
+        return 0
 
     result = design.result
     print(
@@ -813,6 +977,16 @@ def _run_optimize_grid(
         plugins=tuple(getattr(args, "plugin", [])),
     )
     outcomes = batch.run()
+    if args.json_output:
+        _print_json({
+            "command": "optimize",
+            "engine": _engine_document(batch),
+            "designs": [
+                _design_document(outcome.spec, outcome.design, outcome.from_cache)
+                for outcome in outcomes
+            ],
+        })
+        return 0
     for outcome in outcomes:
         spec = outcome.spec
         placement = spec.placement.resolve()
@@ -845,7 +1019,69 @@ def _run_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         max_attempts=args.max_attempts,
         plugins=tuple(getattr(args, "plugin", [])),
+        shard=_parse_shard_argument(args),
     )
+
+
+def _run_merge(args: argparse.Namespace) -> int:
+    aggregator = StreamingAggregator()
+
+    def on_progress(source: str, rows: int) -> None:
+        print(f"[repro.merge] {source}: {rows} row(s) read", file=sys.stderr)
+
+    try:
+        report = merge_results(
+            args.inputs,
+            args.into,
+            backend=getattr(args, "cache_backend", "json"),
+            aggregator=aggregator,
+            on_progress=None if args.json_output else on_progress,
+        )
+    except MergeConflict as error:
+        # Two shards produced different rows for one key: the bit-identity
+        # invariant is broken, so refuse to write a merged set at all.
+        raise SystemExit(f"merge conflict: {error}")
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if args.json_output:
+        _print_json({
+            "command": "merge",
+            "into": args.into,
+            "report": report.to_summary(),
+            "aggregate": aggregator.summary(),
+        })
+        return 0
+    print(
+        f"[repro.merge] {report.results} result(s) and {report.designs} "
+        f"design(s) merged into {args.into} from {len(report.sources)} "
+        f"source(s) ({report.result_duplicates} duplicate row(s))"
+    )
+    front = aggregator.summary()["pareto"]
+    print(
+        f"[repro.merge] streaming aggregate: {aggregator.rows} row(s), "
+        f"pareto front size {front['size']}"
+    )
+    return 0
+
+
+def _run_cache_stats(args: argparse.Namespace) -> int:
+    try:
+        stats = cache_stats(args.cache_dir, getattr(args, "cache_backend", "json"))
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if args.json_output:
+        _print_json({"command": "cache-stats", **stats})
+        return 0
+    print(
+        f"[repro.cache] {stats['cache_dir']} ({stats['backend']}): "
+        f"{stats['results']} result(s), {stats['designs']} design(s), "
+        f"{stats['bytes']} byte(s)"
+        + (
+            f", {stats['manifests']} manifest(s)"
+            if "manifests" in stats else ""
+        )
+    )
+    return 0
 
 
 def _run_cache_migrate(args: argparse.Namespace) -> int:
@@ -906,9 +1142,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_optimize(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "merge":
+        return _run_merge(args)
     if args.command == "cache":
         if args.cache_command == "migrate":
             return _run_cache_migrate(args)
+        if args.cache_command == "stats":
+            return _run_cache_stats(args)
         raise SystemExit(
             f"unknown cache command {args.cache_command!r}"
         )  # pragma: no cover

@@ -37,6 +37,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
+from repro.exec.shard import ShardSpec
 from repro.service.queue import JobQueue
 from repro.service.store import SqliteStore
 from repro.service.workers import WorkerPool
@@ -143,9 +144,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # Handlers
     # ------------------------------------------------------------------ #
     def _health(self) -> Tuple[int, Dict[str, Any]]:
+        shard = self.context.queue.shard
         return 200, {
             "status": "ok",
             "workers": self.context.pool.workers,
+            "shard": None if shard is None else str(shard),
             "tasks": self.context.queue.counts(),
         }
 
@@ -208,17 +211,27 @@ def serve(
     plugins: Tuple[str, ...] = (),
     install_signal_handlers: bool = True,
     ready: Optional[threading.Event] = None,
+    shard: Optional[ShardSpec] = None,
 ) -> int:
     """Run the daemon until SIGINT/SIGTERM: recover, serve, drain, close.
 
     Startup re-queues tasks left ``running`` by a previous process
     (:meth:`JobQueue.recover_running`), which is what makes interrupted
     sweeps resume without re-running completed tasks.
+
+    A ``shard`` restricts this daemon's worker pool to its deterministic
+    slice of every job -- N daemons sharing one database (or merging their
+    caches afterwards) split submissions exactly like ``repro sweep
+    --shard`` splits a grid, through the same :class:`JobQueue` claim
+    path the CLI-less pool uses.  A sharded daemon skips startup recovery
+    of other shards' tasks only in the sense that it never claims them;
+    ``recover_running`` itself is shard-agnostic (an orphaned row must be
+    re-queued no matter which shard owns it).
     """
     queue = (
-        JobQueue(store, max_attempts=max_attempts)
+        JobQueue(store, max_attempts=max_attempts, shard=shard)
         if max_attempts is not None
-        else JobQueue(store)
+        else JobQueue(store, shard=shard)
     )
     recovered = queue.recover_running()
     if recovered:
@@ -242,8 +255,10 @@ def serve(
     )
     thread.start()
     bound = server.server_address
+    shard_note = "" if shard is None else f", shard {shard}"
     print(f"[repro.serve] listening on http://{bound[0]}:{bound[1]} "
-          f"({workers} worker{'s' if workers != 1 else ''}, db {store.path})")
+          f"({workers} worker{'s' if workers != 1 else ''}, "
+          f"db {store.path}{shard_note})")
     if ready is not None:
         ready.set()
     try:

@@ -42,7 +42,7 @@ from repro.exec.cache import (
     design_from_record,
     design_key_hash,
     design_to_record,
-    _read_json,
+    iter_json_cache_entries,
 )
 
 #: File name of the service database inside a ``--cache-dir``.
@@ -224,6 +224,20 @@ class SqliteStore:
     def result_count(self) -> int:
         return self.query("SELECT COUNT(*) AS n FROM results")[0]["n"]
 
+    def iter_results(
+        self,
+    ) -> Iterator[Tuple[str, Optional[Dict[str, Any]], Dict[str, float]]]:
+        """Every result row as ``(key, config, summary)``, key-ordered.
+
+        The merge path (:func:`repro.exec.aggregate.merge_results`) walks
+        this to fold a SQLite shard into another backend.
+        """
+        for row in self.query(
+            "SELECT key, config, summary FROM results ORDER BY key"
+        ):
+            config = None if row["config"] is None else json.loads(row["config"])
+            yield row["key"], config, json.loads(row["summary"])
+
     def clear_results(self) -> None:
         self.execute("DELETE FROM results")
 
@@ -246,6 +260,13 @@ class SqliteStore:
 
     def design_count(self) -> int:
         return self.query("SELECT COUNT(*) AS n FROM designs")[0]["n"]
+
+    def iter_design_records(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Every design row as ``(key_hash, record)``, hash-ordered."""
+        for row in self.query(
+            "SELECT key_hash, record FROM designs ORDER BY key_hash"
+        ):
+            yield row["key_hash"], json.loads(row["record"])
 
     def clear_designs(self) -> None:
         self.execute("DELETE FROM designs")
@@ -365,17 +386,9 @@ def _design_persistable(key: DesignKey) -> bool:
 # ---------------------------------------------------------------------- #
 # JSON -> SQLite migration
 # ---------------------------------------------------------------------- #
-def _iter_json_entries(
-    cache_dir: str, prefix: str
-) -> Iterator[Tuple[str, Dict[str, Any]]]:
-    if not os.path.isdir(cache_dir):
-        return
-    for name in sorted(os.listdir(cache_dir)):
-        if not (name.startswith(prefix) and name.endswith(".json")):
-            continue
-        record = _read_json(os.path.join(cache_dir, name))
-        if isinstance(record, dict):
-            yield name[len(prefix):-len(".json")], record
+#: Backward-compatible alias; the helper now lives in repro.exec.cache so
+#: the merge path can use it without importing the service layer.
+_iter_json_entries = iter_json_cache_entries
 
 
 def migrate_json_cache(cache_dir: str, store: SqliteStore) -> Dict[str, int]:

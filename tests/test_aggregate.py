@@ -1,0 +1,216 @@
+"""Streaming aggregation: running Pareto front, bounded sketches.
+
+The front must be a pure function of the *set* of offered points (shard
+arrival order cannot change it), and the aggregator's state must stay
+bounded -- that is what makes streaming a mega-grid O(chunk) resident rows
+instead of O(grid).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exec.aggregate import ParetoFront, StreamingAggregator
+from repro.sim.stats import LatencyReservoir
+
+
+def _brute_force_front(points):
+    """Reference nondominated set: keep ties, drop dominated points."""
+    def dominates(a, b):
+        return all(x <= y for x, y in zip(a, b)) and any(
+            x < y for x, y in zip(a, b)
+        )
+
+    unique = set(points)
+    return {
+        (key, objectives)
+        for key, objectives in unique
+        if not any(
+            dominates(other, objectives)
+            for _, other in unique
+            if other != objectives
+        )
+    }
+
+
+def _random_points(rng, count):
+    return [
+        (f"k{index}", (rng.randint(0, 6) / 2.0, rng.randint(0, 6) / 2.0))
+        for index in range(count)
+    ]
+
+
+class TestParetoFront:
+    def test_matches_brute_force(self):
+        rng = random.Random(11)
+        for _ in range(25):
+            points = _random_points(rng, rng.randint(1, 30))
+            front = ParetoFront()
+            for key, objectives in points:
+                front.add(key, objectives)
+            assert {
+                (p.key, p.objectives) for p in front.points()
+            } == _brute_force_front(points)
+
+    def test_order_independent(self):
+        rng = random.Random(5)
+        points = _random_points(rng, 40)
+        reference = None
+        for trial in range(10):
+            shuffled = list(points)
+            rng.shuffle(shuffled)
+            front = ParetoFront()
+            for key, objectives in shuffled:
+                front.add(key, objectives)
+            snapshot = [(p.key, p.objectives) for p in front.points()]
+            if reference is None:
+                reference = snapshot
+            assert snapshot == reference
+
+    def test_exact_duplicates_ignored(self):
+        front = ParetoFront()
+        assert front.add("a", (1.0, 2.0))
+        assert not front.add("a", (1.0, 2.0))
+        assert len(front) == 1
+
+    def test_ties_kept(self):
+        front = ParetoFront()
+        front.add("a", (1.0, 2.0))
+        front.add("b", (2.0, 1.0))
+        front.add("c", (1.0, 2.0))  # same objectives, different key: a tie
+        assert len(front) == 3
+
+
+class TestStreamingAggregator:
+    def _row(self, latency, throughput=0.5, **extra):
+        row = {
+            "average_latency": latency,
+            "throughput": throughput,
+            "packets_created": 10,
+            "packets_delivered": 9,
+        }
+        row.update(extra)
+        return row
+
+    def test_counters_and_latency_sketch(self):
+        aggregator = StreamingAggregator()
+        aggregator.observe_row("a", self._row(10.0), from_cache=False)
+        aggregator.observe_row("b", self._row(20.0), from_cache=True)
+        assert aggregator.rows == 2
+        assert aggregator.executed == 1 and aggregator.cached == 1
+        assert aggregator.packets_created == 20
+        summary = aggregator.summary()
+        assert summary["latency"]["count"] == 2
+        assert summary["latency"]["exact"] is True
+        assert summary["latency"]["mean"] == pytest.approx(15.0)
+
+    def test_saturated_rows_counted_not_sketched(self):
+        aggregator = StreamingAggregator()
+        aggregator.observe_row("a", self._row(float("inf"), throughput=0.0))
+        assert aggregator.saturated_rows == 1
+        assert aggregator.summary()["latency"]["count"] == 0
+        # Infinite latency cannot join the front either.
+        assert aggregator.summary()["pareto"]["skipped_rows"] == 1
+
+    def test_maximized_objective_sign_flip(self):
+        aggregator = StreamingAggregator(
+            objectives=("average_latency", "-throughput")
+        )
+        aggregator.observe_row("slow", self._row(20.0, throughput=0.9))
+        aggregator.observe_row("fast", self._row(10.0, throughput=0.9))
+        front = aggregator.summary()["pareto"]
+        assert front["size"] == 1
+        point = front["points"][0]
+        assert point["key"] == "fast"
+        # Reported objectives are un-flipped (user-facing values) and keyed
+        # by the bare metric name; the "-" marker lives in front.objectives.
+        assert front["objectives"] == ["average_latency", "-throughput"]
+        assert point["objectives"]["throughput"] == pytest.approx(0.9)
+
+    def test_missing_objective_skips_front_only(self):
+        aggregator = StreamingAggregator(
+            objectives=("average_latency", "energy_per_flit")
+        )
+        aggregator.observe_row("a", self._row(10.0))  # no energy metric
+        assert aggregator.rows == 1
+        assert aggregator.summary()["pareto"]["skipped_rows"] == 1
+
+    def test_per_phase_sketches(self):
+        aggregator = StreamingAggregator()
+        aggregator.observe_row("a", self._row(10.0, phases=[
+            {"label": "burst", "average_latency": 12.0},
+            {"label": "idle", "average_latency": 4.0},
+        ]))
+        aggregator.observe_row("b", self._row(11.0, phases=[
+            {"label": "burst", "average_latency": 14.0},
+            {"label": "idle", "average_latency": float("inf")},
+        ]))
+        phases = aggregator.summary()["phases"]
+        assert phases["burst"]["count"] == 2
+        assert phases["burst"]["mean"] == pytest.approx(13.0)
+        assert phases["idle"]["count"] == 1  # saturated window not sketched
+
+    def test_shard_order_independence(self):
+        rows = [
+            (f"k{i}", self._row(10.0 + i % 7, throughput=0.1 * (i % 5 + 1)))
+            for i in range(30)
+        ]
+        rng = random.Random(3)
+        reference = None
+        for _ in range(5):
+            shuffled = list(rows)
+            rng.shuffle(shuffled)
+            aggregator = StreamingAggregator()
+            for key, row in shuffled:
+                aggregator.observe_row(key, row)
+            front = aggregator.summary()["pareto"]["points"]
+            totals = (
+                aggregator.rows,
+                aggregator.packets_created,
+                aggregator.latency.total,
+            )
+            if reference is None:
+                reference = (front, totals)
+            assert (front, totals) == reference
+
+    def test_rejects_empty_objectives(self):
+        with pytest.raises(ValueError):
+            StreamingAggregator(objectives=())
+
+
+class TestLatencyReservoir:
+    def test_exact_until_capacity(self):
+        reservoir = LatencyReservoir(capacity=8)
+        for value in range(5):
+            reservoir.observe(float(value))
+        assert reservoir.exact
+        assert reservoir.count == 5
+        assert reservoir.mean == pytest.approx(2.0)
+        assert reservoir.percentile(50) == pytest.approx(2.0)
+
+    def test_bounded_past_capacity(self):
+        reservoir = LatencyReservoir(capacity=8)
+        for value in range(100):
+            reservoir.observe(float(value))
+        assert not reservoir.exact
+        assert len(reservoir.latencies) == 8
+        assert reservoir.count == 100
+        assert reservoir.mean == pytest.approx(49.5)  # total stays exact
+
+    def test_merge_from_is_exact_under_capacity(self):
+        a = LatencyReservoir(capacity=32)
+        b = LatencyReservoir(capacity=32)
+        for value in (1.0, 2.0, 3.0):
+            a.observe(value)
+        for value in (10.0, 20.0):
+            b.observe(value)
+        a.merge_from(b)
+        assert a.count == 5
+        assert a.exact
+        assert sorted(a.latencies) == [1.0, 2.0, 3.0, 10.0, 20.0]
+
+    def test_empty_summary(self):
+        summary = LatencyReservoir().to_summary()
+        assert summary == {"count": 0, "exact": True}

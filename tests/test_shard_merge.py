@@ -1,0 +1,351 @@
+"""Sharded mega-sweeps: partition, checkpoint/resume, merge, bit-identity.
+
+The invariant every test here pins: running a grid as N deterministic
+shards (each with its own cache directory) and merging the shard caches
+produces a result set *byte-identical* to the cache an unsharded run
+writes -- including after a shard is killed mid-grid and resumed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.exec.aggregate import MergeConflict, StreamingAggregator, merge_results
+from repro.exec.batch import ABORT_AFTER_CHUNKS_ENV, ChunkAbort, ExperimentBatch
+from repro.exec.cache import ResultCache, cache_stats, config_key
+from repro.exec.shard import (
+    ShardSpec,
+    parse_shard,
+    partition,
+    shard_cache_dir,
+    shard_counts,
+    shard_of,
+)
+from repro.spec import ExperimentSpec, PlacementSpec, SimSpec, TrafficSpec
+
+
+def _spec(rate: float, policy: str = "elevator_first") -> ExperimentSpec:
+    return ExperimentSpec(
+        placement=PlacementSpec(
+            name="shard-tiny", mesh=(2, 2, 2), columns=((0, 0), (1, 1))
+        ),
+        traffic=TrafficSpec(pattern="uniform", injection_rate=rate),
+        sim=SimSpec(warmup_cycles=10, measurement_cycles=40, drain_cycles=40),
+    ).with_(policy=policy)
+
+
+def _grid(n_rates: int = 3):
+    return [
+        _spec(0.01 * (i + 1), policy)
+        for policy in ("elevator_first", "cda")
+        for i in range(n_rates)
+    ]
+
+
+def _cache_files(directory: str):
+    return sorted(
+        name for name in os.listdir(directory)
+        if name.startswith("result-") or name.startswith("design-")
+    )
+
+
+def _read_bytes(directory: str, name: str) -> bytes:
+    with open(os.path.join(directory, name), "rb") as handle:
+        return handle.read()
+
+
+# ---------------------------------------------------------------------- #
+# Deterministic partitioning
+# ---------------------------------------------------------------------- #
+class TestShardSpec:
+    def test_parse_roundtrip(self):
+        spec = parse_shard("2/3")
+        assert spec == ShardSpec(index=2, count=3)
+        assert str(spec) == "2/3"
+
+    @pytest.mark.parametrize("text", ["0/3", "4/3", "a/b", "3", "1/0", ""])
+    def test_invalid_specs_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_shard(text)
+
+    def test_partition_is_disjoint_and_complete(self):
+        keys = [config_key(spec) for spec in _grid(5)]
+        for n in (1, 2, 3, 7):
+            slices = partition(keys, n)
+            assert len(slices) == n
+            flat = [key for piece in slices for key in piece]
+            assert sorted(flat) == sorted(keys)
+            for index, piece in enumerate(slices, start=1):
+                shard = ShardSpec(index=index, count=n)
+                assert all(shard.owns(key) for key in piece)
+
+    def test_partition_is_order_insensitive(self):
+        keys = [config_key(spec) for spec in _grid(4)]
+        forward = [sorted(piece) for piece in partition(keys, 3)]
+        backward = [
+            sorted(piece) for piece in partition(list(reversed(keys)), 3)
+        ]
+        assert forward == backward
+        counts = shard_counts(keys, 3)
+        assert sum(counts.values()) == len(keys)
+        assert set(counts) == {1, 2, 3}
+
+    def test_shard_of_matches_owns(self):
+        key = config_key(_spec(0.01))
+        owner = shard_of(key, 4)
+        for index in range(1, 5):
+            assert ShardSpec(index=index, count=4).owns(key) == (
+                owner == index - 1
+            )
+
+    def test_shard_cache_dir_is_per_shard(self, tmp_path):
+        a = shard_cache_dir(str(tmp_path), ShardSpec(1, 3))
+        b = shard_cache_dir(str(tmp_path), ShardSpec(2, 3))
+        assert a != b and a.startswith(str(tmp_path))
+
+
+# ---------------------------------------------------------------------- #
+# Bit-identity: sharded + merged == unsharded
+# ---------------------------------------------------------------------- #
+class TestShardedBitIdentity:
+    def test_union_of_shard_outcomes_matches_unsharded(self, tmp_path):
+        grid = _grid()
+        full = ExperimentBatch(grid, base_seed=7).run()
+        by_key = {}
+        for index in range(1, 4):
+            shard = ShardSpec(index=index, count=3)
+            outcomes = ExperimentBatch(grid, base_seed=7, shard=shard).run()
+            for outcome in outcomes:
+                by_key[outcome.key] = outcome.summary
+        assert len(by_key) == len({o.key for o in full})
+        for outcome in full:
+            assert by_key[outcome.key] == outcome.summary
+
+    def test_merged_shard_caches_are_byte_identical(self, tmp_path):
+        grid = _grid()
+        full_dir = str(tmp_path / "full")
+        ExperimentBatch(
+            grid, base_seed=7, result_cache=ResultCache(full_dir)
+        ).run()
+
+        shard_dirs = []
+        for index in range(1, 4):
+            shard = ShardSpec(index=index, count=3)
+            directory = str(tmp_path / f"shard-{index}")
+            shard_dirs.append(directory)
+            ExperimentBatch(
+                grid, base_seed=7, shard=shard,
+                result_cache=ResultCache(directory),
+            ).run()
+
+        merged_dir = str(tmp_path / "merged")
+        report = merge_results(shard_dirs, merged_dir)
+        full_files = _cache_files(full_dir)
+        assert report.results == sum(
+            1 for name in full_files if name.startswith("result-")
+        )
+        assert _cache_files(merged_dir) == full_files
+        for name in full_files:
+            assert _read_bytes(merged_dir, name) == _read_bytes(full_dir, name)
+
+    def test_merge_counts_duplicates_and_accepts_overlap(self, tmp_path):
+        grid = _grid(2)
+        a = str(tmp_path / "a")
+        b = str(tmp_path / "b")
+        ExperimentBatch(grid, base_seed=1, result_cache=ResultCache(a)).run()
+        ExperimentBatch(grid, base_seed=1, result_cache=ResultCache(b)).run()
+        report = merge_results([a, b], str(tmp_path / "out"))
+        assert report.results == report.result_duplicates
+
+    def test_merge_conflict_fails_loudly(self, tmp_path):
+        key = "ab" * 32
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        for directory, latency in ((a, 1.0), (b, 2.0)):
+            directory.mkdir()
+            (directory / f"result-{key}.json").write_text(json.dumps({
+                "key": key, "config": None,
+                "summary": {"average_latency": latency},
+            }))
+        with pytest.raises(MergeConflict):
+            merge_results([str(a), str(b)], str(tmp_path / "out"))
+
+    def test_merge_rejects_bogus_inputs(self, tmp_path):
+        with pytest.raises(ValueError):
+            merge_results([str(tmp_path / "missing")], str(tmp_path / "out"))
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ValueError):
+            merge_results([str(empty)], str(tmp_path / "out"))
+
+    def test_merge_from_json_document(self, tmp_path):
+        grid = _grid(2)
+        full_dir = str(tmp_path / "full")
+        batch = ExperimentBatch(
+            grid, base_seed=7, result_cache=ResultCache(full_dir)
+        )
+        outcomes = batch.run()
+        document = {"outcomes": [
+            {"key": o.key, "spec": o.spec.to_dict(), "summary": o.summary}
+            for o in outcomes
+        ]}
+        doc_path = tmp_path / "run.json"
+        doc_path.write_text(json.dumps(document))
+        merged_dir = str(tmp_path / "merged")
+        merge_results([str(doc_path)], merged_dir)
+        for name in (n for n in _cache_files(full_dir) if n.startswith("result-")):
+            assert _read_bytes(merged_dir, name) == _read_bytes(full_dir, name)
+
+
+# ---------------------------------------------------------------------- #
+# Chunked checkpointing: kill mid-grid, resume, stay bit-identical
+# ---------------------------------------------------------------------- #
+class TestChunkedCheckpointing:
+    def test_abort_env_raises_after_first_chunk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ABORT_AFTER_CHUNKS_ENV, "1")
+        batch = ExperimentBatch(
+            _grid(), base_seed=7, chunk_size=1,
+            result_cache=ResultCache(str(tmp_path / "cache")),
+        )
+        with pytest.raises(ChunkAbort):
+            batch.run()
+        flushed = _cache_files(str(tmp_path / "cache"))
+        assert any(name.startswith("result-") for name in flushed)
+
+    def test_killed_run_resumes_and_matches_unsharded(self, tmp_path, monkeypatch):
+        grid = _grid()
+        full_dir = str(tmp_path / "full")
+        ExperimentBatch(
+            grid, base_seed=7, result_cache=ResultCache(full_dir)
+        ).run()
+
+        cache_dir = str(tmp_path / "resume")
+        monkeypatch.setenv(ABORT_AFTER_CHUNKS_ENV, "2")
+        with pytest.raises(ChunkAbort):
+            ExperimentBatch(
+                grid, base_seed=7, chunk_size=1,
+                result_cache=ResultCache(cache_dir),
+            ).run()
+        monkeypatch.delenv(ABORT_AFTER_CHUNKS_ENV)
+
+        resumed = ExperimentBatch(
+            grid, base_seed=7, chunk_size=1,
+            result_cache=ResultCache(cache_dir),
+        )
+        outcomes = resumed.run()
+        assert resumed.last_cached >= 2  # the pre-kill chunks were not redone
+        assert len(outcomes) == len(grid)
+        for name in (
+            n for n in _cache_files(full_dir) if n.startswith("result-")
+        ):
+            assert _read_bytes(cache_dir, name) == _read_bytes(full_dir, name)
+
+    def test_manifest_written_per_chunk(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        batch = ExperimentBatch(
+            _grid(2), base_seed=7, chunk_size=2,
+            result_cache=ResultCache(cache_dir),
+        )
+        batch.run()
+        manifests = [
+            name for name in os.listdir(cache_dir)
+            if name.startswith("manifest-")
+        ]
+        assert len(manifests) == 1
+        with open(os.path.join(cache_dir, manifests[0])) as handle:
+            manifest = json.load(handle)
+        assert manifest["done"] == manifest["total"]
+        assert manifest["chunk_size"] == 2
+        assert batch.last_chunks == 2
+
+    def test_peak_resident_rows_bounded_by_chunk(self, tmp_path):
+        grid = _grid()
+        aggregator = StreamingAggregator()
+        batch = ExperimentBatch(
+            grid, base_seed=7, chunk_size=2,
+            result_cache=ResultCache(str(tmp_path / "cache")),
+        )
+        emitted = batch.run_streaming(aggregator.consume)
+        assert emitted == len(grid)
+        assert 0 < batch.last_peak_rows <= 2
+        assert aggregator.rows == len(grid)
+
+
+# ---------------------------------------------------------------------- #
+# The CLI path end to end (subprocess, like a real kill/resume)
+# ---------------------------------------------------------------------- #
+class TestCliShardSmoke:
+    def _cli(self, *args, env_extra=None, check=True):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        if env_extra:
+            env.update(env_extra)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True, text=True, env=env,
+        )
+        if check:
+            assert result.returncode == 0, result.stderr
+        return result
+
+    def test_sweep_shards_merge_to_byte_identical_cache(self, tmp_path):
+        common = (
+            "sweep", "--mesh", "2", "2", "2", "--elevators", "0,0;1,1",
+            "--policies", "elevator_first,cda", "--rates", "0.01,0.02",
+            "--warmup", "10", "--measure", "40", "--drain", "40",
+            "--seed", "3",
+        )
+        full = str(tmp_path / "full")
+        self._cli(*common, "--cache-dir", full)
+
+        shard_dirs = []
+        for k in (1, 2):
+            directory = str(tmp_path / f"s{k}")
+            shard_dirs.append(directory)
+            kill = self._cli(
+                *common, "--cache-dir", directory,
+                "--shard", f"{k}/2", "--chunk-size", "1",
+                env_extra={ABORT_AFTER_CHUNKS_ENV: "1"}, check=False,
+            )
+            # A shard with >1 owned spec dies mid-grid; one with <=1 spec
+            # finishes before the abort threshold.
+            if kill.returncode != 0:
+                assert "ChunkAbort" in kill.stderr
+            self._cli(
+                *common, "--cache-dir", directory,
+                "--shard", f"{k}/2", "--chunk-size", "1",
+            )
+
+        merged = str(tmp_path / "merged")
+        self._cli("merge", "--into", merged, *shard_dirs)
+        full_files = _cache_files(full)
+        assert _cache_files(merged) == full_files
+        for name in full_files:
+            assert _read_bytes(merged, name) == _read_bytes(full, name)
+
+        warm = self._cli(*common, "--cache-dir", merged)
+        assert "0 simulated" in warm.stdout
+
+        stats = cache_stats(merged)
+        assert stats["results"] == sum(
+            1 for n in full_files if n.startswith("result-")
+        )
+
+    def test_cache_stats_cli_json(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        ExperimentBatch(
+            _grid(1), base_seed=7, result_cache=ResultCache(cache_dir)
+        ).run()
+        result = self._cli(
+            "cache", "stats", "--cache-dir", cache_dir, "--json"
+        )
+        document = json.loads(result.stdout)
+        assert document["backend"] == "json"
+        assert document["results"] == 2
+        assert document["bytes"] > 0
