@@ -40,7 +40,7 @@ from repro.core.pipeline import AdEleDesign, OfflineConfig, optimize_elevator_su
 from repro.core.selection import select_by_strategy, spread_selection
 from repro.energy.model import EnergyModel
 from repro.routing import make_policy
-from repro.routing.base import ElevatorSelectionPolicy
+from repro.routing.base import ElevatorSelectionPolicy, RouteComputation
 from repro.sim.engine import SimulationResult, Simulator
 from repro.sim.network import Network
 from repro.spec import (
@@ -618,8 +618,14 @@ def build_network(
     placement: Optional[ElevatorPlacement] = None,
     policy: Optional[ElevatorSelectionPolicy] = None,
     design_cache: Optional[DesignCache] = None,
+    route_computation: Optional[RouteComputation] = None,
 ) -> Network:
-    """Build the network for a configuration."""
+    """Build the network for a configuration.
+
+    ``route_computation`` lets warm workers and replica groups share one
+    precomputed route-table object across networks of the same mesh (the
+    tables are immutable and depend only on the mesh shape).
+    """
     spec = as_spec(config)
     placement = placement if placement is not None else resolve_placement(config)
     if policy is None:
@@ -629,6 +635,7 @@ def build_network(
         policy,
         num_vcs=2,
         buffer_depth=spec.sim.buffer_depth,
+        route_computation=route_computation,
     )
 
 
@@ -647,12 +654,24 @@ def build_packet_source(
     )
 
 
+#: Shared default for runs without an explicit energy model.  EnergyModel
+#: is a stateless frozen-parameter dataclass, so one instance can serve
+#: every run in the process -- the memoized warm-worker path must not
+#: allocate per call.
+_DEFAULT_ENERGY_MODEL = EnergyModel()
+
+
 def run_experiment(
     config: Union[ExperimentSpec, ExperimentConfig],
     energy_model: Optional[EnergyModel] = None,
     network: Optional[Network] = None,
 ) -> SimulationResult:
-    """Run one configuration end to end and return its result."""
+    """Run one configuration end to end and return its result.
+
+    A prewarmed ``network`` (e.g. from the worker memo) is reused via
+    :meth:`~repro.sim.network.Network.reset`; its placement is taken as-is
+    instead of resolving the spec's placement again.
+    """
     spec = as_spec(config)
     placement = (
         network.placement if network is not None else resolve_placement(config)
@@ -668,7 +687,9 @@ def run_experiment(
         warmup_cycles=spec.sim.warmup_cycles,
         measurement_cycles=spec.sim.measurement_cycles,
         drain_cycles=spec.sim.drain_cycles,
-        energy_model=energy_model if energy_model is not None else EnergyModel(),
+        energy_model=(
+            energy_model if energy_model is not None else _DEFAULT_ENERGY_MODEL
+        ),
         backend=spec.sim.backend,
         scenario=spec.scenario,
         scenario_seed=spec.sim.seed,

@@ -90,6 +90,7 @@ from repro.exec.cache import (
     derive_seed,
     open_caches,
     spec_from_canonical,
+    structural_key,
 )
 from repro.exec.shard import ShardSpec, parse_shard, shard_of
 from repro.exec.designs import (
@@ -251,6 +252,7 @@ def run_specs(
     cache_backend: str = "json",
     shard: Optional[ShardSpec] = None,
     chunk_size: Optional[int] = None,
+    replica_batch: Optional[int] = None,
 ) -> List[ExperimentOutcome]:
     """Run a grid of specs through the parallel batch engine.
 
@@ -275,6 +277,11 @@ def run_specs(
             together with :func:`merge_results`.
         chunk_size: Flush results to the cache (plus a resumable manifest
             when ``cache_dir`` is set) every this many completed specs.
+        replica_batch: When >= 2, coalesce specs differing only in seed
+            (on the flat-array kernel family) into replica groups of at
+            most this many, each run as one batched kernel pass; results
+            and cache bytes are unchanged, only wall-clock is.  See
+            :class:`~repro.exec.batch.ExperimentBatch`.
 
     Returns:
         One :class:`~repro.exec.batch.ExperimentOutcome` per spec, in input
@@ -292,6 +299,7 @@ def run_specs(
         shard=shard,
         chunk_size=chunk_size,
         manifest_dir=cache_dir,
+        replica_batch=replica_batch,
     )
     return batch.run()
 
@@ -401,6 +409,7 @@ __all__ = [
     "canonical_config",
     "config_key",
     "derive_seed",
+    "structural_key",
     "load_spec",
     "save_spec",
     # registries

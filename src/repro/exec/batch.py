@@ -22,6 +22,32 @@ Caching
     *once in the parent process* per unique (placement, subset-size) pair --
     through the injectable design cache -- and shipped to workers as plain
     per-router subsets, so worker processes never re-run AMOSA.
+
+Replica batching
+    With ``replica_batch=N``, tasks that share a *structural key*
+    (:func:`~repro.exec.cache.structural_key`: canonical spec minus seed)
+    and run on the flat-array kernel family (``vectorized`` / ``batched``
+    backends) are coalesced -- up to N seed-replicas execute through one
+    replica-batched kernel pass
+    (:func:`repro.sim.backends.batched.run_replica_group`) instead of N
+    solo runs.  Grouping changes *only* wall-clock: each replica keeps its
+    own ``config_key``, summary row and cache entry, and the grouped cache
+    is byte-identical to an ungrouped run of the same grid (pinned by
+    tests and the ``BENCH_perf_replicas`` gate).  Groups never span chunk
+    boundaries, so ``--shard`` partitioning, checkpoint manifests and
+    ``run_streaming`` aggregation behave exactly as before.
+
+Warm-worker memoization
+    Workers keep small per-process LRUs of expensive setup objects:
+    constructed :class:`~repro.sim.network.Network`\\ s (reused across
+    seeds/rates via ``network.reset()`` -- checkout semantics, so
+    concurrent threads never share one) and
+    :class:`~repro.routing.base.RouteComputation` tables (shared freely;
+    they are immutable and depend only on the mesh shape).  Per-task
+    setup/kernel timings and memo hit/miss counts are reported back to the
+    batch (``last_setup_s`` / ``last_kernel_s`` / ``last_memo_hits`` /
+    ``last_memo_misses``) and surface in every CLI ``--json`` engine
+    block.
 """
 
 from __future__ import annotations
@@ -29,7 +55,11 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import importlib
+import json
 import os
+import threading
+import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import (
@@ -45,11 +75,13 @@ from typing import (
 )
 
 from repro.analysis.runner import (
+    _DEFAULT_ENERGY_MODEL,
     DesignCache,
     ExperimentConfig,
     adele_design_for,
     as_spec,
     build_network,
+    build_packet_source,
     config_from_spec,
     design_for_placement,
     resolve_placement,
@@ -62,9 +94,13 @@ from repro.exec.cache import (
     canonical_config,
     config_key,
     derive_seed,
+    structural_key,
 )
 from repro.exec.shard import ShardSpec
+from repro.registry import UnknownComponentError
 from repro.routing.adele import AdElePolicy, AdEleRoundRobinPolicy
+from repro.routing.base import RouteComputation
+from repro.sim.backends import BACKEND_REGISTRY
 from repro.spec import (
     DEFAULT_ADELE_LOW_TRAFFIC_THRESHOLD,
     DEFAULT_ADELE_MAX_SUBSET_SIZE,
@@ -116,6 +152,129 @@ class _Task:
     plugins: Tuple[str, ...] = ()
 
 
+@dataclass(frozen=True)
+class _TaskGroup:
+    """A replica group: tasks sharing one structural key, run in one pass.
+
+    All members simulate the same mesh/placement/policy/traffic/cycles and
+    differ only in seed, so they execute through
+    :func:`repro.sim.backends.batched.run_replica_group` as one kernel
+    invocation while keeping per-task keys, summaries and cache entries.
+    """
+
+    tasks: Tuple[_Task, ...]
+
+
+#: Simulation backends whose specs may be coalesced into replica groups.
+#: Only the flat-array kernel family is eligible: it is the kernel that
+#: has the replica axis, and routing other backends' specs through it
+#: would violate cache byte-identity (fast mode is a tolerance contract,
+#: not bit-identical to ``reference``/``optimized``).
+_GROUPABLE_BACKENDS = frozenset({"vectorized", "batched"})
+
+
+def _groupable_spec(spec: ExperimentSpec) -> bool:
+    """Whether a spec may join a replica group (kernel-family check)."""
+    try:
+        canonical = BACKEND_REGISTRY.entry(spec.sim.backend).name
+    except UnknownComponentError:
+        # Leave the spec a solo task; execution will surface the error
+        # with the registry's own message.
+        return False
+    return canonical in _GROUPABLE_BACKENDS
+
+
+# ---------------------------------------------------------------------- #
+# Warm-worker setup memoization (per-process LRUs)
+# ---------------------------------------------------------------------- #
+#: LRU capacities.  Networks hold per-router buffers (the dominant setup
+#: cost); route tables are one immutable object per mesh shape.
+_NETWORK_MEMO_CAPACITY = 16
+_ROUTES_MEMO_CAPACITY = 8
+
+_memo_lock = threading.Lock()
+_memo_networks: "OrderedDict[str, Any]" = OrderedDict()
+_memo_routes: "OrderedDict[Tuple[int, int, int], RouteComputation]" = OrderedDict()
+
+
+def clear_setup_memo() -> None:
+    """Drop all memoized setup objects (tests and long-lived daemons)."""
+    with _memo_lock:
+        _memo_networks.clear()
+        _memo_routes.clear()
+
+
+def _network_memo_key(
+    spec: ExperimentSpec, subsets: Optional[Dict[int, Tuple[int, ...]]]
+) -> str:
+    """Content key of everything that flows into network construction.
+
+    Traffic, cycles and scenario are excluded -- they do not shape the
+    network -- so specs differing only in seed/rate/cycles share one
+    entry.  The seed *is* included for design-backed policies (AdEle
+    variants take it as a constructor argument); registered policies built
+    via ``make_policy`` receive only their options, which are in the
+    policy block.
+    """
+    payload = canonical_config(spec)
+    fields: Dict[str, Any] = {
+        "placement": payload.get("placement"),
+        "policy": payload.get("policy"),
+        "design": payload.get("design"),
+        "buffer_depth": payload.get("sim", {}).get("buffer_depth"),
+    }
+    if subsets is not None:
+        fields["subsets"] = {
+            str(node): list(subset) for node, subset in sorted(subsets.items())
+        }
+    if spec.policy.needs_design:
+        fields["seed"] = spec.sim.seed
+    blob = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _memo_route_tables(mesh) -> Tuple[RouteComputation, bool]:
+    """Route tables for a mesh shape, shared via the per-process LRU.
+
+    The tables are immutable and a pure function of the mesh shape, so --
+    unlike networks -- one object is handed to any number of concurrent
+    users.  Returns ``(tables, was_hit)``.
+    """
+    key = mesh.shape
+    with _memo_lock:
+        routes = _memo_routes.get(key)
+        if routes is not None:
+            _memo_routes.move_to_end(key)
+            return routes, True
+    routes = RouteComputation(mesh)
+    with _memo_lock:
+        _memo_routes[key] = routes
+        while len(_memo_routes) > _ROUTES_MEMO_CAPACITY:
+            _memo_routes.popitem(last=False)
+    return routes, False
+
+
+def _memo_acquire_network(key: str):
+    """Check a memoized network *out* of the LRU (or ``None`` on miss).
+
+    Checkout semantics make the memo thread-safe under the service worker
+    pool (threads in one process): an entry in use is not in the dict, so
+    two concurrent tasks with the same key never share a network -- the
+    second simply builds fresh.
+    """
+    with _memo_lock:
+        return _memo_networks.pop(key, None)
+
+
+def _memo_release_network(key: str, network) -> None:
+    """Return a network to the LRU after its run completed."""
+    with _memo_lock:
+        _memo_networks[key] = network
+        _memo_networks.move_to_end(key)
+        while len(_memo_networks) > _NETWORK_MEMO_CAPACITY:
+            _memo_networks.popitem(last=False)
+
+
 @dataclass
 class ExperimentOutcome:
     """Result of one batched experiment.
@@ -159,19 +318,151 @@ def _policy_from_subsets(
     return AdEleRoundRobinPolicy(placement, subsets=subsets, seed=seed)
 
 
+def _build_task_network(task: _Task) -> Tuple[Any, bool]:
+    """Construct a task's network fresh (sharing memoized route tables).
+
+    Returns ``(network, route_tables_were_memo_hit)``.
+    """
+    spec = task.spec
+    placement = resolve_placement(spec)
+    routes, routes_hit = _memo_route_tables(placement.mesh)
+    if task.subsets is not None:
+        policy = _policy_from_subsets(spec, placement, task.subsets)
+        network = build_network(
+            spec, placement=placement, policy=policy, route_computation=routes
+        )
+    else:
+        network = build_network(
+            spec, placement=placement, route_computation=routes
+        )
+    return network, routes_hit
+
+
 def _execute_task(task: _Task) -> Tuple[str, Dict[str, float]]:
     """Run one experiment end to end (module-level so it pickles)."""
+    key, summary, _meta = _execute_task_timed(task)
+    return key, summary
+
+
+def _execute_task_timed(
+    task: _Task,
+) -> Tuple[str, Dict[str, float], Dict[str, Any]]:
+    """Run one experiment, reporting setup/kernel timings and memo traffic.
+
+    The returned ``meta`` dictionary carries ``setup_s`` (placement /
+    policy / network construction, memo traffic included), ``kernel_s``
+    (the simulation itself) and the task's ``memo_hits`` /
+    ``memo_misses``.
+    """
     for module in task.plugins:
         importlib.import_module(module)
     spec = task.spec
-    placement = resolve_placement(spec)
-    if task.subsets is not None:
-        policy = _policy_from_subsets(spec, placement, task.subsets)
-        network = build_network(spec, placement=placement, policy=policy)
+    hits = 0
+    misses = 0
+    setup_start = time.perf_counter()
+    memo_key = _network_memo_key(spec, task.subsets)
+    network = _memo_acquire_network(memo_key)
+    if network is not None:
+        hits += 1
     else:
-        network = build_network(spec, placement=placement)
-    result = run_experiment(spec, energy_model=task.energy_model, network=network)
-    return task.key, result.summary()
+        misses += 1
+        network, routes_hit = _build_task_network(task)
+        if routes_hit:
+            hits += 1
+        else:
+            misses += 1
+    setup_s = time.perf_counter() - setup_start
+    kernel_start = time.perf_counter()
+    try:
+        result = run_experiment(
+            spec, energy_model=task.energy_model, network=network
+        )
+    finally:
+        # Return the network even after a failed run: reset() restores it.
+        _memo_release_network(memo_key, network)
+    kernel_s = time.perf_counter() - kernel_start
+    meta = {
+        "setup_s": setup_s,
+        "kernel_s": kernel_s,
+        "memo_hits": hits,
+        "memo_misses": misses,
+    }
+    return task.key, result.summary(), meta
+
+
+def _execute_group(
+    group: _TaskGroup,
+) -> List[Tuple[str, Dict[str, float], Dict[str, Any]]]:
+    """Run one replica group through a single batched kernel pass.
+
+    Every member gets its own freshly built network / packet source /
+    placement (scenario fault events mutate placements, and replicas run
+    interleaved, so nothing may be shared except the immutable route
+    tables) -- construction order is group order, matching the solo path's
+    per-task construction exactly.  Timings are attributed per task as an
+    even split of the group's setup and kernel time.
+    """
+    from repro.sim.backends.batched import ReplicaRun, run_replica_group
+
+    hits = 0
+    misses = 0
+    setup_start = time.perf_counter()
+    replicas = []
+    for task in group.tasks:
+        for module in task.plugins:
+            importlib.import_module(module)
+        spec = task.spec
+        network, routes_hit = _build_task_network(task)
+        if routes_hit:
+            hits += 1
+        else:
+            misses += 1
+        source = build_packet_source(spec, network.placement)
+        replicas.append(
+            ReplicaRun(
+                network=network,
+                packet_source=source,
+                scenario=spec.scenario,
+                scenario_seed=spec.sim.seed,
+                energy_model=(
+                    task.energy_model
+                    if task.energy_model is not None
+                    else _DEFAULT_ENERGY_MODEL
+                ),
+            )
+        )
+    setup_s = time.perf_counter() - setup_start
+    sim = group.tasks[0].spec.sim
+    kernel_start = time.perf_counter()
+    results = run_replica_group(
+        replicas,
+        warmup_cycles=sim.warmup_cycles,
+        measurement_cycles=sim.measurement_cycles,
+        drain_cycles=sim.drain_cycles,
+        bit_exact=sim.bit_exact,
+    )
+    kernel_s = time.perf_counter() - kernel_start
+    share = len(group.tasks)
+    rows = []
+    for task, result in zip(group.tasks, results):
+        meta = {
+            "setup_s": setup_s / share,
+            "kernel_s": kernel_s / share,
+            "memo_hits": hits if task is group.tasks[0] else 0,
+            "memo_misses": misses if task is group.tasks[0] else 0,
+            "replicas": share,
+        }
+        rows.append((task.key, result.summary(), meta))
+    return rows
+
+
+def _execute_unit(
+    unit: Union[_Task, _TaskGroup],
+) -> List[Tuple[str, Dict[str, float], Dict[str, Any]]]:
+    """Run one work unit -- a solo task or a replica group (picklable)."""
+    if isinstance(unit, _TaskGroup):
+        return _execute_group(unit)
+    return [_execute_task_timed(unit)]
 
 
 class ExperimentBatch:
@@ -215,6 +506,12 @@ class ExperimentBatch:
             is the resume source of truth -- rerunning the same grid skips
             every flushed row; the manifest is the inspectable progress
             record.
+        replica_batch: When >= 2, coalesce pending tasks that share a
+            structural key (canonical spec minus seed) and run on the
+            flat-array kernel family into replica groups of at most this
+            many, each executed as one batched kernel pass (see the module
+            docstring).  Results and cache bytes are unchanged; only
+            wall-clock is.  ``None``/1 keeps solo execution.
     """
 
     def __init__(
@@ -229,12 +526,15 @@ class ExperimentBatch:
         shard: Optional[ShardSpec] = None,
         chunk_size: Optional[int] = None,
         manifest_dir: Optional[str] = None,
+        replica_batch: Optional[int] = None,
     ) -> None:
         self.specs: List[ExperimentSpec] = [as_spec(config) for config in configs]
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if replica_batch is not None and replica_batch < 1:
+            raise ValueError("replica_batch must be >= 1")
         self.workers = workers
         self.result_cache = result_cache if result_cache is not None else ResultCache()
         self.design_cache = design_cache
@@ -244,6 +544,7 @@ class ExperimentBatch:
         self.shard = shard
         self.chunk_size = chunk_size
         self.manifest_dir = manifest_dir
+        self.replica_batch = replica_batch
         #: Number of simulations actually executed by the last ``run()``.
         self.last_executed = 0
         #: Number of outcomes served from cache by the last ``run()``.
@@ -258,6 +559,18 @@ class ExperimentBatch:
         #: chunk size, which is what lets :meth:`run_streaming` aggregate a
         #: mega-grid in O(chunk) memory.
         self.last_peak_rows = 0
+        #: Number of replica groups coalesced by the last ``run()``.
+        self.last_replica_groups = 0
+        #: Seconds the last ``run()`` spent in per-task setup (placement /
+        #: policy / network construction, memo traffic included), summed
+        #: across tasks.
+        self.last_setup_s = 0.0
+        #: Seconds the last ``run()`` spent inside simulation kernels,
+        #: summed across tasks.
+        self.last_kernel_s = 0.0
+        #: Warm-worker memo hits / misses observed by the last ``run()``.
+        self.last_memo_hits = 0
+        self.last_memo_misses = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -364,6 +677,51 @@ class ExperimentBatch:
         ).hexdigest()[:16]
         return os.path.join(directory, f"manifest-{grid_id}.json")
 
+    def _plan_units(
+        self, chunk_tasks: Sequence[_Task]
+    ) -> List[Union[_Task, _TaskGroup]]:
+        """Coalesce a chunk's tasks into work units (replica grouping).
+
+        Tasks sharing a structural key -- and running on the flat-array
+        kernel family -- merge into :class:`_TaskGroup` units of at most
+        ``replica_batch`` members; everything else stays a solo task.  A
+        group is emitted at its first member's position, so unit order
+        follows task order and grouping never reorders cache flushes
+        across chunks.  With ``replica_batch`` unset (or 1) the chunk
+        passes through unchanged.
+        """
+        limit = self.replica_batch
+        if limit is None or limit < 2:
+            return list(chunk_tasks)
+        extra = self._key_extra()
+        buckets: Dict[str, List[_Task]] = {}
+        bucket_of: Dict[int, Optional[str]] = {}
+        for task in chunk_tasks:
+            skey: Optional[str] = None
+            if _groupable_spec(task.spec):
+                skey = structural_key(task.spec, extra=extra)
+                buckets.setdefault(skey, []).append(task)
+            bucket_of[id(task)] = skey
+        units: List[Union[_Task, _TaskGroup]] = []
+        emitted: set = set()
+        for task in chunk_tasks:
+            skey = bucket_of[id(task)]
+            if skey is None or len(buckets[skey]) < 2:
+                units.append(task)
+                continue
+            if skey in emitted:
+                continue
+            emitted.add(skey)
+            members = buckets[skey]
+            for start in range(0, len(members), limit):
+                sub = members[start:start + limit]
+                if len(sub) == 1:
+                    units.append(sub[0])
+                else:
+                    units.append(_TaskGroup(tasks=tuple(sub)))
+                    self.last_replica_groups += 1
+        return units
+
     def _execute_pending(
         self,
         pending: Dict[str, _Task],
@@ -379,8 +737,18 @@ class ExperimentBatch:
         var (:data:`ABORT_AFTER_CHUNKS_ENV`) raises :class:`ChunkAbort`
         after N chunk flushes while work remains, simulating that kill at a
         deterministic boundary.
+
+        With ``replica_batch`` set, each chunk's tasks are first planned
+        into work units (:meth:`_plan_units`); rows still flush to the
+        cache in the chunk's original task order, so grouping changes
+        nothing about what a resumed or streamed run observes.
         """
         self.last_chunks = 0
+        self.last_replica_groups = 0
+        self.last_setup_s = 0.0
+        self.last_kernel_s = 0.0
+        self.last_memo_hits = 0
+        self.last_memo_misses = 0
         if not pending:
             return
         tasks = list(pending.values())
@@ -400,10 +768,25 @@ class ExperimentBatch:
             completed = 0
             for start in range(0, len(tasks), chunk):
                 chunk_tasks = tasks[start:start + chunk]
-                if pool is not None and len(chunk_tasks) > 1:
-                    finished = list(pool.map(_execute_task, chunk_tasks))
+                units = self._plan_units(chunk_tasks)
+                if pool is not None and len(units) > 1:
+                    unit_rows = list(pool.map(_execute_unit, units))
                 else:
-                    finished = [_execute_task(task) for task in chunk_tasks]
+                    unit_rows = [_execute_unit(unit) for unit in units]
+                rows_by_key: Dict[str, Dict[str, float]] = {}
+                for rows in unit_rows:
+                    for key, summary, meta in rows:
+                        rows_by_key[key] = summary
+                        self.last_setup_s += meta["setup_s"]
+                        self.last_kernel_s += meta["kernel_s"]
+                        self.last_memo_hits += meta["memo_hits"]
+                        self.last_memo_misses += meta["memo_misses"]
+                # Emit in the chunk's original task order regardless of
+                # grouping, so cache flush order -- and therefore stream
+                # emission order -- is identical with and without it.
+                finished = [
+                    (task.key, rows_by_key[task.key]) for task in chunk_tasks
+                ]
                 self.last_peak_rows = max(self.last_peak_rows, len(finished))
                 for key, summary in finished:
                     self.result_cache.put(
@@ -560,6 +943,7 @@ def run_batch(
     plugins: Sequence[str] = (),
     shard: Optional[ShardSpec] = None,
     chunk_size: Optional[int] = None,
+    replica_batch: Optional[int] = None,
 ) -> List[ExperimentOutcome]:
     """Convenience wrapper: build an :class:`ExperimentBatch` and run it."""
     batch = ExperimentBatch(
@@ -572,6 +956,7 @@ def run_batch(
         plugins=plugins,
         shard=shard,
         chunk_size=chunk_size,
+        replica_batch=replica_batch,
     )
     return batch.run()
 

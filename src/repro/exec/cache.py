@@ -215,6 +215,37 @@ def config_key(config: ConfigLike, extra: Optional[Dict[str, Any]] = None) -> st
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def structural_config(config: ConfigLike) -> Dict[str, Any]:
+    """The canonical dictionary of an experiment *minus its seed*.
+
+    Two experiments with the same structural configuration simulate the
+    same mesh, placement, policy, traffic shape, cycles and scenario --
+    they differ only in which RNG streams they draw.  Such seed-replicas
+    can share one replica-batched kernel pass (see
+    :mod:`repro.sim.backends.batched`); everything else about them (their
+    ``config_key``, derived seed, cache entry) stays per-spec.
+    """
+    payload = canonical_config(config)
+    payload["sim"] = dict(payload["sim"])
+    payload["sim"].pop("seed", None)
+    return payload
+
+
+def structural_key(config: ConfigLike, extra: Optional[Dict[str, Any]] = None) -> str:
+    """Content hash of :func:`structural_config` -- the replica-group key.
+
+    ``extra`` is mixed in exactly as in :func:`config_key`, so specs whose
+    results depend on different out-of-spec inputs (e.g. energy-model
+    parameters) never land in the same replica group.
+    """
+    blob = json.dumps(
+        structural_config(config), sort_keys=True, separators=(",", ":")
+    )
+    if extra:
+        blob += json.dumps(extra, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def spec_from_canonical(data: Dict[str, Any]) -> ExperimentSpec:
     """Rebuild a typed spec from its canonical dictionary."""
     return ExperimentSpec.from_dict(data)

@@ -260,6 +260,12 @@ def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
         help="flush results to the cache every C completed specs (chunked "
              "checkpointing; a killed run resumes from its last chunk)",
     )
+    scale.add_argument(
+        "--replica-batch", type=int, default=None, metavar="R",
+        help="coalesce up to R structurally identical specs (differing only "
+             "in seed) into one multi-replica kernel pass; cache contents "
+             "stay byte-identical to ungrouped execution",
+    )
 
 
 def _parse_shard_argument(args: argparse.Namespace) -> Optional[ShardSpec]:
@@ -443,6 +449,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="this daemon's worker pool only claims tasks shard K of N "
              "owns (N daemons split every job deterministically)",
     )
+    serve.add_argument(
+        "--replica-batch", type=int, default=None, metavar="R",
+        help="forward a replica-batch width to every worker's batch engine "
+             "(see the sweep/run flag of the same name)",
+    )
 
     merge = subparsers.add_parser(
         "merge",
@@ -499,6 +510,10 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="list registered policies, traffic, applications, placements"
     )
     _add_plugin_argument(listing)
+    listing.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="print every registry as one machine-readable JSON document",
+    )
     return parser
 
 
@@ -545,6 +560,7 @@ def _make_batch(
         shard=_parse_shard_argument(args),
         chunk_size=getattr(args, "chunk_size", None),
         manifest_dir=args.cache_dir,
+        replica_batch=getattr(args, "replica_batch", None),
     )
 
 
@@ -560,6 +576,18 @@ def _report_engine(batch: ExperimentBatch) -> None:
             f"[repro.exec] shard {shard}: {batch.last_skipped} spec(s) "
             "owned by other shards skipped"
         )
+    if getattr(batch, "replica_batch", None) is not None:
+        print(
+            f"[repro.exec] replica batching: {batch.last_replica_groups} "
+            f"group(s) of width <= {batch.replica_batch}"
+        )
+    if batch.last_executed:
+        print(
+            f"[repro.exec] setup {batch.last_setup_s:.3f}s "
+            f"(memo {batch.last_memo_hits} hit(s) / "
+            f"{batch.last_memo_misses} miss(es)), "
+            f"kernel {batch.last_kernel_s:.3f}s"
+        )
 
 
 def _engine_document(batch) -> Dict[str, Any]:
@@ -567,15 +595,25 @@ def _engine_document(batch) -> Dict[str, Any]:
         "executed": batch.last_executed,
         "cached": batch.last_cached,
         "workers": batch.workers,
+        # Observability counters ride along in every engine block: wall
+        # seconds split into setup (network/route construction) vs kernel
+        # (simulation proper), plus warm-worker setup-memo hit/miss counts.
+        "setup_s": batch.last_setup_s,
+        "kernel_s": batch.last_kernel_s,
+        "memo_hits": batch.last_memo_hits,
+        "memo_misses": batch.last_memo_misses,
     }
-    # Shard/chunk keys appear only when the features are in play, keeping
-    # unsharded documents (and everything pinned on them) unchanged.
+    # Shard/chunk/replica keys appear only when the features are in play,
+    # keeping plain documents (and everything pinned on them) unchanged.
     shard = getattr(batch, "shard", None)
     if shard is not None:
         document["shard"] = str(shard)
         document["skipped"] = batch.last_skipped
     if getattr(batch, "chunk_size", None) is not None:
         document["chunks"] = batch.last_chunks
+    if getattr(batch, "replica_batch", None) is not None:
+        document["replica_batch"] = batch.replica_batch
+        document["replica_groups"] = batch.last_replica_groups
     return document
 
 
@@ -1020,6 +1058,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         plugins=tuple(getattr(args, "plugin", [])),
         shard=_parse_shard_argument(args),
+        replica_batch=getattr(args, "replica_batch", None),
     )
 
 
@@ -1109,20 +1148,40 @@ def _print_registry(title: str, registry) -> None:
         print(f"  {entry.name:18s} {description}{alias_note}")
 
 
+def _registry_document(registry) -> List[Dict[str, Any]]:
+    return [
+        {
+            "name": entry.name,
+            "description": entry.description or "",
+            "aliases": list(entry.aliases),
+        }
+        for entry in registry.entries()
+    ]
+
+
 def _run_list(args: argparse.Namespace) -> int:
-    _print_registry("policies", POLICY_REGISTRY)
-    print()
-    _print_registry("traffic patterns", PATTERN_REGISTRY)
-    print()
-    _print_registry("applications", APPLICATION_REGISTRY)
-    print()
-    _print_registry("placements", PLACEMENT_REGISTRY)
-    print()
-    _print_registry("simulation backends", BACKEND_REGISTRY)
-    print()
-    _print_registry("optimizers", OPTIMIZER_REGISTRY)
-    print()
-    _print_registry("scenario events", SCENARIO_EVENT_REGISTRY)
+    registries = (
+        ("policies", POLICY_REGISTRY),
+        ("traffic patterns", PATTERN_REGISTRY),
+        ("applications", APPLICATION_REGISTRY),
+        ("placements", PLACEMENT_REGISTRY),
+        ("simulation backends", BACKEND_REGISTRY),
+        ("optimizers", OPTIMIZER_REGISTRY),
+        ("scenario events", SCENARIO_EVENT_REGISTRY),
+    )
+    if getattr(args, "json_output", False):
+        _print_json({
+            "command": "list",
+            "registries": {
+                title: _registry_document(registry)
+                for title, registry in registries
+            },
+        })
+        return 0
+    for index, (title, registry) in enumerate(registries):
+        if index:
+            print()
+        _print_registry(title, registry)
     return 0
 
 

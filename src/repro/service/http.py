@@ -212,6 +212,7 @@ def serve(
     install_signal_handlers: bool = True,
     ready: Optional[threading.Event] = None,
     shard: Optional[ShardSpec] = None,
+    replica_batch: Optional[int] = None,
 ) -> int:
     """Run the daemon until SIGINT/SIGTERM: recover, serve, drain, close.
 
@@ -237,7 +238,13 @@ def serve(
     if recovered:
         print(f"[repro.serve] re-queued {recovered} interrupted task(s)",
               file=sys.stderr)
-    pool = WorkerPool(store, workers=workers, queue=queue, plugins=plugins)
+    pool = WorkerPool(
+        store,
+        workers=workers,
+        queue=queue,
+        plugins=plugins,
+        replica_batch=replica_batch,
+    )
     context = ServiceContext(store, queue, pool)
     server = make_server(context, host=host, port=port)
     stop = threading.Event()

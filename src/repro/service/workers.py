@@ -40,12 +40,17 @@ def execute_claimed_task(
     result_cache: SqliteResultCache,
     design_cache: SqliteDesignCache,
     plugins: Sequence[str] = (),
+    replica_batch: Optional[int] = None,
 ) -> bool:
     """Execute one claimed task and report its outcome to the queue.
 
     Shared by the in-process worker threads and the out-of-process worker
     entry point (tests exercise crash-resume by running this in a killable
     subprocess).  Returns ``True`` on completion, ``False`` on failure.
+    ``replica_batch`` is forwarded to the batch engine (tasks are claimed
+    one at a time today, so its effect here is enabling the engine's
+    replica-aware path for future multi-spec tasks; the warm-worker setup
+    memo is per-process and always active).
     """
     try:
         batch = ExperimentBatch(
@@ -54,6 +59,7 @@ def execute_claimed_task(
             result_cache=result_cache,
             design_cache=design_cache,
             plugins=tuple(plugins),
+            replica_batch=replica_batch,
         )
         outcome = batch.run()[0]
         if outcome.key != task.key:
@@ -85,6 +91,9 @@ class WorkerPool:
             to the shard's deterministic slice of every job (``repro
             serve --shard K/N``).  Ignored when an explicit ``queue`` is
             given -- configure that queue's shard directly.
+        replica_batch: Forwarded to every task execution's batch engine
+            (``repro serve --replica-batch N``); see
+            :func:`execute_claimed_task`.
     """
 
     def __init__(
@@ -96,6 +105,7 @@ class WorkerPool:
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
         plugins: Sequence[str] = (),
         shard: Optional[ShardSpec] = None,
+        replica_batch: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -105,6 +115,7 @@ class WorkerPool:
         self.poll_interval = poll_interval
         self.lease_seconds = lease_seconds
         self.plugins: Tuple[str, ...] = tuple(plugins)
+        self.replica_batch = replica_batch
         self.result_cache = SqliteResultCache(store)
         self.design_cache = SqliteDesignCache(store)
         self._stop = threading.Event()
@@ -181,6 +192,7 @@ class WorkerPool:
                 self.result_cache,
                 self.design_cache,
                 plugins=self.plugins,
+                replica_batch=self.replica_batch,
             )
             with self._executed_lock:
                 self.executed += 1

@@ -156,8 +156,10 @@ from repro.sim.backends import reference as _reference  # noqa: E402,F401
 
 try:
     from repro.sim.backends import vectorized as _vectorized  # noqa: E402,F401
+    from repro.sim.backends import batched as _batched  # noqa: E402,F401
 except ImportError:  # pragma: no cover - exercised on numpy-less installs
     _vectorized = None
+    _batched = None
 
 __all__ = [
     "BACKEND_REGISTRY",

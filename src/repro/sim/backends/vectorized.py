@@ -20,6 +20,21 @@ Why it is faster *at high load*
       all pops/stages/credit updates as batched scatter operations;
     * the drain-idle check is an O(1) flit-counter comparison.
 
+The replica axis
+    The kernel runs R structurally identical networks (*seed replicas*)
+    through one shared numpy pass: the node axis of every array is the
+    disconnected union of the replicas, global node id ``r * N + local``
+    for replica ``r`` of an N-router mesh.  Links never cross replicas
+    (each replica's ``nbr`` rows point inside its own block), allocation
+    groups are keyed by global node so ``lexsort`` winners never mix
+    replicas, and per-packet bookkeeping dispatches to the owning
+    replica's ``Network`` / policy / statistics objects.  Each replica
+    therefore observes exactly the event sequence of a solo run -- the
+    batched path is bit-identical to R independent vectorized runs, per
+    replica, in both fast and exact mode (pinned by
+    ``tests/test_replica_batch.py``).  The solo case is simply R=1; the
+    ``batched`` backend (:mod:`repro.sim.backends.batched`) drives R>1.
+
 Equivalence: the tolerance contract and bit-exact mode
     Packet-level bookkeeping (creation, elevator selection, latency
     recording, AdEle's source-latency feedback) still routes through the
@@ -49,6 +64,12 @@ Equivalence: the tolerance contract and bit-exact mode
     kernel; it is slower than fast mode but still avoids per-flit object
     allocation.
 
+    One bookkeeping difference against the sequential kernels: the
+    networks' ``_active_routers`` over-approximation is accumulated in a
+    kernel-side touched mask during the run and folded back in
+    ``sync_back`` (nothing reads the set while this kernel drives the
+    loop), so the *post-run* set is identical to a solo run's.
+
 Requires numpy; when numpy is missing the backend is simply not
 registered (see ``repro.sim.backends``).
 """
@@ -56,7 +77,7 @@ registered (see ``repro.sim.backends``).
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -76,13 +97,32 @@ _NUM_PORTS = len(Port)
 
 
 class _VectorizedKernel:
-    """Per-run flat numpy state + the batched (or exact) cycle step."""
+    """Per-run flat numpy state + the batched (or exact) cycle step.
 
-    def __init__(self, network: "Network", bit_exact: bool = False) -> None:
-        self.network = network
+    Operates on a *list* of structurally identical networks (the replica
+    axis, see module docstring); the solo case is a one-element list.
+    """
+
+    def __init__(
+        self, networks: Sequence["Network"], bit_exact: bool = False
+    ) -> None:
+        self.networks: List["Network"] = list(networks)
+        if not self.networks:
+            raise ValueError("need at least one network")
+        first = self.networks[0]
+        for network in self.networks[1:]:
+            if (
+                network.mesh.shape != first.mesh.shape
+                or network.num_vcs != first.num_vcs
+                or network.buffer_depth != first.buffer_depth
+            ):
+                raise ValueError(
+                    "replica networks must be structurally identical "
+                    "(mesh shape, virtual channels, buffer depth)"
+                )
         self.bit_exact = bit_exact
-        self.routes = network._route_computation.tables
-        num_vcs = network.num_vcs
+        self.routes = first._route_computation.tables
+        num_vcs = first.num_vcs
         self.num_vcs = num_vcs
         ports = list(Port)
         #: Input channels in arbitration order (port-major, VC-minor) --
@@ -92,12 +132,21 @@ class _VectorizedKernel:
         ]
         num_channels = len(self.channel_keys)
         self.num_channels = num_channels
-        num_nodes = network.mesh.num_nodes
-        self.depth = network.buffer_depth
+        #: Routers per replica (N) and replica count (R); the node axis of
+        #: every array below is the disconnected union, R * N rows.
+        self.nodes_per_replica = first.mesh.num_nodes
+        self.num_replicas = len(self.networks)
+        num_nodes = self.num_replicas * self.nodes_per_replica
+        self.depth = first.buffer_depth
 
-        # Static routing tables as arrays.
-        self.node_z = np.asarray(self.routes.node_z, dtype=np.int32)
-        self.node_xy = np.asarray(self.routes.node_xy, dtype=np.int32)
+        # Static routing tables as arrays.  Intra-layer / column tables are
+        # indexed by *local* layer position, so one copy serves every
+        # replica; the per-node coordinate lookups are tiled R times so a
+        # global node id indexes its replica's local coordinates directly.
+        base_z = np.asarray(self.routes.node_z, dtype=np.int32)
+        base_xy = np.asarray(self.routes.node_xy, dtype=np.int32)
+        self.node_z = np.tile(base_z, self.num_replicas)
+        self.node_xy = np.tile(base_xy, self.num_replicas)
         self.intra = np.asarray(self.routes.intra, dtype=np.int8)
         nodes_per_layer = self.intra.shape[0]
         self._column_ids: Dict[Tuple[int, int], int] = {}
@@ -129,18 +178,23 @@ class _VectorizedKernel:
         self.rr = np.zeros((num_nodes, _NUM_PORTS), dtype=np.int16)
 
         # Link structure: neighbour node id per output port (-1 = no link).
+        # Built per replica so links never leave a replica's block and each
+        # replica's severed-elevator state stays independent.
         nbr = np.full((num_nodes, _NUM_PORTS), -1, dtype=np.int32)
-        for node in range(num_nodes):
-            for port in ports:
-                if port == Port.LOCAL:
-                    continue
-                neighbor = network.neighbor(node, port)
-                if neighbor is not None:
-                    nbr[node, int(port)] = neighbor
+        for replica, network in enumerate(self.networks):
+            base = replica * self.nodes_per_replica
+            for node in range(self.nodes_per_replica):
+                for port in ports:
+                    if port == Port.LOCAL:
+                        continue
+                    neighbor = network.neighbor(node, port)
+                    if neighbor is not None:
+                        nbr[base + node, int(port)] = base + neighbor
         self.nbr = nbr
 
         # Packet registry: the real Packet objects plus the per-packet
-        # columns the batched phases read.
+        # columns the batched phases read.  Packets keep *local* node ids
+        # (source/destination), exactly as in a solo run.
         self.packets: List[Packet] = []
         capacity = 1024
         self.p_dest_xy = np.zeros(capacity, dtype=np.int32)
@@ -150,22 +204,30 @@ class _VectorizedKernel:
         self.p_creation = np.zeros(capacity, dtype=np.int64)
         self.p_col = np.full(capacity, -1, dtype=np.int32)
 
-        #: Pending injections per (node, vn): deque of mutable
-        #: ``[packet, packet_index, next_sequence]`` entries.  The network's
+        #: Pending injections per (global node, vn): deque of mutable
+        #: ``[packet, packet_index, next_sequence]`` entries.  The networks'
         #: Flit-object queues stay empty while the kernel runs; ``close``
         #: rematerializes them.
         self.queues: Dict[Tuple[int, int], deque] = {}
 
         # Batched per-node router-traversal counts, folded into the stats
-        # dict at close (dict equality is content-based, so insertion order
+        # dicts at close (dict equality is content-based, so insertion order
         # does not matter).
         self.rt_acc = np.zeros(num_nodes, dtype=np.int64)
-        self.total_flits = 0
+        #: In-network flit counts per replica (the O(1) drain-idle check).
+        self.total_flits = np.zeros(self.num_replicas, dtype=np.int64)
+        #: Global nodes staged into during the run; folded into each
+        #: network's ``_active_routers`` over-approximation at sync_back.
+        self._touched = np.zeros(num_nodes, dtype=bool)
         self._occ_cache: Optional[np.ndarray] = None
 
         self._import_network_state()
-        network.add_topology_listener(self._on_topology_change)
-        network.set_occupancy_provider(self._occupancy)
+        self._listeners: List[Callable] = []
+        for replica, network in enumerate(self.networks):
+            listener = self._make_topology_listener(replica)
+            self._listeners.append(listener)
+            network.add_topology_listener(listener)
+            network.set_occupancy_provider(self._make_occupancy_provider(replica))
 
     # ------------------------------------------------------------------ #
     # State import (fresh or left saturated by a previous run)
@@ -178,52 +240,54 @@ class _VectorizedKernel:
         converted to array entries and the object-level containers cleared,
         so ``close`` can rebuild them without double counting.
         """
-        network = self.network
-        seen: Dict[int, int] = {}
         key_index = {key: i for i, key in enumerate(self.channel_keys)}
-        for node, router in enumerate(network.routers):
-            for ci, key in enumerate(self.channel_keys):
-                buf = router.input_buffers[key]
-                fifo = buf._fifo
-                staged = buf._staged
-                if fifo or staged:
-                    pos = 0
-                    for flit in fifo:
-                        pidx = self._import_packet(flit.packet, seen)
-                        self.slot_pkt[node, ci, pos] = pidx
-                        self.slot_seq[node, ci, pos] = flit.sequence
-                        pos += 1
-                    self.nfifo[node, ci] = len(fifo)
-                    for flit in staged:
-                        pidx = self._import_packet(flit.packet, seen)
-                        self.slot_pkt[node, ci, pos] = pidx
-                        self.slot_seq[node, ci, pos] = flit.sequence
-                        pos += 1
-                    self.nstaged[node, ci] = len(staged)
-                    self.total_flits += pos
-                    fifo.clear()
-                    staged.clear()
-                port_route = router._route[key]
-                if port_route is not None:
-                    self.route[node, ci] = int(port_route)
-            for port in Port:
-                for vc in range(self.num_vcs):
-                    holder = router._output_owner[(port, vc)]
-                    if holder is not None:
-                        self.owner[node, int(port), vc] = key_index[holder]
-                self.rr[node, int(port)] = router._rr_pointer[port]
-        for key, queue in network._injection_queues.items():
-            if not queue:
-                continue
-            entries: deque = deque()
-            current_packet = None
-            for flit in queue:
-                if flit.packet is not current_packet:
-                    current_packet = flit.packet
-                    pidx = self._import_packet(current_packet, seen)
-                    entries.append([current_packet, pidx, flit.sequence])
-            queue.clear()
-            self.queues[key] = entries
+        for replica, network in enumerate(self.networks):
+            base = replica * self.nodes_per_replica
+            seen: Dict[int, int] = {}
+            for local, router in enumerate(network.routers):
+                node = base + local
+                for ci, key in enumerate(self.channel_keys):
+                    buf = router.input_buffers[key]
+                    fifo = buf._fifo
+                    staged = buf._staged
+                    if fifo or staged:
+                        pos = 0
+                        for flit in fifo:
+                            pidx = self._import_packet(flit.packet, seen)
+                            self.slot_pkt[node, ci, pos] = pidx
+                            self.slot_seq[node, ci, pos] = flit.sequence
+                            pos += 1
+                        self.nfifo[node, ci] = len(fifo)
+                        for flit in staged:
+                            pidx = self._import_packet(flit.packet, seen)
+                            self.slot_pkt[node, ci, pos] = pidx
+                            self.slot_seq[node, ci, pos] = flit.sequence
+                            pos += 1
+                        self.nstaged[node, ci] = len(staged)
+                        self.total_flits[replica] += pos
+                        fifo.clear()
+                        staged.clear()
+                    port_route = router._route[key]
+                    if port_route is not None:
+                        self.route[node, ci] = int(port_route)
+                for port in Port:
+                    for vc in range(self.num_vcs):
+                        holder = router._output_owner[(port, vc)]
+                        if holder is not None:
+                            self.owner[node, int(port), vc] = key_index[holder]
+                    self.rr[node, int(port)] = router._rr_pointer[port]
+            for key, queue in network._injection_queues.items():
+                if not queue:
+                    continue
+                entries: deque = deque()
+                current_packet = None
+                for flit in queue:
+                    if flit.packet is not current_packet:
+                        current_packet = flit.packet
+                        pidx = self._import_packet(current_packet, seen)
+                        entries.append([current_packet, pidx, flit.sequence])
+                queue.clear()
+                self.queues[(base + key[0], key[1])] = entries
 
     def _import_packet(self, packet: Packet, seen: Dict[int, int]) -> int:
         pidx = seen.get(id(packet))
@@ -266,13 +330,30 @@ class _VectorizedKernel:
     # ------------------------------------------------------------------ #
     # Network integration
     # ------------------------------------------------------------------ #
-    def _on_topology_change(self, nodes) -> None:
-        """Rebuild the vertical-link columns of the affected routers."""
-        network = self.network
+    def _make_topology_listener(self, replica: int) -> Callable:
+        def _listener(nodes) -> None:
+            self._replica_topology_change(replica, nodes)
+
+        return _listener
+
+    def _make_occupancy_provider(self, replica: int) -> Callable[[int], int]:
+        base = replica * self.nodes_per_replica
+
+        def _provider(node: int) -> int:
+            return self._occupancy(base + node)
+
+        return _provider
+
+    def _replica_topology_change(self, replica: int, nodes) -> None:
+        """Rebuild the vertical-link columns of one replica's routers."""
+        network = self.networks[replica]
+        base = replica * self.nodes_per_replica
         for node in nodes:
             for port in VERTICAL_PORTS:
                 neighbor = network.neighbor(node, port)
-                self.nbr[node, int(port)] = -1 if neighbor is None else neighbor
+                self.nbr[base + node, int(port)] = (
+                    -1 if neighbor is None else base + neighbor
+                )
 
     def _occupancy(self, node: int) -> int:
         """Visible (committed) flits buffered in a router, for CDA."""
@@ -286,10 +367,14 @@ class _VectorizedKernel:
     # Injection
     # ------------------------------------------------------------------ #
     def create_packet(
-        self, source: int, destination: int, length: int, cycle: int
+        self, replica: int, source: int, destination: int, length: int, cycle: int
     ) -> Packet:
-        """Mirror of :meth:`Network.create_packet` minus Flit materialization."""
-        network = self.network
+        """Mirror of :meth:`Network.create_packet` minus Flit materialization.
+
+        ``source`` / ``destination`` are local node ids of ``replica``'s
+        mesh, exactly as a solo run would pass them.
+        """
+        network = self.networks[replica]
         node_z = self.routes.node_z
         vn = DESCEND_VN if node_z[destination] < node_z[source] else ASCEND_VN
         packet = Packet(
@@ -305,66 +390,75 @@ class _VectorizedKernel:
         network.policy.annotate_packet(packet, elevator)
         network.stats.record_packet_created(packet, cycle)
         pidx = self._register_packet(packet)
-        key = (source, vn)
-        entries = self.queues.get(key)
+        gkey = (replica * self.nodes_per_replica + source, vn)
+        entries = self.queues.get(gkey)
         if entries is None:
             entries = deque()
-            self.queues[key] = entries
+            self.queues[gkey] = entries
         entries.append([packet, pidx, 0])
-        network._live_queues.add(key)
+        network._live_queues.add((source, vn))
         network._in_flight += 1
         return packet
 
     def inject(self, cycle: int) -> None:
         """Drain live injection queues into the LOCAL ring buffers.
 
-        Same queue visiting order and per-flit bookkeeping effects as
+        Replicas are visited in index order, each with the same queue
+        visiting order and per-flit bookkeeping effects as
         :meth:`Network.inject`; flit counters are updated as a batch.
         """
-        network = self.network
-        live = network._live_queues
-        if not live:
-            return
-        stats = network.stats
-        phase = stats._phase
-        measurement_start = stats.measurement_start
         depth = self.depth
         head = self.head
         nfifo = self.nfifo
         nstaged = self.nstaged
         slot_pkt = self.slot_pkt
         slot_seq = self.slot_seq
-        injected = 0
+        per_replica = self.nodes_per_replica
+        gnodes: List[int] = []
+        vcs: List[int] = []
+        meta: List[Tuple[int, Tuple[int, int]]] = []
+        for replica, network in enumerate(self.networks):
+            live = network._live_queues
+            if not live:
+                continue
+            base = replica * per_replica
+            for key in sorted(live):
+                gnodes.append(base + key[0])
+                vcs.append(key[1])
+                meta.append((replica, key))
+        if not gnodes:
+            return
         # At saturation most source buffers are full, so gather every live
         # queue's free space in one batched lookup and skip the full ones
         # without touching their queue objects at all.
-        keys = sorted(live)
-        nodes = [key[0] for key in keys]
-        vcs = [key[1] for key in keys]
-        # LOCAL is port 0, so the channel index of (LOCAL, vc) is vc.
-        spaces = (depth - nfifo[nodes, vcs] - nstaged[nodes, vcs]).tolist()
-        for key, space in zip(keys, spaces):
+        spaces = (depth - nfifo[gnodes, vcs] - nstaged[gnodes, vcs]).tolist()
+        injected = [0] * self.num_replicas
+        dirty = False
+        for (replica, key), gnode, space in zip(meta, gnodes, spaces):
+            network = self.networks[replica]
             if space <= 0:
                 continue
-            entries = self.queues.get(key)
+            entries = self.queues.get((gnode, key[1]))
             if not entries:
-                live.discard(key)
+                network._live_queues.discard(key)
                 continue
-            node, vc = key
-            base = (int(head[node, vc]) + depth - space) % depth
+            measurement_start = network.stats.measurement_start
+            vc = key[1]
+            # LOCAL is port 0, so the channel index of (LOCAL, vc) is vc.
+            base_slot = (int(head[gnode, vc]) + depth - space) % depth
             staged = 0
             while entries and space > 0:
                 entry = entries[0]
                 packet, pidx, seq = entry
                 take = min(space, packet.length - seq)
                 for k in range(take):
-                    slot = (base + staged + k) % depth
-                    slot_pkt[node, vc, slot] = pidx
-                    slot_seq[node, vc, slot] = seq + k
+                    slot = (base_slot + staged + k) % depth
+                    slot_pkt[gnode, vc, slot] = pidx
+                    slot_seq[gnode, vc, slot] = seq + k
                 if seq == 0 and packet.injection_cycle is None:
                     packet.injection_cycle = cycle
                 if packet.creation_cycle >= measurement_start:
-                    injected += take
+                    injected[replica] += take
                 staged += take
                 space -= take
                 seq += take
@@ -373,20 +467,34 @@ class _VectorizedKernel:
                 else:
                     entry[2] = seq
             if staged:
-                nstaged[node, vc] += staged
-                self.total_flits += staged
-                network._active_routers.add(node)
+                nstaged[gnode, vc] += staged
+                self.total_flits[replica] += staged
+                self._touched[gnode] = True
+                dirty = True
             if not entries:
-                live.discard(key)
-        if injected:
-            stats.flits_injected += injected
-            if phase is not None:
-                phase.flits_injected += injected
+                network._live_queues.discard(key)
+        for replica, count in enumerate(injected):
+            if count:
+                stats = self.networks[replica].stats
+                stats.flits_injected += count
+                phase = stats._phase
+                if phase is not None:
+                    phase.flits_injected += count
+        if dirty:
             self._occ_cache = None
 
+    def replica_idle(self, replica: int) -> bool:
+        """Whether one replica is drained -- O(1) via its flit counter."""
+        return (
+            not self.networks[replica]._live_queues
+            and self.total_flits[replica] == 0
+        )
+
     def idle(self) -> bool:
-        """Whether the network is drained -- O(1) via the flit counters."""
-        return not self.network._live_queues and self.total_flits == 0
+        """Whether every replica is drained."""
+        return all(
+            self.replica_idle(replica) for replica in range(self.num_replicas)
+        )
 
     # ------------------------------------------------------------------ #
     # Route computation (shared by both modes)
@@ -432,8 +540,6 @@ class _VectorizedKernel:
     def step(self, cycle: int) -> None:
         """One cycle: batched route, snapshot allocation, batched commit."""
         self._compute_routes()
-        network = self.network
-        stats = network.stats
         head = self.head
         nfifo = self.nfifo
         nstaged = self.nstaged
@@ -468,7 +574,6 @@ class _VectorizedKernel:
             if eligible.any():
                 self._commit_winners(
                     cycle,
-                    stats,
                     nodes,
                     channels,
                     pkt,
@@ -490,7 +595,6 @@ class _VectorizedKernel:
     def _commit_winners(
         self,
         cycle: int,
-        stats,
         nodes,
         channels,
         pkt,
@@ -502,7 +606,14 @@ class _VectorizedKernel:
         down_ch,
         eligible,
     ) -> None:
-        """Pick each (router, output port) round-robin winner and commit."""
+        """Pick each (router, output port) round-robin winner and commit.
+
+        Allocation groups are keyed by *global* node id, so winners never
+        mix replicas and the within-replica winner order (ascending local
+        node id) matches a solo run's -- which is what keeps per-replica
+        delivery order, and therefore latency-reservoir sampling,
+        bit-identical to solo execution.
+        """
         idx = np.nonzero(eligible)[0]
         group = nodes[idx] * _NUM_PORTS + out_port[idx]
         rr_key = (channels[idx] - self.rr[nodes[idx], out_port[idx]]) % (
@@ -523,6 +634,11 @@ class _VectorizedKernel:
         w_head = is_head[win]
         w_tail = w_seq == (self.p_len[w_pkt] - 1)
 
+        per_replica = self.nodes_per_replica
+        num_replicas = self.num_replicas
+        networks = self.networks
+        w_rep = w_node // per_replica
+
         # Pop the winners and advance the round-robin pointers.  All
         # scatter targets are unique: one winner per input channel, one
         # per (router, output port) group, and -- because opposite ports
@@ -541,23 +657,25 @@ class _VectorizedKernel:
             self.route[w_node[w_tail], w_chan[w_tail]] = -1
         self._occ_cache = None
 
-        measured = cycle >= stats.measurement_start
-        phase = stats._phase
-        num_winners = len(win)
+        measurement_start = networks[0].stats.measurement_start
+        measured = cycle >= measurement_start
         if measured:
             np.add.at(self.rt_acc, w_node, 1)
-            if phase is not None:
-                phase.router_traversals += num_winners
+            rep_counts = np.bincount(w_rep, minlength=num_replicas)
+            for replica in np.nonzero(rep_counts)[0].tolist():
+                phase = networks[replica].stats._phase
+                if phase is not None:
+                    phase.router_traversals += int(rep_counts[replica])
 
         # Source-side bookkeeping (AdEle's local latency estimate): flits
         # leaving their source router's LOCAL input port.
         packets = self.packets
-        policy = self.network.policy
         from_local = w_chan < self.num_vcs
         if from_local.any():
             for j in np.nonzero(from_local)[0]:
                 packet = packets[w_pkt[j]]
-                if w_node[j] != packet.source:
+                replica = int(w_rep[j])
+                if w_node[j] - replica * per_replica != packet.source:
                     continue
                 if w_head[j]:
                     packet.head_exit_cycle = cycle
@@ -565,7 +683,7 @@ class _VectorizedKernel:
                     packet.tail_exit_cycle = cycle
                     metric = packet.source_serialization_latency()
                     if metric is not None and packet.elevator_index is not None:
-                        policy.notify_source_latency(
+                        networks[replica].policy.notify_source_latency(
                             packet.source, packet.elevator_index, metric, cycle
                         )
 
@@ -574,13 +692,23 @@ class _VectorizedKernel:
         if forwarded.any():
             vertical = (w_port == _UP) | (w_port == _DOWN)
             if measured:
-                vertical_count = int((forwarded & vertical).sum())
-                horizontal_count = int(forwarded.sum()) - vertical_count
-                stats.vertical_link_traversals += vertical_count
-                stats.horizontal_link_traversals += horizontal_count
-                if phase is not None:
-                    phase.vertical_link_traversals += vertical_count
-                    phase.horizontal_link_traversals += horizontal_count
+                vert_mask = forwarded & vertical
+                fwd_counts = np.bincount(
+                    w_rep[forwarded], minlength=num_replicas
+                )
+                vert_counts = np.bincount(
+                    w_rep[vert_mask], minlength=num_replicas
+                )
+                for replica in np.nonzero(fwd_counts)[0].tolist():
+                    stats = networks[replica].stats
+                    vertical_count = int(vert_counts[replica])
+                    horizontal_count = int(fwd_counts[replica]) - vertical_count
+                    stats.vertical_link_traversals += vertical_count
+                    stats.horizontal_link_traversals += horizontal_count
+                    phase = stats._phase
+                    if phase is not None:
+                        phase.vertical_link_traversals += vertical_count
+                        phase.horizontal_link_traversals += horizontal_count
             head_hops = forwarded & w_head
             if head_hops.any():
                 for j in np.nonzero(head_hops)[0]:
@@ -599,27 +727,37 @@ class _VectorizedKernel:
             self.slot_pkt[dest_node, dest_chan, slot] = w_pkt[fwd]
             self.slot_seq[dest_node, dest_chan, slot] = w_seq[fwd]
             self.nstaged[dest_node, dest_chan] += 1
-            self.network._active_routers.update(dest_node.tolist())
+            self._touched[dest_node] = True
 
         if is_local.any():
             ejected = np.nonzero(is_local)[0]
-            delivered = int(
-                (self.p_creation[w_pkt[ejected]] >= stats.measurement_start).sum()
+            eject_rep = w_rep[ejected]
+            delivered_mask = (
+                self.p_creation[w_pkt[ejected]] >= measurement_start
             )
-            if delivered:
-                stats.flits_delivered += delivered
-                if phase is not None:
-                    phase.flits_delivered += delivered
-            self.total_flits -= len(ejected)
-            # Tail ejections finish packets; winners are sorted by router
-            # id, matching the sequential kernels' delivery order.
+            if delivered_mask.any():
+                del_counts = np.bincount(
+                    eject_rep[delivered_mask], minlength=num_replicas
+                )
+                for replica in np.nonzero(del_counts)[0].tolist():
+                    stats = networks[replica].stats
+                    delivered = int(del_counts[replica])
+                    stats.flits_delivered += delivered
+                    phase = stats._phase
+                    if phase is not None:
+                        phase.flits_delivered += delivered
+            self.total_flits -= np.bincount(eject_rep, minlength=num_replicas)
+            # Tail ejections finish packets; winners are sorted by global
+            # router id, so within each replica the delivery order matches
+            # the sequential kernels' (and a solo run's).
             for j in ejected:
                 if not w_tail[j]:
                     continue
                 packet = packets[w_pkt[j]]
+                network = networks[int(w_rep[j])]
                 packet.delivery_cycle = cycle
-                stats.record_packet_delivered(packet, cycle)
-                self.network._in_flight -= 1
+                network.stats.record_packet_delivered(packet, cycle)
+                network._in_flight -= 1
 
     # ------------------------------------------------------------------ #
     # Bit-exact mode: sequential allocation over the numpy state
@@ -627,8 +765,6 @@ class _VectorizedKernel:
     def step_exact(self, cycle: int) -> None:
         """One cycle with the reference allocation discipline (live credits)."""
         self._compute_routes()
-        network = self.network
-        stats = network.stats
         head = self.head
         nfifo = self.nfifo
         nstaged = self.nstaged
@@ -638,17 +774,23 @@ class _VectorizedKernel:
         depth = self.depth
         num_vcs = self.num_vcs
         num_channels = self.num_channels
+        per_replica = self.nodes_per_replica
         p_vn = self.p_vn
         p_len = self.p_len
         opp_base = self.opp_base
         packets = self.packets
-        measurement_start = stats.measurement_start
+        networks = self.networks
+        measurement_start = networks[0].stats.measurement_start
         measured = cycle >= measurement_start
-        policy = network.policy
 
         candidate_mask = (route >= 0) & (nfifo > 0)
         active = np.nonzero(candidate_mask.any(axis=1))[0]
         for node in active.tolist():
+            replica = node // per_replica
+            local = node - replica * per_replica
+            network = networks[replica]
+            stats = network.stats
+            policy = network.policy
             requests: Dict[int, List[int]] = {}
             for ci in np.nonzero(candidate_mask[node])[0].tolist():
                 requests.setdefault(int(route[node, ci]), []).append(ci)
@@ -707,7 +849,7 @@ class _VectorizedKernel:
                     phase = stats._phase
                     if phase is not None:
                         phase.router_traversals += 1
-                if node == packet.source and winner < num_vcs:
+                if local == packet.source and winner < num_vcs:
                     if is_head:
                         packet.head_exit_cycle = cycle
                     if is_tail:
@@ -723,7 +865,7 @@ class _VectorizedKernel:
                         packet.delivery_cycle = cycle
                         stats.record_packet_delivered(packet, cycle)
                         network._in_flight -= 1
-                    self.total_flits -= 1
+                    self.total_flits[replica] -= 1
                 else:
                     vertical = out_port in (_UP, _DOWN)
                     stats.record_link_traversal(vertical, packet, cycle)
@@ -739,7 +881,7 @@ class _VectorizedKernel:
                     slot_pkt[down_node, down_chan, slot] = pidx
                     slot_seq[down_node, down_chan, slot] = seq
                     nstaged[down_node, down_chan] += 1
-                    network._active_routers.add(down_node)
+                    self._touched[down_node] = True
 
         if nstaged.any():
             nfifo += nstaged
@@ -763,24 +905,29 @@ class _VectorizedKernel:
     def sync_back(self) -> None:
         """Rematerialize Flit objects and Router allocation state.
 
-        Run once when a simulation finishes (or aborts): restores the
-        invariant that the FlitBuffers, injection queues and the routers'
-        ``_route`` / ``_output_owner`` / ``_rr_pointer`` dicts describe the
-        network's true state, so a network left mid-wormhole (e.g. after a
-        saturated run) can be inspected, reset, or run again with any
-        backend and behave exactly as under the reference kernel.
+        Run once when a simulation finishes (or aborts): restores, for
+        every replica, the invariant that the FlitBuffers, injection queues
+        and the routers' ``_route`` / ``_output_owner`` / ``_rr_pointer``
+        dicts describe the network's true state, so a network left
+        mid-wormhole (e.g. after a saturated run) can be inspected, reset,
+        or run again with any backend and behave exactly as under the
+        reference kernel.
         """
-        network = self.network
         packets = self.packets
         channel_keys = self.channel_keys
         num_vcs = self.num_vcs
+        per_replica = self.nodes_per_replica
+        networks = self.networks
         head = self.head
         nfifo = self.nfifo
         nstaged = self.nstaged
         depth = self.depth
         occupied = np.nonzero((nfifo + nstaged) > 0)
         for node, ci in zip(occupied[0].tolist(), occupied[1].tolist()):
-            buf = network.routers[node].input_buffers[channel_keys[ci]]
+            network = networks[node // per_replica]
+            buf = network.routers[node % per_replica].input_buffers[
+                channel_keys[ci]
+            ]
             base = int(head[node, ci])
             visible = int(nfifo[node, ci])
             for k in range(visible + int(nstaged[node, ci])):
@@ -801,10 +948,11 @@ class _VectorizedKernel:
         body_type = FlitType.BODY
         tail_type = FlitType.TAIL
         head_tail_type = FlitType.HEAD_TAIL
-        for key, entries in self.queues.items():
+        for (gnode, vn), entries in self.queues.items():
             if not entries:
                 continue
-            append = network._injection_queues[key].append
+            network = networks[gnode // per_replica]
+            append = network._injection_queues[(gnode % per_replica, vn)].append
             for packet, _pidx, next_seq in entries:
                 length = packet.length
                 last = length - 1
@@ -819,33 +967,45 @@ class _VectorizedKernel:
                     else:
                         flit.flit_type = body_type
                     append(flit)
-        for node, router in enumerate(network.routers):
-            route_row = self.route[node]
-            for ci, key in enumerate(channel_keys):
-                value = int(route_row[ci])
-                router._route[key] = None if value < 0 else Port(value)
-            for port in Port:
-                for vc in range(num_vcs):
-                    holder = int(self.owner[node, int(port), vc])
-                    router._output_owner[(port, vc)] = (
-                        None if holder < 0 else channel_keys[holder]
-                    )
-                router._rr_pointer[port] = int(self.rr[node, int(port)])
-        network._active_routers.update(
-            np.nonzero((nfifo + nstaged).sum(axis=1) > 0)[0].tolist()
-        )
-        # Fold the batched per-node traversal counts into the stats dict.
-        stats = network.stats
+        for replica, network in enumerate(networks):
+            base = replica * per_replica
+            for local, router in enumerate(network.routers):
+                node = base + local
+                route_row = self.route[node]
+                for ci, key in enumerate(channel_keys):
+                    value = int(route_row[ci])
+                    router._route[key] = None if value < 0 else Port(value)
+                for port in Port:
+                    for vc in range(num_vcs):
+                        holder = int(self.owner[node, int(port), vc])
+                        router._output_owner[(port, vc)] = (
+                            None if holder < 0 else channel_keys[holder]
+                        )
+                    router._rr_pointer[port] = int(self.rr[node, int(port)])
+        # Fold the run's staged-into set and the end-state occupancy into
+        # each network's over-approximating active set (identical to the
+        # set a solo run accumulates incrementally).
+        busy = np.nonzero(
+            ((nfifo + nstaged).sum(axis=1) > 0) | self._touched
+        )[0]
+        for node in busy.tolist():
+            networks[node // per_replica]._active_routers.add(
+                node % per_replica
+            )
+        # Fold the batched per-node traversal counts into the stats dicts.
         for node in np.nonzero(self.rt_acc)[0].tolist():
-            stats.router_traversals[node] = (
-                stats.router_traversals.get(node, 0) + int(self.rt_acc[node])
+            stats = networks[node // per_replica].stats
+            local = node % per_replica
+            stats.router_traversals[local] = (
+                stats.router_traversals.get(local, 0) + int(self.rt_acc[node])
             )
         self.rt_acc.fill(0)
 
     def close(self) -> None:
-        """Detach from the network (end of run)."""
-        self.network.set_occupancy_provider(None)
-        self.network.remove_topology_listener(self._on_topology_change)
+        """Detach from every replica's network (end of run)."""
+        for network, listener in zip(self.networks, self._listeners):
+            network.set_occupancy_provider(None)
+            network.remove_topology_listener(listener)
 
 
 @register_backend(
@@ -873,7 +1033,7 @@ class VectorizedBackend(SimulatorBackend):
         measurement_cycles: int,
         drain_cycles: int,
     ) -> int:
-        kernel = _VectorizedKernel(network, bit_exact=self.bit_exact)
+        kernel = _VectorizedKernel([network], bit_exact=self.bit_exact)
         step = kernel.step_exact if self.bit_exact else kernel.step
         inject = kernel.inject
         create_packet = kernel.create_packet
@@ -885,7 +1045,8 @@ class VectorizedBackend(SimulatorBackend):
             for cycle in range(injection_end):
                 for request in packet_source.requests(cycle):
                     create_packet(
-                        request.source, request.destination, request.length, cycle
+                        0, request.source, request.destination, request.length,
+                        cycle,
                     )
                 inject(cycle)
                 step(cycle)

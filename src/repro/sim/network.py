@@ -40,6 +40,11 @@ class Network:
         num_vcs: Virtual channels per port (2 = Elevator-First discipline).
         buffer_depth: Input buffer depth in flits (Table I: 4).
         stats: Optional pre-built statistics collector.
+        route_computation: Optional prebuilt route tables to share.  The
+            tables are immutable and depend only on the mesh shape, so warm
+            workers and replica groups pass one object to every network of
+            the same mesh instead of recomputing it per construction; the
+            mesh must match this network's.
     """
 
     def __init__(
@@ -49,6 +54,7 @@ class Network:
         num_vcs: int = 2,
         buffer_depth: int = 4,
         stats: Optional[SimulationStats] = None,
+        route_computation: Optional[RouteComputation] = None,
     ) -> None:
         if num_vcs < 2:
             raise ValueError(
@@ -60,7 +66,15 @@ class Network:
         self.num_vcs = num_vcs
         self.buffer_depth = buffer_depth
         self.stats = stats if stats is not None else SimulationStats()
-        self._route_computation = RouteComputation(self.mesh)
+        if route_computation is not None:
+            if route_computation.mesh.shape != self.mesh.shape:
+                raise ValueError(
+                    "shared route tables were built for mesh "
+                    f"{route_computation.mesh.shape}, not {self.mesh.shape}"
+                )
+            self._route_computation = route_computation
+        else:
+            self._route_computation = RouteComputation(self.mesh)
 
         self.routers: List[Router] = []
         for node in self.mesh.nodes():

@@ -52,10 +52,14 @@ except ImportError:  # pragma: no cover - numpy-less installs
     VectorizedBackend = None
     HAVE_VECTORIZED = False
 
-#: Backends under the bit-identity contract (vectorized via bit_exact mode).
+#: Backends under the bit-identity contract (the numpy kernels via their
+#: bit_exact mode; ``batched`` with one replica IS the vectorized path).
 ALL_BACKENDS = ["reference", "optimized"] + (
-    ["vectorized"] if HAVE_VECTORIZED else []
+    ["vectorized", "batched"] if HAVE_VECTORIZED else []
 )
+
+#: Kernels whose bit-identity membership requires the bit_exact flag.
+BIT_EXACT_BACKENDS = frozenset({"vectorized", "batched"})
 
 requires_vectorized = pytest.mark.skipif(
     not HAVE_VECTORIZED, reason="numpy (and the vectorized kernel) unavailable"
@@ -80,7 +84,7 @@ def _spec(backend: str, **overrides) -> ExperimentSpec:
             backend=backend,
             # The equivalence matrix runs the vectorized kernel in its
             # bit-exact mode; the other kernels ignore the flag.
-            bit_exact=(backend == "vectorized"),
+            bit_exact=(backend in BIT_EXACT_BACKENDS),
         ),
     )
     return spec.with_(**overrides) if overrides else spec
@@ -112,7 +116,7 @@ class TestRegistry:
         assert "optimized" in BACKEND_REGISTRY
         expected = ["optimized", "reference"]
         if HAVE_VECTORIZED:
-            expected.append("vectorized")
+            expected = ["batched", "optimized", "reference", "vectorized"]
         assert available_backends() == expected
 
     @requires_vectorized
@@ -121,6 +125,17 @@ class TestRegistry:
         assert isinstance(resolve_backend("numpy"), VectorizedBackend)
         assert isinstance(resolve_backend("flat-array"), VectorizedBackend)
         assert resolve_backend("vectorized").bit_exact is False
+
+    @requires_vectorized
+    def test_batched_aliases_resolve(self):
+        from repro.sim.backends.batched import BatchedBackend
+
+        assert isinstance(resolve_backend("batched"), BatchedBackend)
+        assert isinstance(resolve_backend("replica"), BatchedBackend)
+        assert isinstance(resolve_backend("multi-seed"), BatchedBackend)
+        # BatchedBackend subclasses VectorizedBackend: a solo spec routed
+        # through "batched" takes the identical single-replica kernel path.
+        assert isinstance(resolve_backend("batched"), VectorizedBackend)
 
     def test_default_is_optimized(self):
         assert DEFAULT_BACKEND == "optimized"
@@ -238,7 +253,7 @@ class TestCrossBackendEquivalence:
             network = Network(placement, make_policy("elevator_first", placement))
             sim = Simulator(
                 network, TracePacketSource(trace), 5, 40, 100,
-                backend=backend, bit_exact=(backend == "vectorized"),
+                backend=backend, bit_exact=(backend in BIT_EXACT_BACKENDS),
             )
             results.append(sim.run())
         for other in results[1:]:
@@ -259,7 +274,7 @@ class TestCrossBackendEquivalence:
             )
             sim = Simulator(
                 network, source, 10, 80, 30,
-                backend=backend, bit_exact=(backend == "vectorized"),
+                backend=backend, bit_exact=(backend in BIT_EXACT_BACKENDS),
             )
             first = sim.run()
             assert first.drain_cycles_used == 30  # saturated: drain exhausted
@@ -279,7 +294,7 @@ class TestCrossBackendEquivalence:
         ref = run_experiment(spec)
         for backend in ALL_BACKENDS[1:]:
             other = run_experiment(
-                spec.with_(backend=backend, bit_exact=(backend == "vectorized"))
+                spec.with_(backend=backend, bit_exact=(backend in BIT_EXACT_BACKENDS))
             )
             assert ref.summary() == other.summary(), backend
             assert _full_stats_fields(ref.stats) == (
@@ -344,7 +359,7 @@ class TestHypothesisEquivalence:
         ref = run_experiment(spec)
         for backend in ALL_BACKENDS[1:]:
             other = run_experiment(
-                spec.with_(backend=backend, bit_exact=(backend == "vectorized"))
+                spec.with_(backend=backend, bit_exact=(backend in BIT_EXACT_BACKENDS))
             )
             assert ref.summary() == other.summary(), backend
             assert ref.drain_cycles_used == other.drain_cycles_used, backend

@@ -108,8 +108,32 @@ class TestJsonOutput:
         first = _capture_json(capsys)
         assert main(args) == 0
         second = _capture_json(capsys)
-        assert first["engine"] == {"executed": 1, "cached": 0, "workers": 1}
-        assert second["engine"] == {"executed": 0, "cached": 1, "workers": 1}
+        # The engine block shape is pinned: counters plus the observability
+        # timings/memo counts that ride along in every document (the timing
+        # floats themselves are nondeterministic, so only their type is).
+        expected_keys = {
+            "executed", "cached", "workers",
+            "setup_s", "kernel_s", "memo_hits", "memo_misses",
+        }
+        for engine, executed, cached in (
+            (first["engine"], 1, 0), (second["engine"], 0, 1),
+        ):
+            assert set(engine) == expected_keys
+            assert engine["executed"] == executed
+            assert engine["cached"] == cached
+            assert engine["workers"] == 1
+            assert isinstance(engine["setup_s"], float)
+            assert isinstance(engine["kernel_s"], float)
+            assert isinstance(engine["memo_hits"], int)
+            assert isinstance(engine["memo_misses"], int)
+        # One executed task means exactly one setup-memo lookup; whether it
+        # hits depends on what earlier tests warmed in this process.
+        first_memo = first["engine"]["memo_hits"] + first["engine"]["memo_misses"]
+        assert first_memo >= 1
+        assert second["engine"] == {
+            **second["engine"], "setup_s": 0.0, "kernel_s": 0.0,
+            "memo_hits": 0, "memo_misses": 0,
+        }
         assert first["policies"] == second["policies"]
 
 
