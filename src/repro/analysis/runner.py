@@ -665,12 +665,18 @@ def run_experiment(
     config: Union[ExperimentSpec, ExperimentConfig],
     energy_model: Optional[EnergyModel] = None,
     network: Optional[Network] = None,
+    probe=None,
 ) -> SimulationResult:
     """Run one configuration end to end and return its result.
 
     A prewarmed ``network`` (e.g. from the worker memo) is reused via
     :meth:`~repro.sim.network.Network.reset`; its placement is taken as-is
     instead of resolving the spec's placement again.
+
+    ``probe`` is an optional :class:`~repro.obs.probes.ProbeSpec` -- a
+    *run argument*, deliberately not a spec field: it threads to the
+    kernel like ``bit_exact``, fills ``result.probe``, and never enters
+    cache keys, derived seeds or summaries (see :mod:`repro.obs`).
     """
     spec = as_spec(config)
     placement = (
@@ -694,5 +700,6 @@ def run_experiment(
         scenario=spec.scenario,
         scenario_seed=spec.sim.seed,
         bit_exact=spec.sim.bit_exact,
+        probe=probe,
     )
     return simulator.run()

@@ -21,6 +21,14 @@
   :func:`results` talk to a ``python -m repro serve`` daemon
   (:mod:`repro.service`): a durable SQLite-backed job queue whose workers
   produce results bit-identical to direct :func:`run_specs` calls.
+* **Observability** -- :mod:`repro.obs` re-exports: install a
+  :class:`~repro.obs.tracing.Tracer` to record spans over the hot
+  boundaries, read a :class:`~repro.obs.metrics.MetricsRegistry` of
+  engine counters (the ``GET /metrics`` source), and attach a
+  :class:`~repro.obs.probes.ProbeSpec` to :func:`run` / :func:`run_specs`
+  to sample per-cycle congestion gauges.  None of it perturbs results:
+  probes and tracers are run arguments, never spec fields, and
+  instrumented runs are bit-identical to uninstrumented ones.
 
 Quickstart::
 
@@ -93,6 +101,27 @@ from repro.exec.cache import (
     structural_key,
 )
 from repro.exec.shard import ShardSpec, parse_shard, shard_of
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.probes import PROBE_CHANNELS, ProbeSeries, ProbeSpec
+from repro.obs.tracing import (
+    JsonlRecorder,
+    RingRecorder,
+    SpanRecord,
+    Tracer,
+    chrome_trace_document,
+    current_tracer,
+    install_tracer,
+    load_span_records,
+    span,
+    trace_report,
+    uninstall_tracer,
+)
 from repro.exec.designs import (
     DesignBatch,
     DesignOutcome,
@@ -204,9 +233,16 @@ def run_design(
 def run(
     spec: Union[ExperimentSpec, ExperimentConfig],
     energy_model: Optional[EnergyModel] = None,
+    probe: Optional[ProbeSpec] = None,
 ) -> SimulationResult:
-    """Run one experiment spec end to end and return its full result."""
-    return run_experiment(as_spec(spec), energy_model=energy_model)
+    """Run one experiment spec end to end and return its full result.
+
+    ``probe`` attaches an opt-in kernel probe; the sampled
+    :class:`~repro.obs.probes.ProbeSeries` lands on ``result.probe``
+    while every number in the result stays bit-identical to an unprobed
+    run (the probe is a run argument, never part of the spec).
+    """
+    return run_experiment(as_spec(spec), energy_model=energy_model, probe=probe)
 
 
 def run_scenario(
@@ -253,6 +289,8 @@ def run_specs(
     shard: Optional[ShardSpec] = None,
     chunk_size: Optional[int] = None,
     replica_batch: Optional[int] = None,
+    probe: Optional[ProbeSpec] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[ExperimentOutcome]:
     """Run a grid of specs through the parallel batch engine.
 
@@ -282,6 +320,13 @@ def run_specs(
             most this many, each run as one batched kernel pass; results
             and cache bytes are unchanged, only wall-clock is.  See
             :class:`~repro.exec.batch.ExperimentBatch`.
+        probe: Optional kernel probe attached to every *executed* task;
+            the sampled series land in the batch's ``last_probes`` (keyed
+            by cache key) and never enter cache keys, derived seeds or
+            cached summary rows.
+        metrics: Optional cumulative registry absorbing the engine's
+            counters/timing histograms across calls (a fresh per-batch
+            registry is used otherwise).
 
     Returns:
         One :class:`~repro.exec.batch.ExperimentOutcome` per spec, in input
@@ -300,6 +345,8 @@ def run_specs(
         chunk_size=chunk_size,
         manifest_dir=cache_dir,
         replica_batch=replica_batch,
+        probe=probe,
+        metrics=metrics,
     )
     return batch.run()
 
@@ -486,4 +533,24 @@ __all__ = [
     "submit",
     "wait",
     "results",
+    # observability (repro.obs)
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "PROBE_CHANNELS",
+    "ProbeSeries",
+    "ProbeSpec",
+    "JsonlRecorder",
+    "RingRecorder",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace_document",
+    "current_tracer",
+    "install_tracer",
+    "load_span_records",
+    "span",
+    "trace_report",
+    "uninstall_tracer",
 ]

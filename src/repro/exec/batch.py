@@ -97,6 +97,9 @@ from repro.exec.cache import (
     structural_key,
 )
 from repro.exec.shard import ShardSpec
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.probes import ProbeSpec
+from repro.obs.tracing import span
 from repro.registry import UnknownComponentError
 from repro.routing.adele import AdElePolicy, AdEleRoundRobinPolicy
 from repro.routing.base import RouteComputation
@@ -150,6 +153,7 @@ class _Task:
     subsets: Optional[Dict[int, Tuple[int, ...]]] = None
     energy_model: Optional[EnergyModel] = None
     plugins: Tuple[str, ...] = ()
+    probe: Optional[ProbeSpec] = None
 
 
 @dataclass(frozen=True)
@@ -352,7 +356,9 @@ def _execute_task_timed(
     The returned ``meta`` dictionary carries ``setup_s`` (placement /
     policy / network construction, memo traffic included), ``kernel_s``
     (the simulation itself) and the task's ``memo_hits`` /
-    ``memo_misses``.
+    ``memo_misses``.  A probed run additionally carries its
+    :class:`~repro.obs.probes.ProbeSeries` under ``"probe"`` -- meta rides
+    *next to* the summary, so probing never touches cached bytes.
     """
     for module in task.plugins:
         importlib.import_module(module)
@@ -360,33 +366,40 @@ def _execute_task_timed(
     hits = 0
     misses = 0
     setup_start = time.perf_counter()
-    memo_key = _network_memo_key(spec, task.subsets)
-    network = _memo_acquire_network(memo_key)
-    if network is not None:
-        hits += 1
-    else:
-        misses += 1
-        network, routes_hit = _build_task_network(task)
-        if routes_hit:
+    with span("setup.network", key=task.key[:12]):
+        memo_key = _network_memo_key(spec, task.subsets)
+        network = _memo_acquire_network(memo_key)
+        if network is not None:
             hits += 1
         else:
             misses += 1
+            network, routes_hit = _build_task_network(task)
+            if routes_hit:
+                hits += 1
+            else:
+                misses += 1
     setup_s = time.perf_counter() - setup_start
     kernel_start = time.perf_counter()
     try:
-        result = run_experiment(
-            spec, energy_model=task.energy_model, network=network
-        )
+        with span("kernel.run", backend=spec.sim.backend, key=task.key[:12]):
+            result = run_experiment(
+                spec,
+                energy_model=task.energy_model,
+                network=network,
+                probe=task.probe,
+            )
     finally:
         # Return the network even after a failed run: reset() restores it.
         _memo_release_network(memo_key, network)
     kernel_s = time.perf_counter() - kernel_start
-    meta = {
+    meta: Dict[str, Any] = {
         "setup_s": setup_s,
         "kernel_s": kernel_s,
         "memo_hits": hits,
         "memo_misses": misses,
     }
+    if result.probe is not None:
+        meta["probe"] = result.probe
     return task.key, result.summary(), meta
 
 
@@ -407,51 +420,56 @@ def _execute_group(
     hits = 0
     misses = 0
     setup_start = time.perf_counter()
-    replicas = []
-    for task in group.tasks:
-        for module in task.plugins:
-            importlib.import_module(module)
-        spec = task.spec
-        network, routes_hit = _build_task_network(task)
-        if routes_hit:
-            hits += 1
-        else:
-            misses += 1
-        source = build_packet_source(spec, network.placement)
-        replicas.append(
-            ReplicaRun(
-                network=network,
-                packet_source=source,
-                scenario=spec.scenario,
-                scenario_seed=spec.sim.seed,
-                energy_model=(
-                    task.energy_model
-                    if task.energy_model is not None
-                    else _DEFAULT_ENERGY_MODEL
-                ),
+    with span("setup.network", replicas=len(group.tasks)):
+        replicas = []
+        for task in group.tasks:
+            for module in task.plugins:
+                importlib.import_module(module)
+            spec = task.spec
+            network, routes_hit = _build_task_network(task)
+            if routes_hit:
+                hits += 1
+            else:
+                misses += 1
+            source = build_packet_source(spec, network.placement)
+            replicas.append(
+                ReplicaRun(
+                    network=network,
+                    packet_source=source,
+                    scenario=spec.scenario,
+                    scenario_seed=spec.sim.seed,
+                    energy_model=(
+                        task.energy_model
+                        if task.energy_model is not None
+                        else _DEFAULT_ENERGY_MODEL
+                    ),
+                )
             )
-        )
     setup_s = time.perf_counter() - setup_start
     sim = group.tasks[0].spec.sim
     kernel_start = time.perf_counter()
-    results = run_replica_group(
-        replicas,
-        warmup_cycles=sim.warmup_cycles,
-        measurement_cycles=sim.measurement_cycles,
-        drain_cycles=sim.drain_cycles,
-        bit_exact=sim.bit_exact,
-    )
+    with span("group.run", replicas=len(group.tasks)):
+        results = run_replica_group(
+            replicas,
+            warmup_cycles=sim.warmup_cycles,
+            measurement_cycles=sim.measurement_cycles,
+            drain_cycles=sim.drain_cycles,
+            bit_exact=sim.bit_exact,
+            probe=group.tasks[0].probe,
+        )
     kernel_s = time.perf_counter() - kernel_start
     share = len(group.tasks)
     rows = []
     for task, result in zip(group.tasks, results):
-        meta = {
+        meta: Dict[str, Any] = {
             "setup_s": setup_s / share,
             "kernel_s": kernel_s / share,
             "memo_hits": hits if task is group.tasks[0] else 0,
             "memo_misses": misses if task is group.tasks[0] else 0,
             "replicas": share,
         }
+        if result.probe is not None:
+            meta["probe"] = result.probe
         rows.append((task.key, result.summary(), meta))
     return rows
 
@@ -512,6 +530,19 @@ class ExperimentBatch:
             many, each executed as one batched kernel pass (see the module
             docstring).  Results and cache bytes are unchanged; only
             wall-clock is.  ``None``/1 keeps solo execution.
+        probe: Optional :class:`~repro.obs.probes.ProbeSpec` attached to
+            every *executed* task (cache hits skip simulation, so they
+            yield no series).  A run argument, never a spec field: it does
+            not enter cache keys, derived seeds or summary rows, and the
+            sampled series land in :attr:`last_probes` keyed by config
+            key.  See :mod:`repro.obs` for the never-perturbs invariant.
+        metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry` the
+            batch records into (task/chunk counters, setup/kernel latency
+            histograms, memo traffic).  Defaults to a private registry;
+            pass a shared one to aggregate across batches (the experiment
+            service does, feeding ``GET /metrics``).  The per-run
+            ``last_*`` attributes remain the per-``run()`` view; the
+            registry is the cumulative one.
     """
 
     def __init__(
@@ -527,6 +558,8 @@ class ExperimentBatch:
         chunk_size: Optional[int] = None,
         manifest_dir: Optional[str] = None,
         replica_batch: Optional[int] = None,
+        probe: Optional[ProbeSpec] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.specs: List[ExperimentSpec] = [as_spec(config) for config in configs]
         if workers < 1:
@@ -545,6 +578,11 @@ class ExperimentBatch:
         self.chunk_size = chunk_size
         self.manifest_dir = manifest_dir
         self.replica_batch = replica_batch
+        self.probe = probe
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Probe series sampled by the last ``run()``, keyed by config key
+        #: (empty unless a ``probe`` was attached; cache hits never appear).
+        self.last_probes: Dict[str, Any] = {}
         #: Number of simulations actually executed by the last ``run()``.
         self.last_executed = 0
         #: Number of outcomes served from cache by the last ``run()``.
@@ -617,6 +655,7 @@ class ExperimentBatch:
             subsets=subsets,
             energy_model=self.energy_model,
             plugins=self.plugins,
+            probe=self.probe,
         )
 
     # ------------------------------------------------------------------ #
@@ -749,8 +788,19 @@ class ExperimentBatch:
         self.last_kernel_s = 0.0
         self.last_memo_hits = 0
         self.last_memo_misses = 0
+        self.last_probes = {}
         if not pending:
             return
+        setup_hist = self.metrics.histogram(
+            "repro_task_setup_seconds",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+            help="Per-task setup time (placement/policy/network build).",
+        )
+        kernel_hist = self.metrics.histogram(
+            "repro_task_kernel_seconds",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+            help="Per-task simulation kernel time.",
+        )
         tasks = list(pending.values())
         chunk = self.chunk_size if self.chunk_size is not None else len(tasks)
         manifest_path = (
@@ -781,6 +831,10 @@ class ExperimentBatch:
                         self.last_kernel_s += meta["kernel_s"]
                         self.last_memo_hits += meta["memo_hits"]
                         self.last_memo_misses += meta["memo_misses"]
+                        setup_hist.observe(meta["setup_s"])
+                        kernel_hist.observe(meta["kernel_s"])
+                        if "probe" in meta:
+                            self.last_probes[key] = meta["probe"]
                 # Emit in the chunk's original task order regardless of
                 # grouping, so cache flush order -- and therefore stream
                 # emission order -- is identical with and without it.
@@ -788,11 +842,12 @@ class ExperimentBatch:
                     (task.key, rows_by_key[task.key]) for task in chunk_tasks
                 ]
                 self.last_peak_rows = max(self.last_peak_rows, len(finished))
-                for key, summary in finished:
-                    self.result_cache.put(
-                        key, canonical_config(pending[key].spec), summary
-                    )
-                    on_result(key, summary)
+                with span("chunk.flush", rows=len(finished)):
+                    for key, summary in finished:
+                        self.result_cache.put(
+                            key, canonical_config(pending[key].spec), summary
+                        )
+                        on_result(key, summary)
                 completed += len(finished)
                 self.last_chunks += 1
                 if manifest_path is not None:
@@ -818,6 +873,44 @@ class ExperimentBatch:
         finally:
             if pool is not None:
                 pool.shutdown()
+
+    def _record_run_metrics(self) -> None:
+        """Fold the finished run's ``last_*`` view into :attr:`metrics`.
+
+        The registry is the cumulative, mergeable store the observability
+        layer scrapes (counters only ever go up); the ``last_*`` attributes
+        remain the per-run snapshot the CLI ``--json`` engine block reads.
+        One code path feeds both, so the numbers can never disagree.
+        """
+        metrics = self.metrics
+        metrics.counter(
+            "repro_tasks_executed_total",
+            help="Simulations actually executed by batches.",
+        ).inc(self.last_executed)
+        metrics.counter(
+            "repro_tasks_cached_total",
+            help="Batch outcomes served from the result cache.",
+        ).inc(self.last_cached)
+        metrics.counter(
+            "repro_tasks_skipped_total",
+            help="Specs skipped because another shard owns them.",
+        ).inc(self.last_skipped)
+        metrics.counter(
+            "repro_chunks_flushed_total",
+            help="Chunk flushes performed by batches.",
+        ).inc(self.last_chunks)
+        metrics.counter(
+            "repro_replica_groups_total",
+            help="Replica groups coalesced by batches.",
+        ).inc(self.last_replica_groups)
+        metrics.counter(
+            "repro_memo_hits_total",
+            help="Warm-worker setup memo hits.",
+        ).inc(self.last_memo_hits)
+        metrics.counter(
+            "repro_memo_misses_total",
+            help="Warm-worker setup memo misses.",
+        ).inc(self.last_memo_misses)
 
     def run(self) -> List[ExperimentOutcome]:
         """Execute the batch and return outcomes in input order.
@@ -868,6 +961,7 @@ class ExperimentBatch:
                     spec=spec, key=key, summary=summary, from_cache=True
                 )
                 self.last_cached += 1
+        self._record_run_metrics()
         return [outcome for outcome in outcomes if outcome is not None]
 
     def run_streaming(
@@ -930,6 +1024,7 @@ class ExperimentBatch:
         self._execute_pending(pending, owned_keys, _emit)
         self.last_executed = executed_count
         self.last_cached = cached_served
+        self._record_run_metrics()
         return emitted
 
 
@@ -944,6 +1039,7 @@ def run_batch(
     shard: Optional[ShardSpec] = None,
     chunk_size: Optional[int] = None,
     replica_batch: Optional[int] = None,
+    probe: Optional[ProbeSpec] = None,
 ) -> List[ExperimentOutcome]:
     """Convenience wrapper: build an :class:`ExperimentBatch` and run it."""
     batch = ExperimentBatch(
@@ -957,6 +1053,7 @@ def run_batch(
         shard=shard,
         chunk_size=chunk_size,
         replica_batch=replica_batch,
+        probe=probe,
     )
     return batch.run()
 

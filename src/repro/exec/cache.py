@@ -42,6 +42,7 @@ from repro.core.amosa import AmosaResult, ArchiveEntry
 from repro.core.optimizers import OPTIMIZER_REGISTRY, canonical_optimizer_options
 from repro.core.pipeline import AdEleDesign
 from repro.core.subset_search import ElevatorSubsetProblem, SubsetSolution
+from repro.obs.tracing import span
 from repro.registry import Registry
 from repro.routing.base import POLICY_REGISTRY
 from repro.sim.backends import BACKEND_REGISTRY, DEFAULT_BACKEND
@@ -359,8 +360,10 @@ def cache_stats(cache_dir: str, backend: str = "json") -> Dict[str, Any]:
         db_path = os.path.join(cache_dir, DEFAULT_DB_FILENAME)
         if os.path.exists(db_path):
             store = SqliteStore(db_path)
-            stats["results"] = store.result_count()
-            stats["designs"] = store.design_count()
+            tables = store.table_counts()
+            stats["results"] = tables["results"]
+            stats["designs"] = tables["designs"]
+            stats["tables"] = tables
             for suffix in ("", "-wal", "-shm"):
                 try:
                     stats["bytes"] += os.path.getsize(db_path + suffix)
@@ -417,15 +420,22 @@ class ResultCache:
 
     def get(self, key: str) -> Optional[Dict[str, float]]:
         """The cached summary row for a config hash, or ``None``."""
-        if key in self._memory:
-            return dict(self._memory[key])
-        if self.cache_dir is not None:
-            record = _read_json(self._path(key))
-            if isinstance(record, dict) and "summary" in record:
-                summary = dict(record["summary"])
-                self._memory[key] = summary
-                return dict(summary)
-        return None
+        with span("cache.get", backend="json", key=key[:12]) as record_span:
+            if key in self._memory:
+                if record_span is not None:
+                    record_span.args["hit"] = True
+                return dict(self._memory[key])
+            if self.cache_dir is not None:
+                record = _read_json(self._path(key))
+                if isinstance(record, dict) and "summary" in record:
+                    summary = dict(record["summary"])
+                    self._memory[key] = summary
+                    if record_span is not None:
+                        record_span.args["hit"] = True
+                    return dict(summary)
+            if record_span is not None:
+                record_span.args["hit"] = False
+            return None
 
     def put(
         self,
@@ -434,12 +444,13 @@ class ResultCache:
         summary: Dict[str, float],
     ) -> None:
         """Store a summary row (with its canonical config, for debugging)."""
-        self._memory[key] = dict(summary)
-        if self.cache_dir is not None:
-            _write_json_atomic(
-                self._path(key),
-                {"key": key, "config": config_data, "summary": summary},
-            )
+        with span("cache.put", backend="json", key=key[:12]):
+            self._memory[key] = dict(summary)
+            if self.cache_dir is not None:
+                _write_json_atomic(
+                    self._path(key),
+                    {"key": key, "config": config_data, "summary": summary},
+                )
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None

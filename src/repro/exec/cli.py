@@ -58,6 +58,23 @@ every figure of the paper is built from, plus the component registries:
     Entry counts and bytes of a cache directory (either backend) --
     shard-cache health at a glance before/after ``repro merge``.
 
+``trace export`` / ``trace report``
+    Inspect a span log written by ``--trace FILE``: ``export`` converts
+    the JSONL log to Chrome trace-event JSON (open it in Perfetto),
+    ``report`` prints a per-span-name latency summary (count, total,
+    p50/p95/max).
+
+``stats``
+    Scrape a live ``repro serve`` daemon: its ``/api/health`` document
+    and the full ``GET /metrics`` Prometheus exposition (engine counters,
+    queue gauges, latency histograms).
+
+``probe``
+    Run experiment specs with an opt-in kernel probe attached (sample
+    interval + channel selection) and dump the per-cycle congestion
+    series as JSONL rows.  The probe is a run argument, never a spec
+    field: probed results are bit-identical to unprobed ones.
+
 ``list``
     Show every registered policy, traffic pattern, application model,
     placement, simulation backend, offline optimizer and scenario event
@@ -99,6 +116,20 @@ imported first, so its ``@register_policy`` / ``@register_pattern`` /
 human tables (the format clients and scripts consume; note non-finite
 floats serialize as ``Infinity``/``NaN``, which ``json.loads`` accepts).
 
+``sweep``/``compare``/``run``/``scenario`` (and ``serve``) share the
+observability flags:
+
+``--trace FILE``
+    Append one JSONL span record per instrumented boundary (setup,
+    kernel, cache, chunk flush, queue, HTTP) to FILE; inspect with
+    ``repro trace report`` / ``repro trace export``.  Multi-process runs
+    (``--workers`` > 1) record only parent-side spans.
+
+``--probe-interval N`` / ``--probe-channels C1,C2``
+    Attach a kernel probe sampling per-cycle congestion gauges every N
+    cycles; the sampled series ride in the ``--json`` document under
+    ``probes`` (keyed by cache key).  Results stay bit-identical.
+
 ``sweep``/``run``/``scenario`` additionally accept the horizontal-scale
 flags:
 
@@ -129,7 +160,7 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.comparison import format_table, policy_comparison_from_summaries
-from repro.analysis.runner import design_for, design_key_for
+from repro.analysis.runner import design_for, design_key_for, run_experiment
 from repro.analysis.sweep import LatencyCurve, saturation_rate
 from repro.core.optimizers import OPTIMIZER_REGISTRY
 from repro.core.selection import SELECTION_STRATEGIES
@@ -138,9 +169,20 @@ from repro.exec.batch import ExperimentBatch, summaries_by_policy
 from repro.exec.cache import available_cache_backends, cache_stats, open_caches
 from repro.exec.designs import DesignBatch
 from repro.exec.shard import ShardSpec, parse_shard
+from repro.obs.probes import PROBE_CHANNELS, ProbeSpec
+from repro.obs.tracing import (
+    JsonlRecorder,
+    Tracer,
+    chrome_trace_document,
+    install_tracer,
+    load_span_records,
+    span,
+    trace_report,
+)
 from repro.routing.base import POLICY_REGISTRY
 from repro.scenario.events import SCENARIO_EVENT_REGISTRY
 from repro.service import http as service_http
+from repro.service.client import DEFAULT_SERVICE_URL, ServiceClient, ServiceError
 from repro.service.store import DEFAULT_DB_FILENAME, SqliteStore, migrate_json_cache
 from repro.sim.backends import BACKEND_REGISTRY, DEFAULT_BACKEND
 from repro.spec import DesignSpec, ExperimentSpec, PlacementSpec, SimSpec, TrafficSpec
@@ -246,6 +288,63 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--json", action="store_true", dest="json_output",
         help="print one machine-readable JSON document instead of tables",
     )
+    _add_observability_arguments(parser)
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    obs = parser.add_argument_group("observability")
+    _add_trace_argument(obs)
+    obs.add_argument(
+        "--probe-interval", type=int, default=None, metavar="N",
+        help="attach a kernel probe sampling congestion gauges every N "
+             "cycles (series ride in the --json document; results stay "
+             "bit-identical)",
+    )
+    obs.add_argument(
+        "--probe-channels", default=None, metavar="C1,C2",
+        help="probe channel selection (default: all of "
+             f"{','.join(PROBE_CHANNELS)}); implies --probe-interval 100",
+    )
+
+
+def _add_trace_argument(target) -> None:
+    target.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="append one JSONL span record per instrumented boundary to "
+             "FILE (inspect with `repro trace report` / `repro trace "
+             "export`; multi-process runs record only parent-side spans)",
+    )
+
+
+def _parse_probe_argument(args: argparse.Namespace) -> Optional[ProbeSpec]:
+    interval = getattr(args, "probe_interval", None)
+    channels_text = getattr(args, "probe_channels", None)
+    if interval is None and not channels_text:
+        return None
+    kwargs: Dict[str, Any] = {}
+    if interval is not None:
+        kwargs["interval"] = interval
+    if channels_text:
+        try:
+            kwargs["channels"] = ProbeSpec.parse_channels(channels_text)
+        except ValueError as error:
+            raise SystemExit(f"--probe-channels: {error}")
+    try:
+        return ProbeSpec(**kwargs)
+    except ValueError as error:
+        raise SystemExit(f"--probe-interval: {error}")
+
+
+def _install_cli_tracer(args: argparse.Namespace) -> None:
+    """Install a process-global JSONL tracer when ``--trace FILE`` is set."""
+    path = getattr(args, "trace", None)
+    if not path:
+        return
+    try:
+        recorder = JsonlRecorder(path)
+    except OSError as error:
+        raise SystemExit(f"--trace: cannot open {path!r}: {error}")
+    install_tracer(Tracer(recorder))
 
 
 def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
@@ -454,6 +553,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="forward a replica-batch width to every worker's batch engine "
              "(see the sweep/run flag of the same name)",
     )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="DEBUG-level service logging on stderr (structured access-log "
+             "events show at the default INFO level already)",
+    )
+    _add_trace_argument(serve)
 
     merge = subparsers.add_parser(
         "merge",
@@ -504,6 +609,75 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--json", action="store_true", dest="json_output",
         help="print the stats as one JSON document",
+    )
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect span logs written by --trace FILE"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser(
+        "export",
+        help="convert a span JSONL log to Chrome trace-event JSON "
+             "(open the output in Perfetto / chrome://tracing)",
+    )
+    export.add_argument(
+        "log", metavar="FILE", help="span JSONL log written by --trace"
+    )
+    export.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output path (default: stdout)",
+    )
+    report = trace_sub.add_parser(
+        "report",
+        help="per-span-name latency summary of a span JSONL log "
+             "(count, total, p50/p95/max)",
+    )
+    report.add_argument(
+        "log", metavar="FILE", help="span JSONL log written by --trace"
+    )
+    report.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="print the report as one JSON document",
+    )
+
+    stats_cmd = subparsers.add_parser(
+        "stats",
+        help="scrape a live `repro serve` daemon: health + /metrics",
+    )
+    stats_cmd.add_argument(
+        "--url", default=DEFAULT_SERVICE_URL,
+        help=f"daemon base URL (default: {DEFAULT_SERVICE_URL})",
+    )
+    stats_cmd.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="print health + raw metrics text as one JSON document",
+    )
+
+    probe = subparsers.add_parser(
+        "probe",
+        help="run specs with a kernel probe and dump the sampled series",
+    )
+    _add_plugin_argument(probe)
+    probe.add_argument(
+        "--spec", required=True, metavar="FILE",
+        help="JSON file with one ExperimentSpec document or a list of them",
+    )
+    _add_backend_argument(probe)
+    probe.add_argument(
+        "--interval", type=int, default=100, metavar="N",
+        help="sample every N cycles (default: 100)",
+    )
+    probe.add_argument(
+        "--channels", default=None, metavar="C1,C2",
+        help=f"channel selection (default: all of {','.join(PROBE_CHANNELS)})",
+    )
+    probe.add_argument(
+        "--max-samples", type=int, default=4096, metavar="M",
+        help="bound on samples kept per run (default: 4096)",
+    )
+    probe.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write JSONL rows here (default: stdout)",
     )
 
     listing = subparsers.add_parser(
@@ -561,6 +735,7 @@ def _make_batch(
         chunk_size=getattr(args, "chunk_size", None),
         manifest_dir=args.cache_dir,
         replica_batch=getattr(args, "replica_batch", None),
+        probe=_parse_probe_argument(args),
     )
 
 
@@ -588,6 +763,20 @@ def _report_engine(batch: ExperimentBatch) -> None:
             f"{batch.last_memo_misses} miss(es)), "
             f"kernel {batch.last_kernel_s:.3f}s"
         )
+    if getattr(batch, "probe", None) is not None:
+        print(
+            f"[repro.obs] probe: {len(batch.last_probes)} series sampled "
+            f"every {batch.probe.interval} cycle(s) "
+            f"(use --json to read them)"
+        )
+
+
+def _probe_document(batch: ExperimentBatch) -> Dict[str, Any]:
+    """The conditional ``probes`` block: one series document per key."""
+    return {
+        key: series.to_dict()
+        for key, series in sorted(batch.last_probes.items())
+    }
 
 
 def _engine_document(batch) -> Dict[str, Any]:
@@ -652,7 +841,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             outcome.spec.traffic.injection_rate, outcome.summary["average_latency"]
         )
     if args.json_output:
-        _print_json({
+        document = {
             "command": "sweep",
             "placement": base.placement.name,
             "traffic": base.traffic.pattern,
@@ -676,7 +865,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
             # Same per-spec rows as `run --json`, so sharded sweep documents
             # feed `repro merge` directly.
             "outcomes": [_outcome_document(outcome) for outcome in outcomes],
-        })
+        }
+        # The probes block appears only when a probe was attached, keeping
+        # plain documents (and everything pinned on them) unchanged.
+        if batch.probe is not None:
+            document["probes"] = _probe_document(batch)
+        _print_json(document)
         return 0
     _report_engine(batch)
     print(f"placement={base.placement.name} traffic={base.traffic.pattern}")
@@ -718,7 +912,7 @@ def _run_compare(args: argparse.Namespace) -> int:
         )
     table = policy_comparison_from_summaries(summaries, baseline=baseline)
     if args.json_output:
-        _print_json({
+        document = {
             "command": "compare",
             "placement": base.placement.name,
             "traffic": base.traffic.pattern,
@@ -726,7 +920,10 @@ def _run_compare(args: argparse.Namespace) -> int:
             "baseline": baseline,
             "engine": _engine_document(batch),
             "policies": table,
-        })
+        }
+        if batch.probe is not None:
+            document["probes"] = _probe_document(batch)
+        _print_json(document)
         return 0
     _report_engine(batch)
     print(
@@ -764,11 +961,14 @@ def _run_specs(args: argparse.Namespace) -> int:
     batch = _make_batch(args, specs)
     outcomes = batch.run()
     if args.json_output:
-        _print_json({
+        document = {
             "command": "run",
             "engine": _engine_document(batch),
             "outcomes": [_outcome_document(outcome) for outcome in outcomes],
-        })
+        }
+        if batch.probe is not None:
+            document["probes"] = _probe_document(batch)
+        _print_json(document)
         return 0
     _report_engine(batch)
     header = f"{'placement':12s} {'policy':15s} {'traffic':14s} {'rate':>8s} {'avg_latency':>12s} {'throughput':>11s}"
@@ -798,11 +998,14 @@ def _run_scenario(args: argparse.Namespace) -> int:
     batch = _make_batch(args, specs)
     outcomes = batch.run()
     if args.json_output:
-        _print_json({
+        document = {
             "command": "scenario",
             "engine": _engine_document(batch),
             "outcomes": [_outcome_document(outcome) for outcome in outcomes],
-        })
+        }
+        if batch.probe is not None:
+            document["probes"] = _probe_document(batch)
+        _print_json(document)
         return 0
     _report_engine(batch)
     for outcome in outcomes:
@@ -1059,6 +1262,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         plugins=tuple(getattr(args, "plugin", [])),
         shard=_parse_shard_argument(args),
         replica_batch=getattr(args, "replica_batch", None),
+        verbose=getattr(args, "verbose", False),
     )
 
 
@@ -1140,6 +1344,137 @@ def _run_cache_migrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace_log(path: str):
+    try:
+        return load_span_records(path)
+    except OSError as error:
+        raise SystemExit(f"cannot read trace log {path!r}: {error}")
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _run_trace_export(args: argparse.Namespace) -> int:
+    records = _load_trace_log(args.log)
+    text = json.dumps(chrome_trace_document(records), indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(
+            f"[repro.trace] {len(records)} span(s) -> {args.out} "
+            "(open in https://ui.perfetto.dev or chrome://tracing)",
+            file=sys.stderr,
+        )
+    else:
+        print(text)
+    return 0
+
+
+def _run_trace_report(args: argparse.Namespace) -> int:
+    records = _load_trace_log(args.log)
+    rows = trace_report(records)
+    if args.json_output:
+        _print_json({
+            "command": "trace-report",
+            "log": args.log,
+            "spans": rows,
+        })
+        return 0
+    print(
+        f"{'span':24s} {'count':>7s} {'total_ms':>10s} "
+        f"{'p50_us':>9s} {'p95_us':>9s} {'max_us':>9s}"
+    )
+    for row in rows:
+        print(
+            f"{row['name']:24s} {row['count']:7d} "
+            f"{row['total_us'] / 1000.0:10.2f} "
+            f"{row['p50_us']:9d} {row['p95_us']:9d} {row['max_us']:9d}"
+        )
+    if not rows:
+        print("(no spans recorded)")
+    return 0
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    try:
+        health = client.health()
+        metrics_text = client.metrics()
+    except ServiceError as error:
+        raise SystemExit(f"repro stats: {error}")
+    if args.json_output:
+        _print_json({
+            "command": "stats",
+            "url": args.url,
+            "health": health,
+            # The raw exposition embeds as one string; Prometheus semantics
+            # (cumulative buckets etc.) do not survive naive JSON re-encoding.
+            "metrics_text": metrics_text,
+        })
+        return 0
+    tasks = health.get("tasks", {})
+    counts = " ".join(f"{state}={tasks[state]}" for state in sorted(tasks))
+    print(
+        f"[repro.stats] {args.url}: status={health.get('status')} "
+        f"workers={health.get('workers')} {counts}"
+    )
+    cache = health.get("cache")
+    if cache:
+        tables = cache.get("tables", {})
+        rows = " ".join(f"{name}={tables[name]}" for name in sorted(tables))
+        print(
+            f"[repro.stats] cache ({cache.get('backend')}): {rows} "
+            f"{cache.get('bytes')} byte(s)"
+        )
+    print(metrics_text, end="")
+    return 0
+
+
+def _run_probe(args: argparse.Namespace) -> int:
+    specs = _load_spec_documents(args.spec)
+    if args.backend:
+        specs = [spec.with_(backend=args.backend) for spec in specs]
+    try:
+        channels = (
+            ProbeSpec.parse_channels(args.channels)
+            if args.channels else PROBE_CHANNELS
+        )
+        probe = ProbeSpec(
+            interval=args.interval,
+            channels=channels,
+            max_samples=args.max_samples,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    lines: List[str] = []
+    for index, spec in enumerate(specs):
+        with span("probe.run", spec=index):
+            result = run_experiment(spec, probe=probe)
+        series = result.probe
+        if series is None:  # pragma: no cover - every backend fills it
+            raise SystemExit(
+                f"backend {spec.sim.backend!r} returned no probe series"
+            )
+        for row in series.rows():
+            document = {"spec": index, **row} if len(specs) > 1 else row
+            lines.append(json.dumps(document, sort_keys=True))
+        print(
+            f"[repro.probe] spec {index}: {len(series.cycles)} sample(s) "
+            f"every {probe.interval} cycle(s), {series.dropped} dropped",
+            file=sys.stderr,
+        )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+        print(
+            f"[repro.probe] {len(lines)} row(s) -> {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
 def _print_registry(title: str, registry) -> None:
     print(f"{title}:")
     for entry in registry.entries():
@@ -1189,6 +1524,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (console script ``repro`` / ``python -m repro``)."""
     args = build_parser().parse_args(argv)
     _load_plugins(args)
+    _install_cli_tracer(args)
     if args.command == "sweep":
         return _run_sweep(args)
     if args.command == "compare":
@@ -1211,6 +1547,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         raise SystemExit(
             f"unknown cache command {args.cache_command!r}"
         )  # pragma: no cover
+    if args.command == "trace":
+        if args.trace_command == "export":
+            return _run_trace_export(args)
+        if args.trace_command == "report":
+            return _run_trace_report(args)
+        raise SystemExit(
+            f"unknown trace command {args.trace_command!r}"
+        )  # pragma: no cover
+    if args.command == "stats":
+        return _run_stats(args)
+    if args.command == "probe":
+        return _run_probe(args)
     if args.command == "list":
         return _run_list(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

@@ -80,10 +80,31 @@ class ServiceClient:
                 0, f"cannot reach service at {self.base_url}: {error.reason}"
             ) from None
 
+    def _request_text(self, method: str, path: str) -> str:
+        """Like :meth:`_request` for text (non-JSON) endpoints."""
+        request = urllib.request.Request(
+            self.base_url + path, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServiceError(
+                error.code, f"{error.code}: {error.reason}"
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                0, f"cannot reach service at {self.base_url}: {error.reason}"
+            ) from None
+
     # ------------------------------------------------------------------ #
     def health(self) -> Dict[str, Any]:
         """Daemon liveness document (worker count, global task counts)."""
         return self._request("GET", "/api/health")
+
+    def metrics(self) -> str:
+        """The daemon's ``GET /metrics`` Prometheus text exposition."""
+        return self._request_text("GET", "/metrics")
 
     def submit(
         self,

@@ -10,6 +10,10 @@ of the shared :class:`~repro.service.store.SqliteStore`, the
 Method Path                          Meaning
 ====== ============================= =====================================
 GET    ``/api/health``               daemon liveness + global task counts
+                                     + cache stats (sqlite table rows)
+GET    ``/metrics``                  Prometheus text exposition: engine
+                                     counters, queue-depth/job-state/
+                                     worker gauges, latency histograms
 POST   ``/api/jobs``                 submit (``{"specs": [...],
                                      "base_seed": N}``); dedup by spec
                                      hash -- 200 with ``created=false``
@@ -22,22 +26,33 @@ GET    ``/api/jobs/<id>/result``     per-task results in submission order
 POST   ``/api/jobs/<id>/cancel``     cancel the job's queued tasks
 ====== ============================= =====================================
 
-All bodies are JSON.  Floats serialize with Python's ``Infinity`` extension
-(saturated runs carry infinite latencies); the bundled client parses it
-back, as does any ``json.loads``.
+All API bodies are JSON (``/metrics`` is ``text/plain``).  Floats serialize
+with Python's ``Infinity`` extension (saturated runs carry infinite
+latencies); the bundled client parses it back, as does any ``json.loads``.
+
+Request logging goes through the ``repro.service`` :mod:`logging` logger:
+one structured access-log event per request (method, path, status,
+duration) at INFO, stdlib ``log_message`` chatter at DEBUG.  ``repro serve
+--verbose`` attaches a stderr handler; embedders configure the logger like
+any other.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import os
 import re
 import signal
 import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.exec.shard import ShardSpec
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.tracing import span
 from repro.service.queue import JobQueue
 from repro.service.store import SqliteStore
 from repro.service.workers import WorkerPool
@@ -45,6 +60,33 @@ from repro.spec import ExperimentSpec
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8765
+
+#: The service logger; request handlers emit one structured access-log
+#: event per request here (see :func:`configure_service_logging`).
+LOGGER = logging.getLogger("repro.service")
+
+#: Prometheus text exposition content type.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def configure_service_logging(verbose: bool = False) -> None:
+    """Attach a stderr handler to the ``repro.service`` logger.
+
+    ``verbose`` lowers the threshold to DEBUG (per-request stdlib
+    ``log_message`` chatter included); otherwise INFO shows the structured
+    access-log events.  Idempotent -- an existing handler is reused, so
+    embedders that configured logging themselves are left alone.
+    """
+    level = logging.DEBUG if verbose else logging.INFO
+    LOGGER.setLevel(level)
+    if not LOGGER.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[%(name)s] %(levelname)s %(message)s")
+        )
+        LOGGER.addHandler(handler)
+    for handler in LOGGER.handlers:
+        handler.setLevel(level)
 
 
 class ServiceContext:
@@ -54,6 +96,9 @@ class ServiceContext:
         self.store = store
         self.queue = queue
         self.pool = pool
+        #: The daemon's cumulative metrics: the pool registry (worker and
+        #: engine counters) plus the HTTP-layer series recorded here.
+        self.metrics: MetricsRegistry = pool.metrics
 
 
 class _ApiError(Exception):
@@ -75,6 +120,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     _ROUTES = (
         ("GET", re.compile(r"^/api/health$"), "_health"),
+        ("GET", re.compile(r"^/metrics$"), "_metrics"),
         ("POST", re.compile(r"^/api/jobs$"), "_submit"),
         ("GET", re.compile(r"^/api/jobs$"), "_list_jobs"),
         ("GET", re.compile(r"^/api/jobs/(?P<job_id>\d+)$"), "_job_status"),
@@ -90,11 +136,46 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._dispatch("POST")
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        # Quiet by default; the CLI layer decides what to print.
-        pass
+        # Route stdlib per-request chatter through the service logger
+        # (visible with ``--verbose``) instead of swallowing it.
+        LOGGER.debug("%s %s", self.address_string(), format % args)
 
     def _dispatch(self, method: str) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        started = time.perf_counter()
+        with span("http.request", method=method, path=path) as request_span:
+            status = self._route(method, path)
+            if request_span is not None:
+                request_span.args["status"] = status
+        elapsed = time.perf_counter() - started
+        metrics = self.context.metrics
+        metrics.counter(
+            "repro_http_requests_total",
+            labels={"method": method, "status": str(status)},
+            help="HTTP requests served, by method and status.",
+        ).inc()
+        metrics.histogram(
+            "repro_http_request_seconds",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+            help="HTTP request handling latency.",
+        ).observe(elapsed)
+        LOGGER.info(
+            "%s",
+            json.dumps(
+                {
+                    "event": "http.request",
+                    "client": self.client_address[0],
+                    "method": method,
+                    "path": path,
+                    "status": status,
+                    "duration_ms": round(elapsed * 1000.0, 3),
+                },
+                sort_keys=True,
+            ),
+        )
+
+    def _route(self, method: str, path: str) -> int:
+        """Dispatch to the matching handler; returns the response status."""
         allowed_methods = set()
         for route_method, pattern, handler_name in self._ROUTES:
             match = pattern.match(path)
@@ -114,16 +195,24 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             except Exception as error:  # pragma: no cover - last resort
                 status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
             self._send(status, payload)
-            return
+            return status
         if allowed_methods:
-            self._send(405, {"error": f"method {method} not allowed for {path}"})
+            status = 405
+            self._send(status, {"error": f"method {method} not allowed for {path}"})
         else:
-            self._send(404, {"error": f"no route for {method} {path}"})
+            status = 404
+            self._send(status, {"error": f"no route for {method} {path}"})
+        return status
 
-    def _send(self, status: int, payload: Dict[str, Any]) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    def _send(self, status: int, payload: Union[Dict[str, Any], str]) -> None:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = METRICS_CONTENT_TYPE
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -150,7 +239,60 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             "workers": self.context.pool.workers,
             "shard": None if shard is None else str(shard),
             "tasks": self.context.queue.counts(),
+            "cache": self._cache_stats(),
         }
+
+    def _cache_stats(self) -> Dict[str, Any]:
+        """Row counts and database size of the service store."""
+        store = self.context.store
+        stats: Dict[str, Any] = {
+            "backend": "sqlite",
+            "tables": store.table_counts(),
+            "bytes": 0,
+        }
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                stats["bytes"] += os.path.getsize(store.path + suffix)
+            except OSError:
+                pass
+        return stats
+
+    def _metrics(self) -> Tuple[int, str]:
+        """Prometheus text exposition of the daemon's metrics.
+
+        Live queue/job/worker gauges are sampled into a fresh registry at
+        scrape time, then the cumulative pool registry (engine counters,
+        worker counters, HTTP series) is merged in -- gauges merge by
+        addition, so the sampled values pass through unchanged (the pool
+        registry holds no queue gauges).
+        """
+        queue = self.context.queue
+        snapshot = MetricsRegistry()
+        task_counts = queue.counts()
+        for state, count in sorted(task_counts.items()):
+            snapshot.gauge(
+                "repro_tasks",
+                labels={"state": state},
+                help="Current tasks by lifecycle state.",
+            ).set(count)
+        for state, count in sorted(queue.job_counts().items()):
+            snapshot.gauge(
+                "repro_jobs_total",
+                labels={"state": state},
+                help="Current jobs by lifecycle state.",
+            ).set(count)
+        snapshot.gauge(
+            "repro_queue_depth",
+            help="Tasks waiting to be claimed (queued state).",
+        ).set(task_counts.get("queued", 0))
+        for table, rows in sorted(self.context.store.table_counts().items()):
+            snapshot.gauge(
+                "repro_store_rows",
+                labels={"table": table},
+                help="Row counts of the service database tables.",
+            ).set(rows)
+        snapshot.merge(self.context.metrics)
+        return 200, snapshot.render_prometheus()
 
     def _submit(self) -> Tuple[int, Dict[str, Any]]:
         body = self._read_body()
@@ -213,6 +355,7 @@ def serve(
     ready: Optional[threading.Event] = None,
     shard: Optional[ShardSpec] = None,
     replica_batch: Optional[int] = None,
+    verbose: bool = False,
 ) -> int:
     """Run the daemon until SIGINT/SIGTERM: recover, serve, drain, close.
 
@@ -228,7 +371,14 @@ def serve(
     of other shards' tasks only in the sense that it never claims them;
     ``recover_running`` itself is shard-agnostic (an orphaned row must be
     re-queued no matter which shard owns it).
+
+    ``verbose`` attaches a DEBUG-level stderr handler to the
+    ``repro.service`` logger (``repro serve --verbose``): structured
+    access-log events plus stdlib per-request chatter.  Without it the
+    logger is configured at INFO, which shows the access-log events once
+    any handler is attached.
     """
+    configure_service_logging(verbose=verbose)
     queue = (
         JobQueue(store, max_attempts=max_attempts, shard=shard)
         if max_attempts is not None
@@ -282,8 +432,11 @@ def serve(
 __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
+    "LOGGER",
+    "METRICS_CONTENT_TYPE",
     "ServiceContext",
     "ServiceRequestHandler",
+    "configure_service_logging",
     "make_server",
     "serve",
 ]

@@ -46,6 +46,7 @@ from repro.analysis.runner import ExperimentConfig, as_spec
 from repro.exec.batch import key_extra_for
 from repro.exec.cache import config_key, derive_seed
 from repro.exec.shard import ShardSpec
+from repro.obs.tracing import span
 from repro.service.store import SqliteStore, _dumps
 from repro.spec import ExperimentSpec
 
@@ -236,6 +237,13 @@ class JobQueue:
         exhausted their attempts are failed in place.  A sharded queue
         skips (never touches) tasks owned by other shards.
         """
+        with span("queue.claim", worker=worker) as record_span:
+            task = self._claim(worker)
+            if record_span is not None:
+                record_span.args["claimed"] = task is not None
+            return task
+
+    def _claim(self, worker: str) -> Optional[TaskRecord]:
         with self.store.transaction() as conn:
             # Absorb free wins first: a result row satisfies every queued
             # task waiting on that key, whichever job queued it.
@@ -304,7 +312,8 @@ class JobQueue:
         config_data: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Record a finished task: result row + per-task completion."""
-        with self.store.transaction() as conn:
+        with span("queue.complete", job=task.job_id, idx=task.index), \
+                self.store.transaction() as conn:
             conn.execute(
                 "INSERT OR REPLACE INTO results(key, config, summary) "
                 "VALUES(?,?,?)",
@@ -461,6 +470,15 @@ class JobQueue:
         counts = {state: 0 for state in (QUEUED, RUNNING, DONE, FAILED, CANCELLED)}
         for row in self.store.query(
             "SELECT state, COUNT(*) AS n FROM tasks GROUP BY state"
+        ):
+            counts[row["state"]] = row["n"]
+        return counts
+
+    def job_counts(self) -> Dict[str, int]:
+        """Global *job* counts by state (the ``repro_jobs_total`` metric)."""
+        counts = {state: 0 for state in (QUEUED, RUNNING, DONE, FAILED, CANCELLED)}
+        for row in self.store.query(
+            "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
         ):
             counts[row["state"]] = row["n"]
         return counts

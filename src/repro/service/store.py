@@ -38,6 +38,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.analysis.runner import DesignCache, DesignKey
 from repro.core.pipeline import AdEleDesign
+from repro.obs.tracing import span
 from repro.exec.cache import (
     design_from_record,
     design_key_hash,
@@ -271,6 +272,16 @@ class SqliteStore:
     def clear_designs(self) -> None:
         self.execute("DELETE FROM designs")
 
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def table_counts(self) -> Dict[str, int]:
+        """Row counts of every schema table (``cache stats`` / ``/health``)."""
+        return {
+            table: self.query(f"SELECT COUNT(*) AS n FROM {table}")[0]["n"]
+            for table in ("results", "designs", "jobs", "tasks")
+        }
+
 
 class _Transaction:
     """``with store.transaction() as conn:`` -- IMMEDIATE begin, commit on
@@ -307,12 +318,17 @@ class SqliteResultCache:
 
     def get(self, key: str) -> Optional[Dict[str, float]]:
         """The cached summary row for a config hash, or ``None``."""
-        if key in self._memory:
-            return dict(self._memory[key])
-        summary = self.store.get_result(key)
-        if summary is not None:
-            self._memory[key] = dict(summary)
-        return summary
+        with span("cache.get", backend="sqlite", key=key[:12]) as record_span:
+            if key in self._memory:
+                if record_span is not None:
+                    record_span.args["hit"] = True
+                return dict(self._memory[key])
+            summary = self.store.get_result(key)
+            if summary is not None:
+                self._memory[key] = dict(summary)
+            if record_span is not None:
+                record_span.args["hit"] = summary is not None
+            return summary
 
     def put(
         self,
@@ -321,8 +337,9 @@ class SqliteResultCache:
         summary: Dict[str, float],
     ) -> None:
         """Store a summary row (with its canonical config, for debugging)."""
-        self._memory[key] = dict(summary)
-        self.store.put_result(key, config_data, summary)
+        with span("cache.put", backend="sqlite", key=key[:12]):
+            self._memory[key] = dict(summary)
+            self.store.put_result(key, config_data, summary)
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None

@@ -27,6 +27,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.exec.batch import ExperimentBatch
 from repro.exec.shard import ShardSpec
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 from repro.service.queue import JobQueue, TaskRecord
 from repro.service.store import SqliteDesignCache, SqliteResultCache, SqliteStore
 
@@ -41,6 +42,7 @@ def execute_claimed_task(
     design_cache: SqliteDesignCache,
     plugins: Sequence[str] = (),
     replica_batch: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> bool:
     """Execute one claimed task and report its outcome to the queue.
 
@@ -50,7 +52,9 @@ def execute_claimed_task(
     ``replica_batch`` is forwarded to the batch engine (tasks are claimed
     one at a time today, so its effect here is enabling the engine's
     replica-aware path for future multi-spec tasks; the warm-worker setup
-    memo is per-process and always active).
+    memo is per-process and always active).  ``metrics`` is handed to the
+    batch engine, so a pool-wide registry aggregates engine counters
+    across every task (the ``GET /metrics`` source).
     """
     try:
         batch = ExperimentBatch(
@@ -60,6 +64,7 @@ def execute_claimed_task(
             design_cache=design_cache,
             plugins=tuple(plugins),
             replica_batch=replica_batch,
+            metrics=metrics,
         )
         outcome = batch.run()[0]
         if outcome.key != task.key:
@@ -106,6 +111,7 @@ class WorkerPool:
         plugins: Sequence[str] = (),
         shard: Optional[ShardSpec] = None,
         replica_batch: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -125,6 +131,12 @@ class WorkerPool:
         #: Tasks executed (completed or failed) since start, all workers.
         self.executed = 0
         self._executed_lock = threading.Lock()
+        #: Pool-wide metrics registry: worker gauges/counters plus the
+        #: engine counters of every executed task (``GET /metrics``).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.gauge(
+            "repro_workers", help="Configured worker thread count."
+        ).set(self.workers)
 
     # ------------------------------------------------------------------ #
     def start(self) -> None:
@@ -181,19 +193,36 @@ class WorkerPool:
 
     def _work(self) -> None:
         worker = self._worker_id()
+        task_hist = self.metrics.histogram(
+            "repro_worker_task_seconds",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+            help="End-to-end claimed-task execution time.",
+        )
+        completed_total = self.metrics.counter(
+            "repro_worker_tasks_completed_total",
+            help="Claimed tasks that completed successfully.",
+        )
+        failed_total = self.metrics.counter(
+            "repro_worker_tasks_failed_total",
+            help="Claimed-task attempts reported as failed.",
+        )
         while not self._stop.is_set():
             task = self.queue.claim(worker)
             if task is None:
                 self._stop.wait(self.poll_interval)
                 continue
-            execute_claimed_task(
+            started = time.perf_counter()
+            ok = execute_claimed_task(
                 self.queue,
                 task,
                 self.result_cache,
                 self.design_cache,
                 plugins=self.plugins,
                 replica_batch=self.replica_batch,
+                metrics=self.metrics,
             )
+            task_hist.observe(time.perf_counter() - started)
+            (completed_total if ok else failed_total).inc()
             with self._executed_lock:
                 self.executed += 1
 
@@ -209,6 +238,10 @@ class WorkerPool:
                     # failures; an unhandled one (e.g. the database went
                     # away mid-claim) kills the thread -- replace it.
                     self._restarts += 1
+                    self.metrics.counter(
+                        "repro_worker_restarts_total",
+                        help="Worker threads replaced after unhandled errors.",
+                    ).inc()
                     self._threads[index] = self._spawn(index)
             if _monotonic() >= next_sweep:
                 try:

@@ -93,10 +93,31 @@ class SimulatorBackend:
             honors a tolerance contract.  Inherently exact kernels ignore
             the flag; :class:`~repro.sim.engine.Simulator` sets it on the
             resolved instance when requested.
+        probe: Optional :class:`~repro.obs.probes.ProbeSpec` asking the
+            kernel to sample per-cycle congestion gauges.  A *run
+            argument* threaded exactly like ``bit_exact`` -- set on the
+            resolved instance by :class:`~repro.sim.engine.Simulator`,
+            never part of the spec or any cache key -- and, by contract,
+            **read-only**: sampling must not perturb results.
+        last_probe: One :class:`~repro.obs.probes.ProbeSeries` per replica
+            (solo kernels: a one-element list) from the most recent
+            ``execute`` call when ``probe`` was set, else ``None``.
     """
 
     name = "base"
     bit_exact = False
+    probe = None
+    last_probe = None
+
+    def _probe_begin(self):
+        """Start a fresh series for this run; ``None`` when not probing."""
+        self.last_probe = None
+        spec = self.probe
+        if spec is None:
+            return None
+        series = spec.series()
+        self.last_probe = [series]
+        return series
 
     def execute(
         self,

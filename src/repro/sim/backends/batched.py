@@ -46,6 +46,7 @@ from repro.sim.backends.vectorized import VectorizedBackend, _VectorizedKernel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.energy.model import EnergyModel
+    from repro.obs.probes import ProbeSpec
     from repro.scenario.spec import ScenarioSpec
     from repro.sim.engine import SimulationResult
     from repro.sim.network import Network
@@ -99,6 +100,7 @@ def run_replica_group(
     drain_cycles: int,
     bit_exact: bool = False,
     backend_name: str = "batched",
+    probe: Optional["ProbeSpec"] = None,
 ) -> List["SimulationResult"]:
     """Run R replicas through one kernel; return per-replica results.
 
@@ -146,6 +148,14 @@ def run_replica_group(
     step = kernel.step_exact if bit_exact else kernel.step
     inject = kernel.inject
     create_packet = kernel.create_packet
+    series = None if probe is None else [probe.series() for _ in replicas]
+
+    def _sample(cycle: int) -> None:
+        if series is None or not probe.should_sample(cycle):
+            return
+        for index, reading in enumerate(kernel.probe_readings()):
+            series[index].append(cycle, reading)
+
     try:
         for cycle in range(injection_end):
             for index, source in enumerate(sources):
@@ -156,6 +166,7 @@ def run_replica_group(
                     )
             inject(cycle)
             step(cycle)
+            _sample(cycle)
 
         for drain in range(drain_cycles):
             active = [
@@ -169,6 +180,7 @@ def run_replica_group(
             step(cycle)
             for index in active:
                 drain_used[index] = drain + 1
+            _sample(cycle)
     finally:
         kernel.sync_back()
         kernel.close()
@@ -182,6 +194,7 @@ def run_replica_group(
         stats = network.stats
         result = SimulationResult(
             stats=stats,
+            probe=None if series is None else series[index],
             warmup_cycles=warmup_cycles,
             measurement_cycles=measurement_cycles,
             drain_cycles_used=drain_used[index],

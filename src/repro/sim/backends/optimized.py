@@ -245,6 +245,32 @@ class _ActiveSetKernel:
         """
         return not self.network._live_queues and self.total_flits == 0
 
+    def probe_reading(self) -> dict:
+        """Sample the probe channels from the kernel's own counters.
+
+        Read-only by construction (the never-perturbs invariant): one scan
+        of the exact per-router flit counts, no pruning, no allocation
+        state touched.  Definitionally identical to
+        :func:`repro.obs.probes.network_reading` at the same cycle.
+        """
+        network = self.network
+        mesh = network.mesh
+        nodes_per_layer = mesh.nodes_per_layer
+        per_layer = [0] * mesh.num_layers
+        active = 0
+        for node, flits in enumerate(self.count):
+            if flits:
+                active += 1
+                per_layer[node // nodes_per_layer] += flits
+        queues = network._injection_queues
+        backlog = sum(len(queues[key]) for key in network._live_queues)
+        return {
+            "active_routers": active,
+            "in_flight_flits": self.total_flits,
+            "injection_backlog": backlog,
+            "layer_occupancy": per_layer,
+        }
+
     def step(self, cycle: int) -> None:
         """One cycle: route, allocate/traverse, commit -- active flits only."""
         network = self.network
@@ -430,6 +456,7 @@ class OptimizedBackend(SimulatorBackend):
         step = kernel.step
         inject = kernel.inject
         create_packet = network.create_packet
+        probe = self._probe_begin()
         injection_end = warmup_cycles + measurement_cycles
         # The finally clause keeps the routers' introspection dicts truthful
         # on *every* exit path -- a packet source or policy that raises
@@ -442,6 +469,8 @@ class OptimizedBackend(SimulatorBackend):
                     )
                 inject(cycle)
                 step(cycle)
+                if probe is not None and probe.spec.should_sample(cycle):
+                    probe.append(cycle, kernel.probe_reading())
 
             drain_used = 0
             for drain in range(drain_cycles):
@@ -451,6 +480,8 @@ class OptimizedBackend(SimulatorBackend):
                 inject(cycle)
                 step(cycle)
                 drain_used = drain + 1
+                if probe is not None and probe.spec.should_sample(cycle):
+                    probe.append(cycle, kernel.probe_reading())
         finally:
             kernel.sync_back()
             kernel.close()

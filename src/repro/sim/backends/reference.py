@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.obs.probes import network_reading
 from repro.sim.backends import SimulatorBackend, register_backend
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -39,6 +40,7 @@ class ReferenceBackend(SimulatorBackend):
         measurement_cycles: int,
         drain_cycles: int,
     ) -> int:
+        probe = self._probe_begin()
         injection_end = warmup_cycles + measurement_cycles
         for cycle in range(injection_end):
             for request in packet_source.requests(cycle):
@@ -47,6 +49,8 @@ class ReferenceBackend(SimulatorBackend):
                 )
             network.inject(cycle)
             network.step(cycle)
+            if probe is not None and probe.spec.should_sample(cycle):
+                probe.append(cycle, network_reading(network))
 
         drain_used = 0
         for drain in range(drain_cycles):
@@ -56,4 +60,6 @@ class ReferenceBackend(SimulatorBackend):
             network.inject(cycle)
             network.step(cycle)
             drain_used = drain + 1
+            if probe is not None and probe.spec.should_sample(cycle):
+                probe.append(cycle, network_reading(network))
         return drain_used

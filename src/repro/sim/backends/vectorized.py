@@ -1007,6 +1007,48 @@ class _VectorizedKernel:
             network.set_occupancy_provider(None)
             network.remove_topology_listener(listener)
 
+    # ------------------------------------------------------------------ #
+    # Probe sampling (read-only; see repro.obs.probes)
+    # ------------------------------------------------------------------ #
+    def probe_readings(self) -> List[dict]:
+        """One probe reading per replica, via array reductions.
+
+        A handful of whole-array numpy reductions per *sampled* cycle --
+        no python-per-node loop -- and strictly read-only, so probing
+        cannot perturb the run (the never-perturbs invariant).
+        """
+        num_replicas = self.num_replicas
+        per_replica = self.nodes_per_replica
+        num_layers = self.networks[0].mesh.num_layers
+        occ = (self.nfifo + self.nstaged).sum(axis=1)
+        by_replica = occ.reshape(num_replicas, per_replica)
+        active = (by_replica > 0).sum(axis=1)
+        in_flight = by_replica.sum(axis=1)
+        layer_index = (
+            np.repeat(np.arange(num_replicas), per_replica) * num_layers
+            + self.node_z
+        )
+        layer_occ = np.bincount(
+            layer_index, weights=occ, minlength=num_replicas * num_layers
+        ).astype(np.int64).reshape(num_replicas, num_layers)
+        backlog = [0] * num_replicas
+        for (gnode, _vn), entries in self.queues.items():
+            replica = gnode // per_replica
+            backlog[replica] += sum(
+                entry[0].length - entry[2] for entry in entries
+            )
+        return [
+            {
+                "active_routers": int(active[replica]),
+                "in_flight_flits": int(in_flight[replica]),
+                "injection_backlog": backlog[replica],
+                "layer_occupancy": [
+                    int(value) for value in layer_occ[replica]
+                ],
+            }
+            for replica in range(num_replicas)
+        ]
+
 
 @register_backend(
     "vectorized",
@@ -1037,6 +1079,7 @@ class VectorizedBackend(SimulatorBackend):
         step = kernel.step_exact if self.bit_exact else kernel.step
         inject = kernel.inject
         create_packet = kernel.create_packet
+        probe = self._probe_begin()
         injection_end = warmup_cycles + measurement_cycles
         # The finally clause rematerializes Flit-level state on *every*
         # exit path -- a packet source or policy raising mid-run must not
@@ -1050,6 +1093,8 @@ class VectorizedBackend(SimulatorBackend):
                     )
                 inject(cycle)
                 step(cycle)
+                if probe is not None and probe.spec.should_sample(cycle):
+                    probe.append(cycle, kernel.probe_readings()[0])
 
             drain_used = 0
             for drain in range(drain_cycles):
@@ -1059,6 +1104,8 @@ class VectorizedBackend(SimulatorBackend):
                 inject(cycle)
                 step(cycle)
                 drain_used = drain + 1
+                if probe is not None and probe.spec.should_sample(cycle):
+                    probe.append(cycle, kernel.probe_readings()[0])
         finally:
             kernel.sync_back()
             kernel.close()

@@ -57,6 +57,10 @@ class SimulationResult:
         backend_name: Name of the simulation kernel that executed the run
             (for reporting only -- backends are result-equivalent, so this
             never appears in :meth:`summary`).
+        probe: The sampled :class:`~repro.obs.probes.ProbeSeries` of a
+            probed run (``None`` otherwise).  Deliberately excluded from
+            :meth:`summary` -- cached rows must be byte-identical whether
+            or not the run was observed.
     """
 
     stats: SimulationStats
@@ -71,6 +75,7 @@ class SimulationResult:
     policy_name: str = ""
     backend_name: str = ""
     extra: Dict[str, float] = field(default_factory=dict)
+    probe: Optional[Any] = None
 
     @property
     def delivered_packets(self) -> int:
@@ -143,6 +148,11 @@ class Simulator:
             flag is set on the resolved backend instance, so passing a
             pre-built backend shared across simulators with different
             ``bit_exact`` values is the caller's responsibility.
+        probe: Optional :class:`~repro.obs.probes.ProbeSpec` asking the
+            kernel to sample per-cycle congestion gauges into
+            ``result.probe``.  A run argument threaded to the backend
+            exactly like ``bit_exact`` -- never a spec field, never part
+            of cache keys or summaries (see :mod:`repro.obs`).
     """
 
     def __init__(
@@ -157,6 +167,7 @@ class Simulator:
         scenario: Optional[ScenarioSpec] = None,
         scenario_seed: int = 0,
         bit_exact: bool = False,
+        probe: Optional[Any] = None,
     ) -> None:
         if warmup_cycles < 0 or measurement_cycles <= 0 or drain_cycles < 0:
             raise ValueError("invalid cycle configuration")
@@ -169,6 +180,8 @@ class Simulator:
         self.backend = resolve_backend(backend)
         if bit_exact:
             self.backend.bit_exact = True
+        if probe is not None:
+            self.backend.probe = probe
         self.scenario = scenario
         self.scenario_seed = scenario_seed
 
@@ -207,8 +220,10 @@ class Simulator:
                 runtime.finalize(injection_end + drain_used)
 
         stats = network.stats
+        last_probe = getattr(self.backend, "last_probe", None)
         result = SimulationResult(
             stats=stats,
+            probe=last_probe[0] if last_probe else None,
             warmup_cycles=self.warmup_cycles,
             measurement_cycles=self.measurement_cycles,
             drain_cycles_used=drain_used,
@@ -243,6 +258,7 @@ def run_simulation(
     scenario: Optional[ScenarioSpec] = None,
     scenario_seed: int = 0,
     bit_exact: bool = False,
+    probe: Optional[Any] = None,
 ) -> SimulationResult:
     """Convenience wrapper building and running a :class:`Simulator`."""
     simulator = Simulator(
@@ -256,5 +272,6 @@ def run_simulation(
         scenario=scenario,
         scenario_seed=scenario_seed,
         bit_exact=bit_exact,
+        probe=probe,
     )
     return simulator.run()
